@@ -1,0 +1,182 @@
+//! Criterion micro-benchmarks for the hot paths of the reproduction:
+//! hashing, the WAL, DAG insertion and reachability, the commit rule,
+//! schedule recomputation and the wire codec.
+//!
+//! Run: `cargo bench -p hh-bench`
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use hammerhead::{compute_next_schedule, ReputationScores};
+use hh_consensus::{Bullshark, RoundRobinPolicy, SlotSchedule};
+use hh_dag::testkit::DagBuilder;
+use hh_dag::Dag;
+use hh_storage::{MemBackend, Wal};
+use hh_types::codec::{decode_from_slice, encode_to_vec};
+use hh_types::{Block, Committee, Round, Transaction, ValidatorId, Vertex};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    let data = vec![0xABu8; 1024];
+    group.throughput(Throughput::Bytes(1024));
+    group.bench_function("sha256_1k", |b| b.iter(|| hh_crypto::sha256(&data)));
+    group.finish();
+}
+
+fn bench_wal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage");
+    let record = vec![7u8; 256];
+    group.bench_function("wal_append_256b", |b| {
+        b.iter_batched(
+            || Wal::new(MemBackend::new()),
+            |mut wal| {
+                for _ in 0..100 {
+                    wal.append(&record).unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("wal_replay_1000", |b| {
+        let mem = MemBackend::new();
+        let mut wal = Wal::new(mem.clone());
+        for _ in 0..1000 {
+            wal.append(&record).unwrap();
+        }
+        b.iter(|| Wal::new(mem.clone()).replay().unwrap().len())
+    });
+    group.finish();
+}
+
+fn full_dag(n: usize, rounds: usize) -> Dag {
+    let committee = Committee::new_equal_stake(n);
+    let mut b = DagBuilder::new(committee);
+    b.extend_full_rounds(rounds);
+    b.into_dag()
+}
+
+fn bench_dag(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dag");
+    let committee = Committee::new_equal_stake(50);
+
+    group.bench_function("insert_round_n50", |b| {
+        // Re-insert a fresh round-1 on top of a pre-built genesis.
+        let mut base = DagBuilder::new(committee.clone());
+        base.extend_full_rounds(1);
+        let genesis = base.into_dag();
+        let parents: Vec<_> = {
+            let mut refs: Vec<_> = genesis
+                .round_vertices(Round(0))
+                .map(|v| (v.author(), v.digest()))
+                .collect();
+            refs.sort();
+            refs.into_iter().map(|(_, d)| d).collect()
+        };
+        let vertices: Vec<Vertex> = committee
+            .ids()
+            .map(|id| {
+                Vertex::new(Round(1), id, Block::empty(), parents.clone(), &committee.keypair(id))
+            })
+            .collect();
+        b.iter_batched(
+            || genesis.clone(),
+            |mut dag| {
+                for v in &vertices {
+                    dag.try_insert(v.clone()).unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let dag = full_dag(50, 10);
+    let top = dag.vertex_by_author(Round(9), ValidatorId(0)).unwrap().clone();
+    let bottom = dag.vertex_by_author(Round(0), ValidatorId(49)).unwrap().clone();
+    group.bench_function("reachable_depth9_n50", |b| {
+        b.iter(|| assert!(dag.reachable(&top, &bottom)))
+    });
+    group.bench_function("causal_history_n50_r10", |b| {
+        b.iter(|| dag.causal_history(&top).len())
+    });
+    group.finish();
+}
+
+fn bench_consensus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus");
+    for n in [10usize, 50] {
+        let committee = Committee::new_equal_stake(n);
+        let dag = full_dag(n, 21);
+        group.throughput(Throughput::Elements(21 * n as u64));
+        group.bench_function(format!("commit_21_rounds_n{n}"), |b| {
+            b.iter_batched(
+                || {
+                    Bullshark::new(
+                        committee.clone(),
+                        RoundRobinPolicy::new(SlotSchedule::round_robin(&committee)),
+                    )
+                },
+                |mut engine| {
+                    let mut commits = 0;
+                    for r in 0..21u64 {
+                        let mut vs: Vec<_> = dag.round_vertices(Round(r)).cloned().collect();
+                        vs.sort_by_key(|v| v.author());
+                        for v in vs {
+                            commits += engine.process_vertex(&v, &dag).len();
+                        }
+                    }
+                    assert!(commits >= 9);
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule");
+    for n in [10usize, 100] {
+        let committee = Committee::new_equal_stake(n);
+        let prev = SlotSchedule::permuted(&committee, 7);
+        let mut scores = ReputationScores::new(&committee);
+        for (i, id) in committee.ids().enumerate() {
+            scores.add(id, (i as u64 * 13) % 50);
+        }
+        group.bench_function(format!("compute_next_n{n}"), |b| {
+            b.iter(|| {
+                compute_next_schedule(&prev, &scores, &committee, committee.max_faulty_stake())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    let committee = Committee::new_equal_stake(50);
+    let parents: Vec<_> = (0..34).map(|i| hh_crypto::sha256(&[i as u8])).collect();
+    let txs: Vec<Transaction> = (0..500).map(|i| Transaction::new(1, i, i * 10)).collect();
+    let vertex = Vertex::new(
+        Round(4),
+        ValidatorId(0),
+        Block::new(txs),
+        parents,
+        &committee.keypair(ValidatorId(0)),
+    );
+    let bytes = encode_to_vec(&vertex);
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode_vertex_500tx", |b| b.iter(|| encode_to_vec(&vertex)));
+    group.bench_function("decode_vertex_500tx", |b| {
+        b.iter(|| decode_from_slice::<Vertex>(&bytes).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_wal,
+    bench_dag,
+    bench_consensus,
+    bench_schedule,
+    bench_codec
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! CRC-32 (IEEE 802.3 polynomial), used by the storage write-ahead log to
+//! detect torn or corrupted records.
+
+/// Computes the CRC-32 (IEEE) checksum of `data`.
+///
+/// Standard reflected CRC with polynomial `0xEDB88320`, initial value
+/// `0xFFFFFFFF` and final xor `0xFFFFFFFF`, matching zlib's `crc32`.
+///
+/// ```
+/// // The well-known check value for "123456789".
+/// assert_eq!(hh_crypto::crc32(b"123456789"), 0xCBF43926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let data = b"hammerhead-wal-record";
+        let base = crc32(data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data.to_vec();
+                corrupted[i] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), base, "flip byte {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let data = b"record-body";
+        assert_ne!(crc32(data), crc32(&data[..data.len() - 1]));
+    }
+}

@@ -1,0 +1,168 @@
+//! 32-byte content digests.
+
+use std::fmt;
+
+/// A 32-byte content address, produced by [`crate::sha256`].
+///
+/// `Digest` is the universal identifier for vertices, blocks and certificates
+/// throughout the reproduction. It orders lexicographically, hashes cheaply,
+/// and displays as an abbreviated hex string.
+///
+/// ```
+/// use hh_crypto::{sha256, Digest};
+/// let d = sha256(b"block");
+/// let restored = Digest::from_hex(&d.to_hex()).unwrap();
+/// assert_eq!(d, restored);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Digest([u8; 32]);
+
+impl Digest {
+    /// The all-zero digest, used as a placeholder for "no parent".
+    pub const ZERO: Digest = Digest([0u8; 32]);
+
+    /// Wraps raw bytes as a digest.
+    pub fn new(bytes: [u8; 32]) -> Self {
+        Digest(bytes)
+    }
+
+    /// Borrows the raw bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Extracts the raw bytes.
+    pub fn into_bytes(self) -> [u8; 32] {
+        self.0
+    }
+
+    /// Lowercase hex encoding (64 characters).
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in &self.0 {
+            s.push(hex_digit(b >> 4));
+            s.push(hex_digit(b & 0xf));
+        }
+        s
+    }
+
+    /// Parses a 64-character hex string.
+    ///
+    /// Returns `None` on bad length or non-hex characters.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        let bytes = s.as_bytes();
+        if bytes.len() != 64 {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        for i in 0..32 {
+            let hi = hex_val(bytes[i * 2])?;
+            let lo = hex_val(bytes[i * 2 + 1])?;
+            out[i] = (hi << 4) | lo;
+        }
+        Some(Digest(out))
+    }
+
+    /// First 8 bytes interpreted big-endian; handy as a deterministic seed.
+    pub fn prefix_u64(&self) -> u64 {
+        u64::from_be_bytes(self.0[..8].try_into().expect("8 bytes"))
+    }
+}
+
+fn hex_digit(v: u8) -> char {
+    match v {
+        0..=9 => (b'0' + v) as char,
+        _ => (b'a' + v - 10) as char,
+    }
+}
+
+fn hex_val(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({}..)", &self.to_hex()[..12])
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", &self.to_hex()[..12])
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<[u8; 32]> for Digest {
+    fn from(bytes: [u8; 32]) -> Self {
+        Digest(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256;
+
+    #[test]
+    fn hex_roundtrip() {
+        let d = sha256(b"roundtrip");
+        assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
+    }
+
+    #[test]
+    fn from_hex_rejects_bad_input() {
+        assert_eq!(Digest::from_hex("xyz"), None);
+        assert_eq!(Digest::from_hex(&"g".repeat(64)), None);
+        assert_eq!(Digest::from_hex(&"0".repeat(63)), None);
+        assert_eq!(Digest::from_hex(&"0".repeat(65)), None);
+    }
+
+    #[test]
+    fn from_hex_accepts_uppercase() {
+        let d = sha256(b"case");
+        let upper = d.to_hex().to_uppercase();
+        assert_eq!(Digest::from_hex(&upper), Some(d));
+    }
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(Digest::default(), Digest::ZERO);
+        assert_eq!(Digest::ZERO.to_hex(), "0".repeat(64));
+    }
+
+    #[test]
+    fn display_is_abbreviated() {
+        let d = sha256(b"abc");
+        assert_eq!(format!("{d}"), "ba7816bf8f01");
+        assert!(format!("{d:?}").starts_with("Digest(ba7816bf8f01"));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut a = [0u8; 32];
+        let mut b = [0u8; 32];
+        a[0] = 1;
+        b[0] = 2;
+        assert!(Digest::new(a) < Digest::new(b));
+    }
+
+    #[test]
+    fn prefix_u64_is_big_endian() {
+        let mut raw = [0u8; 32];
+        raw[7] = 1;
+        assert_eq!(Digest::new(raw).prefix_u64(), 1);
+        raw[0] = 1;
+        assert_eq!(Digest::new(raw).prefix_u64(), (1 << 56) + 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! The round-structured DAG substrate.
+//!
+//! Every DAG-based BFT protocol in the paper's family (Bullshark, Tusk,
+//! DAG-Rider, Fino) interprets the same structure: vertices arranged in
+//! rounds, each vertex linking to at least quorum-stake vertices of the
+//! previous round. This crate owns that structure:
+//!
+//! * [`Dag`] — insertion with full structural validation (Algorithm 1's
+//!   `struct vertex` invariants), indexed by digest and by
+//!   `(round, author)`;
+//! * reachability ([`Dag::reachable`], the paper's `path(v, u)`);
+//! * causal histories ([`Dag::causal_history`], [`Dag::causal_sub_dag`]) —
+//!   the sub-DAG a committed anchor orders;
+//! * garbage collection of ordered prefixes;
+//! * equivocation detection (two vertices by one author in one round);
+//! * [`testkit`] — deterministic DAG construction helpers shared by the
+//!   consensus and scheduling test suites.
+//!
+//! # Example
+//!
+//! ```
+//! use hh_dag::{Dag, testkit::DagBuilder};
+//! use hh_types::{Committee, Round};
+//!
+//! let committee = Committee::new_equal_stake(4);
+//! // Three full rounds where everyone links to everyone.
+//! let mut builder = DagBuilder::new(committee.clone());
+//! builder.extend_full_rounds(3);
+//! let dag: &Dag = builder.dag();
+//! assert_eq!(dag.highest_round(), Some(Round(2)));
+//! assert!(dag.is_quorum_at(Round(2)));
+//! ```
+
+mod store;
+pub mod testkit;
+
+pub use store::{Dag, DagError, InsertOutcome};

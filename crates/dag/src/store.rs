@@ -1,0 +1,671 @@
+//! The DAG store: validated insertion, indices, reachability, histories, GC.
+
+use hh_crypto::Digest;
+use hh_types::{Committee, Round, Stake, TypeError, ValidatorId, Vertex};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors rejecting a vertex at insertion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DagError {
+    /// The author is not a committee member.
+    UnknownAuthor(ValidatorId),
+    /// One or more parents are not in the DAG yet. The caller (the broadcast
+    /// layer) should fetch them and retry; the missing digests are listed.
+    MissingParents(Vec<Digest>),
+    /// A parent is present but lives in the wrong round.
+    WrongParentRound {
+        /// The inserted vertex's round.
+        round: Round,
+        /// The misplaced parent.
+        parent: Digest,
+        /// The round that parent actually occupies.
+        parent_round: Round,
+    },
+    /// The parents carry less than quorum stake.
+    InsufficientParentStake {
+        /// Stake carried by the vertex's parents.
+        have: Stake,
+        /// The committee's quorum threshold.
+        need: Stake,
+    },
+    /// The parents list contains a duplicate digest or duplicate author.
+    DuplicateParents,
+    /// A non-genesis vertex carries no parents, or a genesis vertex carries
+    /// some.
+    MalformedParents(&'static str),
+    /// The vertex's round is below the garbage-collection horizon.
+    BelowGc {
+        /// The rejected vertex's round.
+        round: Round,
+        /// The current horizon (lowest retained round).
+        gc_round: Round,
+    },
+    /// The author already has a different vertex in this round
+    /// (equivocation); the original is kept.
+    Equivocation {
+        /// The equivocating author.
+        author: ValidatorId,
+        /// The round in which two distinct vertices were observed.
+        round: Round,
+    },
+    /// A structural error bubbled up from type validation.
+    Type(TypeError),
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::UnknownAuthor(id) => write!(f, "unknown author {id}"),
+            DagError::MissingParents(p) => write!(f, "{} parents missing from the dag", p.len()),
+            DagError::WrongParentRound { round, parent, parent_round } => write!(
+                f,
+                "parent {parent} of round-{round} vertex lives in round {parent_round}"
+            ),
+            DagError::InsufficientParentStake { have, need } => {
+                write!(f, "parent stake {have} below quorum {need}")
+            }
+            DagError::DuplicateParents => write!(f, "duplicate parent digest or author"),
+            DagError::MalformedParents(why) => write!(f, "malformed parents: {why}"),
+            DagError::BelowGc { round, gc_round } => {
+                write!(f, "vertex round {round} below gc horizon {gc_round}")
+            }
+            DagError::Equivocation { author, round } => {
+                write!(f, "equivocation by {author} in round {round}")
+            }
+            DagError::Type(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+impl From<TypeError> for DagError {
+    fn from(e: TypeError) -> Self {
+        DagError::Type(e)
+    }
+}
+
+/// Result of a successful [`Dag::try_insert`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The vertex is new and was stored.
+    Inserted,
+    /// The identical vertex was already present (idempotent re-insert).
+    AlreadyPresent,
+}
+
+/// The round-structured DAG (the paper's `DAG_i[]`).
+///
+/// Holds at most one vertex per `(round, author)`; a second, different
+/// vertex from the same author in the same round is rejected as
+/// equivocation and counted (with best-effort broadcast a Byzantine author
+/// can attempt this; with certified broadcast it cannot happen).
+#[derive(Clone, Debug)]
+pub struct Dag {
+    committee: Committee,
+    rounds: BTreeMap<Round, HashMap<ValidatorId, Arc<Vertex>>>,
+    by_digest: HashMap<Digest, Arc<Vertex>>,
+    /// Cached per-round author stake; `round_stake`/`is_quorum_at` are on
+    /// the per-message hot path and must be O(1).
+    stake_by_round: HashMap<Round, Stake>,
+    /// Stake of the vertices linking to each vertex (its *votes*), indexed
+    /// by target digest and maintained at insert time. Powers the O(1)
+    /// direct-commit check.
+    vote_stake: HashMap<Digest, Stake>,
+    gc_round: Round,
+    equivocations: u64,
+}
+
+impl Dag {
+    /// An empty DAG for `committee`.
+    pub fn new(committee: Committee) -> Self {
+        Dag {
+            committee,
+            rounds: BTreeMap::new(),
+            by_digest: HashMap::new(),
+            stake_by_round: HashMap::new(),
+            vote_stake: HashMap::new(),
+            gc_round: Round(0),
+            equivocations: 0,
+        }
+    }
+
+    /// The committee this DAG validates against.
+    pub fn committee(&self) -> &Committee {
+        &self.committee
+    }
+
+    /// Validates and stores a vertex.
+    ///
+    /// Validation enforces Algorithm 1's invariants:
+    /// * the author is a committee member;
+    /// * round 0 vertices have no parents; later rounds have parents that
+    ///   (a) are all present, (b) all live in `round - 1`, (c) have distinct
+    ///   authors, and (d) carry at least quorum stake;
+    /// * the author has no *different* vertex in this round.
+    ///
+    /// # Errors
+    ///
+    /// See [`DagError`]. On [`DagError::MissingParents`] the caller should
+    /// sync the listed digests and retry — this is the signal driving the
+    /// broadcast layer's fetcher.
+    pub fn try_insert(&mut self, vertex: Vertex) -> Result<InsertOutcome, DagError> {
+        let round = vertex.round();
+        let author = vertex.author();
+
+        if !self.committee.contains(author) {
+            return Err(DagError::UnknownAuthor(author));
+        }
+        if round < self.gc_round {
+            return Err(DagError::BelowGc { round, gc_round: self.gc_round });
+        }
+        if let Some(existing) = self.rounds.get(&round).and_then(|r| r.get(&author)) {
+            if existing.digest() == vertex.digest() {
+                return Ok(InsertOutcome::AlreadyPresent);
+            }
+            self.equivocations += 1;
+            return Err(DagError::Equivocation { author, round });
+        }
+
+        if round == Round(0) {
+            if !vertex.parents().is_empty() {
+                return Err(DagError::MalformedParents("genesis vertex with parents"));
+            }
+        } else {
+            if vertex.parents().is_empty() {
+                return Err(DagError::MalformedParents("non-genesis vertex without parents"));
+            }
+            // One pass, one map lookup per parent. A duplicate digest
+            // implies a duplicate author (digests resolve to unique
+            // vertices), so the author bitset covers both duplicate checks
+            // for resolvable parents; unresolvable duplicates surface via
+            // the `missing` path and are re-validated after sync.
+            let mut missing = Vec::new();
+            let mut seen_authors = vec![false; self.committee.size()];
+            let mut stake = Stake(0);
+            for parent in vertex.parents() {
+                match self.by_digest.get(parent) {
+                    None => missing.push(*parent),
+                    Some(pv) => {
+                        if pv.round() != round.prev() || round.0 == 0 {
+                            return Err(DagError::WrongParentRound {
+                                round,
+                                parent: *parent,
+                                parent_round: pv.round(),
+                            });
+                        }
+                        let slot = &mut seen_authors[pv.author().index()];
+                        if *slot {
+                            return Err(DagError::DuplicateParents);
+                        }
+                        *slot = true;
+                        stake += self.committee.stake_of(pv.author());
+                    }
+                }
+            }
+            if !missing.is_empty() {
+                return Err(DagError::MissingParents(missing));
+            }
+            if stake < self.committee.quorum_threshold() {
+                return Err(DagError::InsufficientParentStake {
+                    have: stake,
+                    need: self.committee.quorum_threshold(),
+                });
+            }
+        }
+
+        let arc = Arc::new(vertex);
+        let author_stake = self.committee.stake_of(author);
+        for parent in arc.parents() {
+            *self.vote_stake.entry(*parent).or_insert(Stake(0)) += author_stake;
+        }
+        self.by_digest.insert(arc.digest(), arc.clone());
+        self.rounds.entry(round).or_default().insert(author, arc);
+        *self.stake_by_round.entry(round).or_insert(Stake(0)) += author_stake;
+        Ok(InsertOutcome::Inserted)
+    }
+
+    /// Which of `parents` are not yet in the DAG.
+    pub fn missing_from(&self, parents: &[Digest]) -> Vec<Digest> {
+        parents
+            .iter()
+            .filter(|d| !self.by_digest.contains_key(*d))
+            .copied()
+            .collect()
+    }
+
+    /// Looks a vertex up by digest.
+    pub fn get(&self, digest: &Digest) -> Option<&Arc<Vertex>> {
+        self.by_digest.get(digest)
+    }
+
+    /// Whether a vertex with this digest is present.
+    pub fn contains(&self, digest: &Digest) -> bool {
+        self.by_digest.contains_key(digest)
+    }
+
+    /// The vertex authored by `author` in `round`, if any.
+    pub fn vertex_by_author(&self, round: Round, author: ValidatorId) -> Option<&Arc<Vertex>> {
+        self.rounds.get(&round).and_then(|r| r.get(&author))
+    }
+
+    /// All vertices of `round`, in unspecified order.
+    pub fn round_vertices(&self, round: Round) -> impl Iterator<Item = &Arc<Vertex>> {
+        self.rounds.get(&round).into_iter().flat_map(|r| r.values())
+    }
+
+    /// Number of vertices in `round`.
+    pub fn round_len(&self, round: Round) -> usize {
+        self.rounds.get(&round).map(|r| r.len()).unwrap_or(0)
+    }
+
+    /// Total stake of the authors present in `round` (O(1), cached).
+    pub fn round_stake(&self, round: Round) -> Stake {
+        self.stake_by_round.get(&round).copied().unwrap_or(Stake(0))
+    }
+
+    /// Whether `round` holds quorum stake worth of vertices.
+    pub fn is_quorum_at(&self, round: Round) -> bool {
+        self.round_stake(round) >= self.committee.quorum_threshold()
+    }
+
+    /// Total stake of the next-round vertices linking to (voting for) the
+    /// vertex with this digest. O(1), maintained at insert time.
+    ///
+    /// With one vertex per `(round, author)` (enforced at insertion), each
+    /// author contributes its stake at most once per target.
+    pub fn vote_stake(&self, target: &Digest) -> Stake {
+        self.vote_stake.get(target).copied().unwrap_or(Stake(0))
+    }
+
+    /// The highest round containing any vertex.
+    pub fn highest_round(&self) -> Option<Round> {
+        self.rounds.keys().next_back().copied()
+    }
+
+    /// The lowest retained round (GC horizon).
+    pub fn gc_round(&self) -> Round {
+        self.gc_round
+    }
+
+    /// Number of equivocation attempts rejected so far.
+    pub fn equivocations(&self) -> u64 {
+        self.equivocations
+    }
+
+    /// Total number of stored vertices.
+    pub fn len(&self) -> usize {
+        self.by_digest.len()
+    }
+
+    /// Whether the DAG holds no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.by_digest.is_empty()
+    }
+
+    /// The paper's `path(v, u)`: is there a chain of parent edges from
+    /// `from` down to `to`?
+    ///
+    /// Edges always descend exactly one round, so the search prunes any
+    /// branch that drops below `to`'s round. Vertices pruned by GC are
+    /// treated as dead ends (their history is already ordered).
+    pub fn reachable(&self, from: &Vertex, to: &Vertex) -> bool {
+        if from.digest() == to.digest() {
+            return true;
+        }
+        if from.round() <= to.round() {
+            return false;
+        }
+        let target_round = to.round();
+        let target = to.digest();
+        let mut frontier: VecDeque<&Arc<Vertex>> = VecDeque::new();
+        let mut seen: HashSet<Digest> = HashSet::new();
+        for parent in from.parents() {
+            if let Some(pv) = self.by_digest.get(parent) {
+                if seen.insert(*parent) {
+                    frontier.push_back(pv);
+                }
+            }
+        }
+        while let Some(v) = frontier.pop_front() {
+            if v.digest() == target {
+                return true;
+            }
+            if v.round() <= target_round {
+                continue;
+            }
+            for parent in v.parents() {
+                if let Some(pv) = self.by_digest.get(parent) {
+                    if pv.round() >= target_round && seen.insert(*parent) {
+                        frontier.push_back(pv);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Every stored ancestor of `from`, including `from` itself.
+    pub fn causal_history(&self, from: &Vertex) -> Vec<Arc<Vertex>> {
+        self.causal_sub_dag(from, |_| false)
+    }
+
+    /// The ancestors of `anchor` (including it) for which `is_ordered`
+    /// returns `false`, pruning descent at ordered vertices.
+    ///
+    /// This is the sub-DAG a freshly committed anchor delivers: ordering
+    /// always delivers complete histories, so once a vertex is ordered its
+    /// whole history is too, and the search need not descend past it.
+    /// Unknown parents (garbage-collected) are likewise skipped.
+    pub fn causal_sub_dag(
+        &self,
+        anchor: &Vertex,
+        is_ordered: impl Fn(&Digest) -> bool,
+    ) -> Vec<Arc<Vertex>> {
+        let mut out = Vec::new();
+        let mut seen: HashSet<Digest> = HashSet::new();
+        let mut frontier: VecDeque<Arc<Vertex>> = VecDeque::new();
+        if let Some(a) = self.by_digest.get(&anchor.digest()) {
+            if !is_ordered(&a.digest()) {
+                seen.insert(a.digest());
+                frontier.push_back(a.clone());
+            }
+        }
+        while let Some(v) = frontier.pop_front() {
+            for parent in v.parents() {
+                if let Some(pv) = self.by_digest.get(parent) {
+                    if !is_ordered(parent) && seen.insert(*parent) {
+                        frontier.push_back(pv.clone());
+                    }
+                }
+            }
+            out.push(v);
+        }
+        out
+    }
+
+    /// Drops all rounds strictly below `round`. Future inserts below the
+    /// horizon are rejected with [`DagError::BelowGc`].
+    ///
+    /// Callers must only GC rounds whose vertices are already ordered
+    /// everywhere they are needed (the validator keeps a safety margin,
+    /// `gc_depth`, below its last committed round).
+    pub fn gc(&mut self, round: Round) {
+        if round <= self.gc_round {
+            return;
+        }
+        let keep = self.rounds.split_off(&round);
+        for (dropped_round, dropped) in std::mem::replace(&mut self.rounds, keep) {
+            self.stake_by_round.remove(&dropped_round);
+            for (_, v) in dropped {
+                self.by_digest.remove(&v.digest());
+                self.vote_stake.remove(&v.digest());
+            }
+        }
+        self.gc_round = round;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::DagBuilder;
+    use hh_types::Block;
+
+    fn committee4() -> Committee {
+        Committee::new_equal_stake(4)
+    }
+
+    #[test]
+    fn genesis_round_inserts() {
+        let mut builder = DagBuilder::new(committee4());
+        builder.extend_full_rounds(1);
+        assert_eq!(builder.dag().round_len(Round(0)), 4);
+        assert!(builder.dag().is_quorum_at(Round(0)));
+    }
+
+    #[test]
+    fn genesis_with_parents_rejected() {
+        let c = committee4();
+        let mut dag = Dag::new(c.clone());
+        let kp = c.keypair(ValidatorId(0));
+        let fake_parent = hh_crypto::sha256(b"ghost");
+        let v = Vertex::new(Round(0), ValidatorId(0), Block::empty(), vec![fake_parent], &kp);
+        assert!(matches!(dag.try_insert(v), Err(DagError::MalformedParents(_))));
+    }
+
+    #[test]
+    fn non_genesis_without_parents_rejected() {
+        let c = committee4();
+        let mut dag = Dag::new(c.clone());
+        let kp = c.keypair(ValidatorId(0));
+        let v = Vertex::new(Round(1), ValidatorId(0), Block::empty(), vec![], &kp);
+        assert!(matches!(dag.try_insert(v), Err(DagError::MalformedParents(_))));
+    }
+
+    #[test]
+    fn missing_parents_reported() {
+        let c = committee4();
+        let mut dag = Dag::new(c.clone());
+        let kp = c.keypair(ValidatorId(0));
+        let ghost1 = hh_crypto::sha256(b"g1");
+        let ghost2 = hh_crypto::sha256(b"g2");
+        let ghost3 = hh_crypto::sha256(b"g3");
+        let v = Vertex::new(Round(1), ValidatorId(0), Block::empty(), vec![ghost1, ghost2, ghost3], &kp);
+        match dag.try_insert(v) {
+            Err(DagError::MissingParents(m)) => assert_eq!(m.len(), 3),
+            other => panic!("expected MissingParents, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insufficient_parent_stake_rejected() {
+        let c = committee4();
+        let mut builder = DagBuilder::new(c.clone());
+        builder.extend_full_rounds(1);
+        // Only 2 parents (< quorum 3 for n=4).
+        let parents: Vec<Digest> = builder
+            .dag()
+            .round_vertices(Round(0))
+            .take(2)
+            .map(|v| v.digest())
+            .collect();
+        let kp = c.keypair(ValidatorId(0));
+        let v = Vertex::new(Round(1), ValidatorId(0), Block::empty(), parents, &kp);
+        let mut dag = builder.into_dag();
+        assert!(matches!(
+            dag.try_insert(v),
+            Err(DagError::InsufficientParentStake { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_parent_digest_rejected() {
+        let c = committee4();
+        let mut builder = DagBuilder::new(c.clone());
+        builder.extend_full_rounds(1);
+        let first = builder
+            .dag()
+            .vertex_by_author(Round(0), ValidatorId(0))
+            .unwrap()
+            .digest();
+        let kp = c.keypair(ValidatorId(1));
+        let v = Vertex::new(Round(1), ValidatorId(1), Block::empty(), vec![first, first, first], &kp);
+        let mut dag = builder.into_dag();
+        assert_eq!(dag.try_insert(v), Err(DagError::DuplicateParents));
+    }
+
+    #[test]
+    fn wrong_parent_round_rejected() {
+        let c = committee4();
+        let mut builder = DagBuilder::new(c.clone());
+        builder.extend_full_rounds(2); // rounds 0 and 1
+        // A round-2 vertex pointing straight at round-0 vertices.
+        let parents: Vec<Digest> = builder
+            .dag()
+            .round_vertices(Round(0))
+            .map(|v| v.digest())
+            .collect();
+        let kp = c.keypair(ValidatorId(0));
+        let v = Vertex::new(Round(2), ValidatorId(0), Block::empty(), parents, &kp);
+        let mut dag = builder.into_dag();
+        assert!(matches!(dag.try_insert(v), Err(DagError::WrongParentRound { .. })));
+    }
+
+    #[test]
+    fn reinsert_is_idempotent() {
+        let c = committee4();
+        let mut dag = Dag::new(c.clone());
+        let kp = c.keypair(ValidatorId(0));
+        let v = Vertex::new(Round(0), ValidatorId(0), Block::empty(), vec![], &kp);
+        assert_eq!(dag.try_insert(v.clone()), Ok(InsertOutcome::Inserted));
+        assert_eq!(dag.try_insert(v), Ok(InsertOutcome::AlreadyPresent));
+        assert_eq!(dag.len(), 1);
+    }
+
+    #[test]
+    fn equivocation_detected_first_kept() {
+        let c = committee4();
+        let mut dag = Dag::new(c.clone());
+        let kp = c.keypair(ValidatorId(0));
+        let v1 = Vertex::new(Round(0), ValidatorId(0), Block::empty(), vec![], &kp);
+        let v2 = Vertex::new(
+            Round(0),
+            ValidatorId(0),
+            Block::new(vec![hh_types::Transaction::new(0, 0, 0)]),
+            vec![],
+            &kp,
+        );
+        assert_ne!(v1.digest(), v2.digest());
+        dag.try_insert(v1.clone()).unwrap();
+        assert!(matches!(
+            dag.try_insert(v2),
+            Err(DagError::Equivocation { author: ValidatorId(0), round: Round(0) })
+        ));
+        assert_eq!(dag.equivocations(), 1);
+        assert_eq!(
+            dag.vertex_by_author(Round(0), ValidatorId(0)).unwrap().digest(),
+            v1.digest()
+        );
+    }
+
+    #[test]
+    fn unknown_author_rejected() {
+        let c = committee4();
+        let mut dag = Dag::new(c);
+        let kp = hh_crypto::Keypair::from_seed(99);
+        let v = Vertex::new(Round(0), ValidatorId(9), Block::empty(), vec![], &kp);
+        assert_eq!(dag.try_insert(v), Err(DagError::UnknownAuthor(ValidatorId(9))));
+    }
+
+    #[test]
+    fn reachability_through_full_rounds() {
+        let c = committee4();
+        let mut builder = DagBuilder::new(c);
+        builder.extend_full_rounds(5);
+        let dag = builder.dag();
+        let top = dag.vertex_by_author(Round(4), ValidatorId(0)).unwrap().clone();
+        let bottom = dag.vertex_by_author(Round(0), ValidatorId(3)).unwrap().clone();
+        assert!(dag.reachable(&top, &bottom));
+        assert!(!dag.reachable(&bottom, &top), "edges point down only");
+        assert!(dag.reachable(&top, &top), "reflexive");
+    }
+
+    #[test]
+    fn reachability_respects_missing_links() {
+        let c = committee4();
+        let mut builder = DagBuilder::new(c);
+        builder.extend_full_rounds(1);
+        // Round 1: every vertex links to all of round 0 EXCEPT v3's vertex.
+        builder.extend_round_excluding(&[ValidatorId(3)]);
+        let dag = builder.dag();
+        let top = dag.vertex_by_author(Round(1), ValidatorId(0)).unwrap().clone();
+        let excluded = dag.vertex_by_author(Round(0), ValidatorId(3)).unwrap().clone();
+        let included = dag.vertex_by_author(Round(0), ValidatorId(0)).unwrap().clone();
+        assert!(!dag.reachable(&top, &excluded));
+        assert!(dag.reachable(&top, &included));
+    }
+
+    #[test]
+    fn causal_history_is_complete() {
+        let c = committee4();
+        let mut builder = DagBuilder::new(c);
+        builder.extend_full_rounds(4);
+        let dag = builder.dag();
+        let top = dag.vertex_by_author(Round(3), ValidatorId(1)).unwrap().clone();
+        let history = dag.causal_history(&top);
+        // Full rounds: history = self + 3 complete rounds of 4.
+        assert_eq!(history.len(), 1 + 3 * 4);
+        // Closure: every parent of a history vertex is in the history
+        // (except genesis, which has none).
+        let digests: HashSet<Digest> = history.iter().map(|v| v.digest()).collect();
+        for v in &history {
+            for p in v.parents() {
+                assert!(digests.contains(p));
+            }
+        }
+    }
+
+    #[test]
+    fn causal_sub_dag_prunes_ordered() {
+        let c = committee4();
+        let mut builder = DagBuilder::new(c);
+        builder.extend_full_rounds(4);
+        let dag = builder.dag();
+        let top = dag.vertex_by_author(Round(3), ValidatorId(1)).unwrap().clone();
+        // Mark all of rounds 0-1 ordered.
+        let ordered: HashSet<Digest> = dag
+            .round_vertices(Round(0))
+            .chain(dag.round_vertices(Round(1)))
+            .map(|v| v.digest())
+            .collect();
+        let sub = dag.causal_sub_dag(&top, |d| ordered.contains(d));
+        assert_eq!(sub.len(), 1 + 4, "self plus round 2");
+        assert!(sub.iter().all(|v| v.round() >= Round(2)));
+    }
+
+    #[test]
+    fn gc_drops_rounds_and_blocks_reinsertion() {
+        let c = committee4();
+        let mut builder = DagBuilder::new(c.clone());
+        builder.extend_full_rounds(5);
+        let mut dag = builder.into_dag();
+        let victim = dag.vertex_by_author(Round(0), ValidatorId(0)).unwrap().clone();
+        dag.gc(Round(2));
+        assert_eq!(dag.gc_round(), Round(2));
+        assert!(!dag.contains(&victim.digest()));
+        assert_eq!(dag.round_len(Round(0)), 0);
+        assert_eq!(dag.round_len(Round(2)), 4);
+        let kp = c.keypair(ValidatorId(0));
+        let stale = Vertex::new(Round(1), ValidatorId(0), Block::empty(), vec![victim.digest()], &kp);
+        assert!(matches!(dag.try_insert(stale), Err(DagError::BelowGc { .. })));
+        // GC going backwards is a no-op.
+        dag.gc(Round(1));
+        assert_eq!(dag.gc_round(), Round(2));
+    }
+
+    #[test]
+    fn reachability_survives_gc_of_ordered_prefix() {
+        let c = committee4();
+        let mut builder = DagBuilder::new(c);
+        builder.extend_full_rounds(6);
+        let mut dag = builder.into_dag();
+        dag.gc(Round(2));
+        let top = dag.vertex_by_author(Round(5), ValidatorId(0)).unwrap().clone();
+        let mid = dag.vertex_by_author(Round(3), ValidatorId(2)).unwrap().clone();
+        assert!(dag.reachable(&top, &mid));
+    }
+
+    #[test]
+    fn missing_from_lists_unknown_digests() {
+        let c = committee4();
+        let mut builder = DagBuilder::new(c);
+        builder.extend_full_rounds(1);
+        let dag = builder.dag();
+        let known = dag.vertex_by_author(Round(0), ValidatorId(0)).unwrap().digest();
+        let ghost = hh_crypto::sha256(b"ghost");
+        assert_eq!(dag.missing_from(&[known, ghost]), vec![ghost]);
+    }
+}

@@ -1,0 +1,244 @@
+//! Fault injection plans.
+//!
+//! A [`FaultPlan`] declares, ahead of a run, when nodes crash, recover, slow
+//! down, or partition. The paper's evaluation needs:
+//!
+//! * crash faults from t=0 (Fig. 2: 3/16/33 crashed validators);
+//! * "less responsive" validators (the §1 Sui mainnet incident: 10% of
+//!   validators suddenly slow);
+//! * recovery (the crash-recovery feature of the production implementation).
+//!
+//! Partitions model the pre-GST adversary in liveness tests.
+
+use crate::time::{Duration, SimTime};
+use crate::NodeId;
+
+/// A per-node slowdown: all messages to and from `node` gain `extra` delay
+/// while the window is active.
+#[derive(Clone, Debug)]
+pub struct SlowdownSpec {
+    /// The degraded node.
+    pub node: NodeId,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive); `SimTime::MAX` for "until the end".
+    pub until: SimTime,
+    /// Extra one-way delay added to each message.
+    pub extra: Duration,
+}
+
+/// A network partition between two groups of nodes.
+///
+/// Messages crossing the cut during the window are buffered and delivered
+/// when the partition heals (links stay reliable, per the model in §2.1).
+#[derive(Clone, Debug)]
+pub struct PartitionSpec {
+    /// One side of the cut.
+    pub group_a: Vec<NodeId>,
+    /// The other side. Nodes in neither group talk to everyone.
+    pub group_b: Vec<NodeId>,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive): the heal time.
+    pub until: SimTime,
+}
+
+impl PartitionSpec {
+    /// Whether a message `from → to` crosses the cut at time `now`.
+    pub fn severs(&self, from: NodeId, to: NodeId, now: SimTime) -> bool {
+        if now < self.from || now >= self.until {
+            return false;
+        }
+        let a_from = self.group_a.contains(&from);
+        let b_from = self.group_b.contains(&from);
+        let a_to = self.group_a.contains(&to);
+        let b_to = self.group_b.contains(&to);
+        (a_from && b_to) || (b_from && a_to)
+    }
+}
+
+/// The full fault schedule for a run.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    crashes: Vec<(NodeId, SimTime)>,
+    recoveries: Vec<(NodeId, SimTime)>,
+    slowdowns: Vec<SlowdownSpec>,
+    partitions: Vec<PartitionSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Crashes `node` at `at`: it stops processing messages and timers.
+    #[must_use]
+    pub fn crash(mut self, node: NodeId, at: SimTime) -> Self {
+        self.crashes.push((node, at));
+        self
+    }
+
+    /// Crashes `nodes` at simulation start (the Fig. 2 configuration).
+    #[must_use]
+    pub fn crash_from_start<I: IntoIterator<Item = NodeId>>(mut self, nodes: I) -> Self {
+        for n in nodes {
+            self.crashes.push((n, SimTime::ZERO));
+        }
+        self
+    }
+
+    /// Restarts `node` at `at` (its [`crate::Node::on_restart`] runs).
+    #[must_use]
+    pub fn recover(mut self, node: NodeId, at: SimTime) -> Self {
+        self.recoveries.push((node, at));
+        self
+    }
+
+    /// Adds a slowdown window.
+    #[must_use]
+    pub fn slowdown(mut self, spec: SlowdownSpec) -> Self {
+        self.slowdowns.push(spec);
+        self
+    }
+
+    /// Adds a partition window.
+    #[must_use]
+    pub fn partition(mut self, spec: PartitionSpec) -> Self {
+        self.partitions.push(spec);
+        self
+    }
+
+    /// Scheduled crash events.
+    pub fn crashes(&self) -> &[(NodeId, SimTime)] {
+        &self.crashes
+    }
+
+    /// Scheduled recovery events.
+    pub fn recoveries(&self) -> &[(NodeId, SimTime)] {
+        &self.recoveries
+    }
+
+    /// Extra one-way delay affecting a `from → to` message sent at `now`.
+    pub fn slowdown_delay(&self, from: NodeId, to: NodeId, now: SimTime) -> Duration {
+        let mut extra = Duration::ZERO;
+        for s in &self.slowdowns {
+            if (s.node == from || s.node == to) && now >= s.from && now < s.until {
+                extra = extra + s.extra;
+            }
+        }
+        extra
+    }
+
+    /// If a `from → to` message sent at `now` crosses an active partition,
+    /// returns the heal time it must wait for.
+    pub fn partition_release(&self, from: NodeId, to: NodeId, now: SimTime) -> Option<SimTime> {
+        self.partitions
+            .iter()
+            .filter(|p| p.severs(from, to, now))
+            .map(|p| p.until)
+            .max()
+    }
+
+    /// Nodes that are crashed at `t` (crashed at or before, not yet
+    /// recovered after the crash).
+    pub fn crashed_at(&self, node: NodeId, t: SimTime) -> bool {
+        let last_crash = self
+            .crashes
+            .iter()
+            .filter(|(n, at)| *n == node && *at <= t)
+            .map(|(_, at)| *at)
+            .max();
+        let Some(crash_time) = last_crash else {
+            return false;
+        };
+        // Recovered strictly after the crash and at or before t?
+        !self
+            .recoveries
+            .iter()
+            .any(|(n, at)| *n == node && *at >= crash_time && *at <= t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_and_recover_windows() {
+        let plan = FaultPlan::new()
+            .crash(NodeId(1), SimTime::from_secs(10))
+            .recover(NodeId(1), SimTime::from_secs(20));
+        assert!(!plan.crashed_at(NodeId(1), SimTime::from_secs(5)));
+        assert!(plan.crashed_at(NodeId(1), SimTime::from_secs(10)));
+        assert!(plan.crashed_at(NodeId(1), SimTime::from_secs(15)));
+        assert!(!plan.crashed_at(NodeId(1), SimTime::from_secs(20)));
+        assert!(!plan.crashed_at(NodeId(2), SimTime::from_secs(15)));
+    }
+
+    #[test]
+    fn crash_from_start() {
+        let plan = FaultPlan::new().crash_from_start([NodeId(0), NodeId(3)]);
+        assert!(plan.crashed_at(NodeId(0), SimTime::ZERO));
+        assert!(plan.crashed_at(NodeId(3), SimTime::from_secs(100)));
+        assert!(!plan.crashed_at(NodeId(1), SimTime::ZERO));
+    }
+
+    #[test]
+    fn repeated_crash_after_recovery() {
+        let plan = FaultPlan::new()
+            .crash(NodeId(1), SimTime::from_secs(10))
+            .recover(NodeId(1), SimTime::from_secs(20))
+            .crash(NodeId(1), SimTime::from_secs(30));
+        assert!(!plan.crashed_at(NodeId(1), SimTime::from_secs(25)));
+        assert!(plan.crashed_at(NodeId(1), SimTime::from_secs(31)));
+    }
+
+    #[test]
+    fn slowdown_applies_both_directions_within_window() {
+        let plan = FaultPlan::new().slowdown(SlowdownSpec {
+            node: NodeId(2),
+            from: SimTime::from_secs(1),
+            until: SimTime::from_secs(2),
+            extra: Duration::from_millis(100),
+        });
+        let t = SimTime::from_millis(1500);
+        assert_eq!(plan.slowdown_delay(NodeId(2), NodeId(0), t), Duration::from_millis(100));
+        assert_eq!(plan.slowdown_delay(NodeId(0), NodeId(2), t), Duration::from_millis(100));
+        assert_eq!(plan.slowdown_delay(NodeId(0), NodeId(1), t), Duration::ZERO);
+        assert_eq!(plan.slowdown_delay(NodeId(2), NodeId(0), SimTime::from_secs(3)), Duration::ZERO);
+    }
+
+    #[test]
+    fn overlapping_slowdowns_accumulate() {
+        let spec = |extra| SlowdownSpec {
+            node: NodeId(1),
+            from: SimTime::ZERO,
+            until: SimTime::MAX,
+            extra: Duration::from_millis(extra),
+        };
+        let plan = FaultPlan::new().slowdown(spec(50)).slowdown(spec(25));
+        assert_eq!(
+            plan.slowdown_delay(NodeId(1), NodeId(0), SimTime::from_secs(1)),
+            Duration::from_millis(75)
+        );
+    }
+
+    #[test]
+    fn partition_severs_cross_traffic_only() {
+        let p = PartitionSpec {
+            group_a: vec![NodeId(0), NodeId(1)],
+            group_b: vec![NodeId(2), NodeId(3)],
+            from: SimTime::from_secs(1),
+            until: SimTime::from_secs(5),
+        };
+        let plan = FaultPlan::new().partition(p);
+        let mid = SimTime::from_secs(2);
+        assert_eq!(plan.partition_release(NodeId(0), NodeId(2), mid), Some(SimTime::from_secs(5)));
+        assert_eq!(plan.partition_release(NodeId(3), NodeId(1), mid), Some(SimTime::from_secs(5)));
+        assert_eq!(plan.partition_release(NodeId(0), NodeId(1), mid), None);
+        assert_eq!(plan.partition_release(NodeId(0), NodeId(2), SimTime::from_secs(6)), None);
+        // A node outside both groups is unaffected.
+        assert_eq!(plan.partition_release(NodeId(0), NodeId(9), mid), None);
+    }
+}

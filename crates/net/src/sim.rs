@@ -1,0 +1,610 @@
+//! The deterministic discrete-event simulator.
+//!
+//! Protocol logic is written as [`Node`] state machines; the [`Simulator`]
+//! owns the clock, the pseudo-random source, the event queue, and the
+//! network model. Given the same seed and configuration, two runs produce
+//! bit-identical executions — the foundation for the reproducible
+//! experiments and the safety property tests.
+
+use crate::fault::FaultPlan;
+use crate::latency::LatencyModel;
+use crate::time::{Duration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Identifies a node within the simulation (dense indices `0..n`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A protocol state machine driven by the simulator.
+///
+/// Handlers receive a [`Context`] for sending messages, arming timers and
+/// reading the clock. Handlers must not block; all effects go through the
+/// context.
+pub trait Node {
+    /// The message type exchanged between nodes.
+    type Message: Clone;
+
+    /// Invoked once at simulation start (unless the node is crashed at t=0;
+    /// then it runs on recovery).
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Message>);
+
+    /// Invoked when a message arrives.
+    fn on_message(&mut self, from: NodeId, msg: Self::Message, ctx: &mut Context<'_, Self::Message>);
+
+    /// Invoked when a timer armed via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, Self::Message>);
+
+    /// Invoked when the node restarts after a crash.
+    ///
+    /// The default re-runs [`Node::on_start`]. Implementations modelling
+    /// real crash-recovery should discard volatile state and rebuild from
+    /// their persistent storage here.
+    fn on_restart(&mut self, ctx: &mut Context<'_, Self::Message>) {
+        self.on_start(ctx);
+    }
+}
+
+/// The effect interface handed to [`Node`] handlers.
+pub struct Context<'a, M> {
+    id: NodeId,
+    now: SimTime,
+    num_nodes: usize,
+    rng: &'a mut StdRng,
+    actions: Vec<Action<M>>,
+}
+
+pub(crate) enum Action<M> {
+    Send { to: NodeId, msg: M },
+    Timer { delay: Duration, token: u64 },
+}
+
+impl<'a, M: Clone> Context<'a, M> {
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of nodes in the simulation.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The deterministic random source (shared, seeded by the simulator).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Sends `msg` to `to` over the simulated network.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Sends `msg` to every *other* node. Self-delivery is the protocol's
+    /// job (processing a locally-created message directly is free and
+    /// avoids a queue round-trip).
+    pub fn broadcast(&mut self, msg: M) {
+        for i in 0..self.num_nodes {
+            if NodeId(i) != self.id {
+                self.actions.push(Action::Send { to: NodeId(i), msg: msg.clone() });
+            }
+        }
+    }
+
+    /// Arms a one-shot timer firing after `delay` with the given `token`.
+    ///
+    /// Timers cannot be cancelled; nodes ignore stale tokens (cheap and
+    /// keeps the event queue simple).
+    pub fn set_timer(&mut self, delay: Duration, token: u64) {
+        self.actions.push(Action::Timer { delay, token });
+    }
+
+    /// Constructs a context for the threaded runtime adapter.
+    pub(crate) fn for_runtime(id: NodeId, now: SimTime, num_nodes: usize, rng: &'a mut StdRng) -> Self {
+        Context { id, now, num_nodes, rng, actions: Vec::new() }
+    }
+
+    /// Drains the accumulated actions (threaded runtime adapter).
+    pub(crate) fn into_actions(self) -> Vec<Action<M>> {
+        self.actions
+    }
+}
+
+/// How the adversary treats messages before GST.
+#[derive(Clone, Debug)]
+pub struct PreGstAdversary {
+    /// Maximum extra delay added to each pre-GST message.
+    pub max_extra_delay: Duration,
+    /// Probability a pre-GST message is "lost" and only arrives via
+    /// retransmission at `GST + delta` (links stay reliable).
+    pub loss_probability: f64,
+}
+
+impl Default for PreGstAdversary {
+    fn default() -> Self {
+        PreGstAdversary {
+            max_extra_delay: Duration::from_millis(500),
+            loss_probability: 0.05,
+        }
+    }
+}
+
+/// Network model configuration.
+#[derive(Clone, Debug)]
+pub struct NetworkConfig {
+    /// Per-link latency model.
+    pub latency: LatencyModel,
+    /// Global Stabilization Time. Defaults to [`SimTime::ZERO`]
+    /// (synchronous from the start), which is the benchmark setting.
+    pub gst: SimTime,
+    /// Post-GST delivery bound Δ. Informational for protocols choosing
+    /// timeouts; the simulator's latency model should respect it.
+    pub delta: Duration,
+    /// Adversarial behaviour before GST.
+    pub pre_gst: PreGstAdversary,
+    /// Delay for a node's messages to itself (loopback), should any be sent.
+    pub loopback: Duration,
+    /// The fault schedule.
+    pub faults: FaultPlan,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            latency: LatencyModel::default(),
+            gst: SimTime::ZERO,
+            delta: Duration::from_millis(400),
+            pre_gst: PreGstAdversary::default(),
+            loopback: Duration::from_micros(50),
+            faults: FaultPlan::new(),
+        }
+    }
+}
+
+/// Counters describing a finished (or in-progress) run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Total events processed.
+    pub events: u64,
+    /// Messages delivered to live nodes.
+    pub delivered: u64,
+    /// Messages dropped because the destination was crashed.
+    pub dropped_crashed: u64,
+    /// Messages the pre-GST adversary deferred to `GST + delta`.
+    pub adversary_deferred: u64,
+}
+
+#[derive(Debug)]
+enum EventKind<M> {
+    Deliver { to: NodeId, from: NodeId, msg: M },
+    Timer { node: NodeId, token: u64 },
+    Crash(NodeId),
+    Recover(NodeId),
+}
+
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The deterministic discrete-event simulator.
+///
+/// See the crate docs for a complete example.
+pub struct Simulator<N: Node> {
+    nodes: Vec<N>,
+    crashed: Vec<bool>,
+    config: NetworkConfig,
+    queue: BinaryHeap<Reverse<Event<N::Message>>>,
+    now: SimTime,
+    seq: u64,
+    rng: StdRng,
+    stats: SimStats,
+    started: bool,
+}
+
+impl<N: Node> Simulator<N> {
+    /// Builds a simulator over `nodes` with the given network `config` and
+    /// deterministic `seed`.
+    pub fn new(nodes: Vec<N>, config: NetworkConfig, seed: u64) -> Self {
+        let n = nodes.len();
+        let mut sim = Simulator {
+            crashed: vec![false; n],
+            nodes,
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            rng: StdRng::seed_from_u64(seed),
+            stats: SimStats::default(),
+            started: false,
+            config,
+        };
+        // Crash/recovery schedules become ordinary events.
+        for &(node, at) in sim.config.faults.crashes().to_vec().iter() {
+            sim.push(at, EventKind::Crash(node));
+        }
+        for &(node, at) in sim.config.faults.recoveries().to_vec().iter() {
+            sim.push(at, EventKind::Recover(node));
+        }
+        sim
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Immutable access to a node (for post-run inspection).
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id.0]
+    }
+
+    /// Mutable access to a node (for harness wiring between phases).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id.0]
+    }
+
+    /// Iterates over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = &N> {
+        self.nodes.iter()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the simulation has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether `id` is currently crashed.
+    pub fn is_crashed(&self, id: NodeId) -> bool {
+        self.crashed[id.0]
+    }
+
+    /// Injects a raw message delivered to `to` at exactly `at` (no latency
+    /// model applied), appearing to come `from`. Used by tests and by
+    /// harnesses injecting external inputs.
+    pub fn schedule_message(&mut self, at: SimTime, from: NodeId, to: NodeId, msg: N::Message) {
+        self.push(at.max(self.now), EventKind::Deliver { to, from, msg });
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind<N::Message>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { at, seq, kind }));
+    }
+
+    /// Processes all events up to and including `deadline`, then advances
+    /// the clock to `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.ensure_started();
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            let Reverse(event) = self.queue.pop().expect("peeked");
+            self.now = event.at;
+            self.dispatch(event);
+        }
+        self.now = deadline;
+    }
+
+    /// Runs until the event queue drains or `deadline` passes; returns the
+    /// final simulation time. Useful for tests that want quiescence.
+    pub fn run_until_idle(&mut self, deadline: SimTime) -> SimTime {
+        self.ensure_started();
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > deadline {
+                self.now = deadline;
+                return self.now;
+            }
+            let Reverse(event) = self.queue.pop().expect("peeked");
+            self.now = event.at;
+            self.dispatch(event);
+        }
+        self.now
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        // Nodes crashed at t=0 don't start; they start on recovery.
+        for i in 0..self.nodes.len() {
+            if self.config.faults.crashed_at(NodeId(i), SimTime::ZERO) {
+                self.crashed[i] = true;
+            }
+        }
+        for i in 0..self.nodes.len() {
+            if !self.crashed[i] {
+                self.invoke(NodeId(i), |node, ctx| node.on_start(ctx));
+            }
+        }
+    }
+
+    fn dispatch(&mut self, event: Event<N::Message>) {
+        self.stats.events += 1;
+        match event.kind {
+            EventKind::Deliver { to, from, msg } => {
+                if self.crashed[to.0] {
+                    self.stats.dropped_crashed += 1;
+                    return;
+                }
+                self.stats.delivered += 1;
+                self.invoke(to, |node, ctx| node.on_message(from, msg, ctx));
+            }
+            EventKind::Timer { node, token } => {
+                if self.crashed[node.0] {
+                    return;
+                }
+                self.invoke(node, |n, ctx| n.on_timer(token, ctx));
+            }
+            EventKind::Crash(node) => {
+                self.crashed[node.0] = true;
+            }
+            EventKind::Recover(node) => {
+                if self.crashed[node.0] {
+                    self.crashed[node.0] = false;
+                    self.invoke(node, |n, ctx| n.on_restart(ctx));
+                }
+            }
+        }
+    }
+
+    fn invoke(&mut self, id: NodeId, f: impl FnOnce(&mut N, &mut Context<'_, N::Message>)) {
+        let mut ctx = Context {
+            id,
+            now: self.now,
+            num_nodes: self.nodes.len(),
+            rng: &mut self.rng,
+            actions: Vec::new(),
+        };
+        f(&mut self.nodes[id.0], &mut ctx);
+        let actions = ctx.actions;
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => self.route(id, to, msg),
+                Action::Timer { delay, token } => {
+                    let at = self.now + delay;
+                    self.push(at, EventKind::Timer { node: id, token });
+                }
+            }
+        }
+    }
+
+    /// Computes the delivery time of a message per the network model and
+    /// enqueues it.
+    fn route(&mut self, from: NodeId, to: NodeId, msg: N::Message) {
+        let base = if from == to {
+            self.config.loopback
+        } else {
+            self.config.latency.sample(from, to, &mut self.rng)
+        };
+        let delay = base + self.config.faults.slowdown_delay(from, to, self.now);
+        let mut at = self.now + delay;
+
+        if self.now < self.config.gst {
+            // Adversary-controlled period: arbitrary bounded extra delay,
+            // plus probabilistic deferral to GST + Δ ("lost" then
+            // retransmitted — links are reliable).
+            let extra = self.rng.gen_range(0..=self.config.pre_gst.max_extra_delay.as_micros());
+            at = self.now + delay + Duration::from_micros(extra);
+            if self.rng.gen::<f64>() < self.config.pre_gst.loss_probability {
+                self.stats.adversary_deferred += 1;
+                let resend = self.config.gst + self.config.delta;
+                at = at.max(resend);
+            }
+        }
+
+        if let Some(heal) = self.config.faults.partition_release(from, to, self.now) {
+            // Buffered until the partition heals, then delivered after one
+            // fresh link latency.
+            at = at.max(heal + base);
+        }
+
+        self.push(at, EventKind::Deliver { to, from, msg });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::SlowdownSpec;
+
+    /// Test node: replies "pong" to "ping"; records everything it sees.
+    struct Echo {
+        log: Vec<(SimTime, NodeId, &'static str)>,
+        timer_fired: Vec<u64>,
+        started: u32,
+    }
+
+    impl Echo {
+        fn new() -> Self {
+            Echo { log: Vec::new(), timer_fired: Vec::new(), started: 0 }
+        }
+    }
+
+    impl Node for Echo {
+        type Message = &'static str;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, Self::Message>) {
+            self.started += 1;
+            if ctx.id() == NodeId(0) {
+                ctx.broadcast("ping");
+                ctx.set_timer(Duration::from_millis(100), 7);
+            }
+        }
+
+        fn on_message(&mut self, from: NodeId, msg: Self::Message, ctx: &mut Context<'_, Self::Message>) {
+            self.log.push((ctx.now(), from, msg));
+            if msg == "ping" {
+                ctx.send(from, "pong");
+            }
+        }
+
+        fn on_timer(&mut self, token: u64, _ctx: &mut Context<'_, Self::Message>) {
+            self.timer_fired.push(token);
+        }
+    }
+
+    fn constant_net(ms: u64) -> NetworkConfig {
+        NetworkConfig {
+            latency: LatencyModel::Constant(Duration::from_millis(ms)),
+            ..NetworkConfig::default()
+        }
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let nodes = (0..3).map(|_| Echo::new()).collect();
+        let mut sim = Simulator::new(nodes, constant_net(10), 1);
+        sim.run_until(SimTime::from_secs(1));
+        // Nodes 1,2 each got one ping at t=10ms.
+        for i in 1..3 {
+            let log = &sim.node(NodeId(i)).log;
+            assert_eq!(log.len(), 1);
+            assert_eq!(log[0], (SimTime::from_millis(10), NodeId(0), "ping"));
+        }
+        // Node 0 got two pongs at t=20ms.
+        let log = &sim.node(NodeId(0)).log;
+        assert_eq!(log.len(), 2);
+        assert!(log.iter().all(|(t, _, m)| *t == SimTime::from_millis(20) && *m == "pong"));
+        assert_eq!(sim.node(NodeId(0)).timer_fired, vec![7]);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_execution() {
+        let run = |seed| {
+            let nodes = (0..5).map(|_| Echo::new()).collect();
+            let cfg = NetworkConfig {
+                latency: LatencyModel::Uniform(Duration::from_millis(1), Duration::from_millis(50)),
+                ..NetworkConfig::default()
+            };
+            let mut sim = Simulator::new(nodes, cfg, seed);
+            sim.run_until(SimTime::from_secs(1));
+            sim.nodes().map(|n| n.log.clone()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn crashed_node_receives_nothing_until_recovery() {
+        let nodes = (0..3).map(|_| Echo::new()).collect();
+        let mut cfg = constant_net(10);
+        cfg.faults = FaultPlan::new()
+            .crash(NodeId(1), SimTime::ZERO)
+            .recover(NodeId(1), SimTime::from_millis(500));
+        let mut sim = Simulator::new(nodes, cfg, 1);
+        sim.run_until(SimTime::from_secs(1));
+        // The ping at t=10ms was dropped; node 1 only started on recovery.
+        assert!(sim.node(NodeId(1)).log.is_empty());
+        assert_eq!(sim.node(NodeId(1)).started, 1);
+        assert_eq!(sim.stats().dropped_crashed, 1);
+        // Node 0 therefore got exactly one pong (from node 2).
+        assert_eq!(sim.node(NodeId(0)).log.len(), 1);
+    }
+
+    #[test]
+    fn slowdown_delays_messages() {
+        let nodes = (0..2).map(|_| Echo::new()).collect();
+        let mut cfg = constant_net(10);
+        cfg.faults = FaultPlan::new().slowdown(SlowdownSpec {
+            node: NodeId(1),
+            from: SimTime::ZERO,
+            until: SimTime::MAX,
+            extra: Duration::from_millis(90),
+        });
+        let mut sim = Simulator::new(nodes, cfg, 1);
+        sim.run_until(SimTime::from_secs(1));
+        // ping took 10 + 90 = 100ms.
+        assert_eq!(sim.node(NodeId(1)).log[0].0, SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn pre_gst_messages_arrive_by_gst_plus_delta() {
+        let nodes = (0..4).map(|_| Echo::new()).collect();
+        let cfg = NetworkConfig {
+            latency: LatencyModel::Constant(Duration::from_millis(10)),
+            gst: SimTime::from_secs(2),
+            delta: Duration::from_millis(400),
+            pre_gst: PreGstAdversary { max_extra_delay: Duration::from_millis(800), loss_probability: 0.5 },
+            ..NetworkConfig::default()
+        };
+        let mut sim = Simulator::new(nodes, cfg, 99);
+        sim.run_until(SimTime::from_secs(5));
+        let bound = SimTime::from_secs(2) + Duration::from_millis(400) + Duration::from_millis(900);
+        for i in 1..4 {
+            for (t, _, _) in &sim.node(NodeId(i)).log {
+                assert!(*t <= bound, "delivered at {t}");
+            }
+            assert_eq!(sim.node(NodeId(i)).log.len(), 1, "reliable delivery");
+        }
+    }
+
+    #[test]
+    fn schedule_message_injects_at_exact_time() {
+        let nodes = (0..2).map(|_| Echo::new()).collect();
+        let mut sim = Simulator::new(nodes, constant_net(10), 1);
+        sim.schedule_message(SimTime::from_millis(123), NodeId(99), NodeId(1), "external");
+        sim.run_until(SimTime::from_secs(1));
+        let log = &sim.node(NodeId(1)).log;
+        assert!(log.contains(&(SimTime::from_millis(123), NodeId(99), "external")));
+    }
+
+    #[test]
+    fn run_until_idle_stops_at_quiescence() {
+        let nodes = (0..2).map(|_| Echo::new()).collect();
+        let mut sim = Simulator::new(nodes, constant_net(10), 1);
+        let end = sim.run_until_idle(SimTime::from_secs(60));
+        // Last event is the 100ms timer on node 0.
+        assert_eq!(end, SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn clock_advances_to_deadline_even_without_events() {
+        let nodes: Vec<Echo> = vec![];
+        let mut sim: Simulator<Echo> = Simulator::new(nodes, constant_net(1), 0);
+        sim.run_until(SimTime::from_secs(3));
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+    }
+}

@@ -1,0 +1,268 @@
+//! Availability certificates: quorum-stake signed acknowledgments.
+
+use hh_crypto::Signature;
+use hh_types::codec::{Decoder, Encode};
+use hh_types::{Committee, Stake, TypeError, ValidatorId, VertexRef};
+use std::fmt;
+
+/// Domain-separation context for certificate acks.
+pub(crate) const ACK_CONTEXT: &[u8] = b"hammerhead-ack-v1";
+
+/// Why a certificate failed verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CertificateError {
+    /// An ack signer is not a committee member.
+    UnknownSigner(ValidatorId),
+    /// The same validator appears twice.
+    DuplicateSigner(ValidatorId),
+    /// An ack signature does not verify.
+    BadSignature(ValidatorId),
+    /// The combined signer stake is below quorum.
+    InsufficientStake {
+        /// Stake carried by the valid signers.
+        have: Stake,
+        /// The quorum threshold.
+        need: Stake,
+    },
+}
+
+impl fmt::Display for CertificateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertificateError::UnknownSigner(v) => write!(f, "unknown signer {v}"),
+            CertificateError::DuplicateSigner(v) => write!(f, "duplicate signer {v}"),
+            CertificateError::BadSignature(v) => write!(f, "bad ack signature from {v}"),
+            CertificateError::InsufficientStake { have, need } => {
+                write!(f, "certificate stake {have} below quorum {need}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CertificateError {}
+
+/// A quorum of signed acks over one vertex.
+///
+/// With honest validators acking at most one header per `(round, author)`,
+/// quorum intersection guarantees at most one certificate can form per
+/// `(round, author)` — this is what rules out equivocation in
+/// [`BroadcastMode::Certified`](crate::BroadcastMode::Certified).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Certificate {
+    vertex: VertexRef,
+    acks: Vec<(ValidatorId, Signature)>,
+}
+
+impl Certificate {
+    /// Assembles a certificate from collected acks (sorted by signer for a
+    /// canonical encoding).
+    pub fn new(vertex: VertexRef, mut acks: Vec<(ValidatorId, Signature)>) -> Self {
+        acks.sort_by_key(|(v, _)| *v);
+        Certificate { vertex, acks }
+    }
+
+    /// The certified vertex.
+    pub fn vertex(&self) -> VertexRef {
+        self.vertex
+    }
+
+    /// The signers and their ack signatures.
+    pub fn acks(&self) -> &[(ValidatorId, Signature)] {
+        &self.acks
+    }
+
+    /// Verifies every ack and the quorum-stake requirement.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CertificateError`] encountered; a certificate
+    /// failing any check must be discarded whole.
+    pub fn verify(&self, committee: &Committee) -> Result<(), CertificateError> {
+        let mut stake = Stake(0);
+        let mut last: Option<ValidatorId> = None;
+        for (signer, sig) in &self.acks {
+            if last == Some(*signer) {
+                return Err(CertificateError::DuplicateSigner(*signer));
+            }
+            last = Some(*signer);
+            let info = committee
+                .validator(*signer)
+                .map_err(|_| CertificateError::UnknownSigner(*signer))?;
+            if !info
+                .public_key()
+                .verify(ACK_CONTEXT, self.vertex.digest.as_bytes(), sig)
+            {
+                return Err(CertificateError::BadSignature(*signer));
+            }
+            stake += info.stake();
+        }
+        if stake < committee.quorum_threshold() {
+            return Err(CertificateError::InsufficientStake {
+                have: stake,
+                need: committee.quorum_threshold(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Encode for Certificate {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.vertex.encode(buf);
+        self.acks.encode(buf);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, TypeError> {
+        Ok(Certificate {
+            vertex: VertexRef::decode(d)?,
+            acks: Vec::<(ValidatorId, Signature)>::decode(d)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_types::codec::{decode_from_slice, encode_to_vec};
+    use hh_types::{Block, Round, Vertex};
+
+    fn setup() -> (Committee, VertexRef) {
+        let committee = Committee::new_equal_stake(4);
+        let v = Vertex::new(
+            Round(0),
+            ValidatorId(0),
+            Block::empty(),
+            vec![],
+            &committee.keypair(ValidatorId(0)),
+        );
+        (committee, v.reference())
+    }
+
+    fn ack(committee: &Committee, vref: &VertexRef, id: u16) -> (ValidatorId, Signature) {
+        let kp = committee.keypair(ValidatorId(id));
+        (ValidatorId(id), kp.sign(ACK_CONTEXT, vref.digest.as_bytes()))
+    }
+
+    #[test]
+    fn quorum_certificate_verifies() {
+        let (c, vref) = setup();
+        let acks = (0..3).map(|i| ack(&c, &vref, i)).collect();
+        assert_eq!(Certificate::new(vref, acks).verify(&c), Ok(()));
+    }
+
+    #[test]
+    fn sub_quorum_rejected() {
+        let (c, vref) = setup();
+        let acks = (0..2).map(|i| ack(&c, &vref, i)).collect();
+        assert!(matches!(
+            Certificate::new(vref, acks).verify(&c),
+            Err(CertificateError::InsufficientStake { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_signer_rejected() {
+        let (c, vref) = setup();
+        let a = ack(&c, &vref, 0);
+        let acks = vec![a.clone(), a, ack(&c, &vref, 1)];
+        assert!(matches!(
+            Certificate::new(vref, acks).verify(&c),
+            Err(CertificateError::DuplicateSigner(ValidatorId(0)))
+        ));
+    }
+
+    #[test]
+    fn forged_signature_rejected() {
+        let (c, vref) = setup();
+        // v2's "ack" signed with v3's key.
+        let forged = (
+            ValidatorId(2),
+            c.keypair(ValidatorId(3)).sign(ACK_CONTEXT, vref.digest.as_bytes()),
+        );
+        let acks = vec![ack(&c, &vref, 0), ack(&c, &vref, 1), forged];
+        assert!(matches!(
+            Certificate::new(vref, acks).verify(&c),
+            Err(CertificateError::BadSignature(ValidatorId(2)))
+        ));
+    }
+
+    #[test]
+    fn unknown_signer_rejected() {
+        let (c, vref) = setup();
+        let stray = (
+            ValidatorId(9),
+            hh_crypto::Keypair::from_seed(9).sign(ACK_CONTEXT, vref.digest.as_bytes()),
+        );
+        let acks = vec![ack(&c, &vref, 0), ack(&c, &vref, 1), stray];
+        assert!(matches!(
+            Certificate::new(vref, acks).verify(&c),
+            Err(CertificateError::UnknownSigner(ValidatorId(9)))
+        ));
+    }
+
+    #[test]
+    fn ack_for_other_vertex_rejected() {
+        let (c, vref) = setup();
+        let other = Vertex::new(
+            Round(0),
+            ValidatorId(1),
+            Block::empty(),
+            vec![],
+            &c.keypair(ValidatorId(1)),
+        )
+        .reference();
+        let mut acks: Vec<_> = (0..2).map(|i| ack(&c, &vref, i)).collect();
+        acks.push(ack(&c, &other, 2)); // ack over the wrong digest
+        assert!(matches!(
+            Certificate::new(vref, acks).verify(&c),
+            Err(CertificateError::BadSignature(ValidatorId(2)))
+        ));
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let (c, vref) = setup();
+        let acks = (0..3).map(|i| ack(&c, &vref, i)).collect();
+        let cert = Certificate::new(vref, acks);
+        let back: Certificate = decode_from_slice(&encode_to_vec(&cert)).unwrap();
+        assert_eq!(cert, back);
+        assert_eq!(back.verify(&c), Ok(()));
+    }
+
+    #[test]
+    fn weighted_stake_quorum() {
+        // One whale (stake 7 of 10) plus one ack passes; whale alone passes
+        // quorum = 2*10/3+1 = 7? 7 >= 7 yes — whale alone certifies.
+        let committee = hh_types::CommitteeBuilder::new()
+            .add(Stake(7))
+            .add(Stake(1))
+            .add(Stake(1))
+            .add(Stake(1))
+            .build()
+            .unwrap();
+        let v = Vertex::new(
+            Round(0),
+            ValidatorId(1),
+            Block::empty(),
+            vec![],
+            &committee.keypair(ValidatorId(1)),
+        );
+        let vref = v.reference();
+        let whale_ack = (
+            ValidatorId(0),
+            committee.keypair(ValidatorId(0)).sign(ACK_CONTEXT, vref.digest.as_bytes()),
+        );
+        assert_eq!(Certificate::new(vref, vec![whale_ack]).verify(&committee), Ok(()));
+        // Three small validators (stake 3) do not.
+        let smalls: Vec<_> = (1..4)
+            .map(|i| {
+                (
+                    ValidatorId(i),
+                    committee
+                        .keypair(ValidatorId(i))
+                        .sign(ACK_CONTEXT, vref.digest.as_bytes()),
+                )
+            })
+            .collect();
+        assert!(Certificate::new(vref, smalls).verify(&committee).is_err());
+    }
+}

@@ -1,0 +1,771 @@
+//! The broadcast layer state machine.
+
+use crate::cert::{Certificate, ACK_CONTEXT};
+use hh_crypto::{Digest, Keypair, Signature};
+use hh_dag::{Dag, DagError, InsertOutcome};
+use hh_types::{Committee, Round, Stake, ValidatorId, Vertex, VertexRef};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Maximum vertices returned per sync response (keeps messages bounded).
+const SYNC_RESPONSE_CAP: usize = 128;
+
+/// Maximum vertices buffered while awaiting ancestry.
+const PENDING_CAP: usize = 10_000;
+
+/// Which reliable-broadcast instantiation to run (see crate docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BroadcastMode {
+    /// Push + pull-based sync; sufficient under crash faults.
+    BestEffort,
+    /// Header → quorum acks → certificate; prevents equivocation.
+    Certified,
+}
+
+/// Wire messages exchanged by the broadcast layer.
+#[derive(Clone, Debug)]
+pub enum RbcMessage {
+    /// Best-effort vertex push.
+    Vertex(Vertex),
+    /// Certified mode: header proposal awaiting acks.
+    Propose(Vertex),
+    /// Certified mode: signed acknowledgment of a proposal.
+    Ack {
+        /// The acknowledged vertex.
+        vertex: VertexRef,
+        /// Signature over the vertex digest under the ack context.
+        sig: Signature,
+    },
+    /// Certified mode: a vertex together with its availability certificate.
+    Certified(Vertex, Certificate),
+    /// Pull request for missing vertices by digest.
+    SyncRequest(Vec<Digest>),
+    /// Response carrying vertices (with certificates in certified mode).
+    SyncResponse(Vec<(Vertex, Option<Certificate>)>),
+}
+
+/// The outputs of one layer invocation.
+#[derive(Debug, Default)]
+pub struct RbcEffects {
+    /// Vertices newly *delivered*: inserted into the DAG with complete
+    /// ancestry, in insertion order. Feed these to consensus.
+    pub delivered: Vec<Arc<Vertex>>,
+    /// Point-to-point messages to send.
+    pub send: Vec<(ValidatorId, RbcMessage)>,
+    /// Messages to broadcast to every other validator.
+    pub broadcast: Vec<RbcMessage>,
+}
+
+impl RbcEffects {
+    fn merge(&mut self, other: RbcEffects) {
+        self.delivered.extend(other.delivered);
+        self.send.extend(other.send);
+        self.broadcast.extend(other.broadcast);
+    }
+}
+
+struct PendingProposal {
+    vertex: Vertex,
+    acks: BTreeMap<ValidatorId, Signature>,
+    certified: bool,
+}
+
+/// The reliable-broadcast state machine for one validator.
+///
+/// See the crate-level example for usage.
+pub struct Rbc {
+    committee: Committee,
+    me: ValidatorId,
+    keypair: Keypair,
+    mode: BroadcastMode,
+    /// Vertices validated but awaiting ancestry: digest → (vertex, cert).
+    pending: HashMap<Digest, (Vertex, Option<Certificate>)>,
+    /// missing parent digest → digests of pending children waiting on it.
+    missing_index: HashMap<Digest, Vec<Digest>>,
+    /// pending child digest → number of parents still missing.
+    missing_count: HashMap<Digest, usize>,
+    /// Outstanding sync requests: missing digest → retry attempts.
+    requested: HashMap<Digest, u32>,
+    /// Certified mode, author side: my proposals collecting acks.
+    proposals: BTreeMap<Round, PendingProposal>,
+    /// Certified mode, voter side: first header acked per (round, author).
+    acked: HashMap<(Round, ValidatorId), Digest>,
+    /// Certificates for vertices we accepted (served in sync responses).
+    certs: HashMap<Digest, Certificate>,
+    /// Statistics: equivocation attempts observed at this layer.
+    equivocation_attempts: u64,
+}
+
+impl Rbc {
+    /// Creates the layer for validator `me`.
+    pub fn new(committee: Committee, me: ValidatorId, mode: BroadcastMode) -> Self {
+        let keypair = committee.keypair(me);
+        Rbc {
+            committee,
+            me,
+            keypair,
+            mode,
+            pending: HashMap::new(),
+            missing_index: HashMap::new(),
+            missing_count: HashMap::new(),
+            requested: HashMap::new(),
+            proposals: BTreeMap::new(),
+            acked: HashMap::new(),
+            certs: HashMap::new(),
+            equivocation_attempts: 0,
+        }
+    }
+
+    /// The broadcast mode in force.
+    pub fn mode(&self) -> BroadcastMode {
+        self.mode
+    }
+
+    /// Number of vertices buffered awaiting ancestry.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Equivocation attempts observed (second distinct header per round).
+    pub fn equivocation_attempts(&self) -> u64 {
+        self.equivocation_attempts
+    }
+
+    /// Broadcasts this validator's own `vertex`.
+    ///
+    /// Best-effort mode delivers it locally at once; certified mode holds it
+    /// until quorum acks arrive (self-ack included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the validator constructed a structurally invalid vertex for
+    /// its own DAG — a local programming error, never a remote fault.
+    pub fn broadcast_own(&mut self, vertex: Vertex, dag: &mut Dag) -> RbcEffects {
+        let mut fx = RbcEffects::default();
+        match self.mode {
+            BroadcastMode::BestEffort => {
+                match dag.try_insert(vertex.clone()) {
+                    Ok(_) => {}
+                    Err(e) => panic!("own vertex rejected by local dag: {e}"),
+                }
+                fx.delivered
+                    .push(dag.get(&vertex.digest()).expect("just inserted").clone());
+                fx.broadcast.push(RbcMessage::Vertex(vertex));
+                // Our vertex may unblock buffered children (possible after
+                // crash-recovery replays).
+                let cascade = self.cascade_from(fx.delivered[0].digest(), dag);
+                fx.merge(cascade);
+            }
+            BroadcastMode::Certified => {
+                let round = vertex.round();
+                let vref = vertex.reference();
+                let self_sig = self.keypair.sign(ACK_CONTEXT, vref.digest.as_bytes());
+                let mut acks = BTreeMap::new();
+                acks.insert(self.me, self_sig);
+                self.acked.insert((round, self.me), vref.digest);
+                self.proposals
+                    .insert(round, PendingProposal { vertex: vertex.clone(), acks, certified: false });
+                fx.broadcast.push(RbcMessage::Propose(vertex));
+                // Degenerate committees (or whales) may self-certify.
+                let done = self.try_finalize_proposal(round, dag);
+                fx.merge(done);
+            }
+        }
+        fx
+    }
+
+    /// Processes an incoming broadcast-layer message from `from`.
+    pub fn handle(&mut self, from: ValidatorId, msg: RbcMessage, dag: &mut Dag) -> RbcEffects {
+        match msg {
+            RbcMessage::Vertex(v) => {
+                if self.mode != BroadcastMode::BestEffort {
+                    return RbcEffects::default();
+                }
+                if !self.author_signature_ok(&v) {
+                    return RbcEffects::default();
+                }
+                self.accept(v, None, dag)
+            }
+            RbcMessage::Propose(v) => self.on_propose(v),
+            RbcMessage::Ack { vertex, sig } => self.on_ack(from, vertex, sig, dag),
+            RbcMessage::Certified(v, cert) => {
+                if self.mode != BroadcastMode::Certified {
+                    return RbcEffects::default();
+                }
+                if !self.author_signature_ok(&v) || cert.vertex().digest != v.digest() {
+                    return RbcEffects::default();
+                }
+                if cert.verify(&self.committee).is_err() {
+                    return RbcEffects::default();
+                }
+                self.accept(v, Some(cert), dag)
+            }
+            RbcMessage::SyncRequest(digests) => self.on_sync_request(from, digests, dag),
+            RbcMessage::SyncResponse(pairs) => {
+                let mut fx = RbcEffects::default();
+                for (v, cert) in pairs {
+                    if !self.author_signature_ok(&v) {
+                        continue;
+                    }
+                    match (self.mode, cert) {
+                        (BroadcastMode::BestEffort, _) => fx.merge(self.accept(v, None, dag)),
+                        (BroadcastMode::Certified, Some(cert)) => {
+                            if cert.vertex().digest == v.digest()
+                                && cert.verify(&self.committee).is_ok()
+                            {
+                                fx.merge(self.accept(v, Some(cert), dag));
+                            }
+                        }
+                        (BroadcastMode::Certified, None) => {}
+                    }
+                }
+                fx
+            }
+        }
+    }
+
+    /// Periodic maintenance: re-request still-missing ancestry (rotating
+    /// targets), re-broadcast own uncertified proposals, and prune state
+    /// below the DAG's GC horizon. Call every few hundred milliseconds.
+    pub fn tick(&mut self, dag: &Dag) -> RbcEffects {
+        let mut fx = RbcEffects::default();
+        // Re-request missing digests from a rotating peer. Iteration is
+        // sorted (the map is a hash map) so runs are deterministic.
+        let me = self.me;
+        let n = self.committee.size() as u64;
+        let mut by_peer: BTreeMap<ValidatorId, Vec<Digest>> = BTreeMap::new();
+        let mut missing: Vec<Digest> = self.requested.keys().copied().collect();
+        missing.sort();
+        for digest in missing {
+            let attempts = self.requested.get_mut(&digest).expect("present");
+            *attempts += 1;
+            let peer = rotate_peer(me, n, &digest, *attempts);
+            by_peer.entry(peer).or_default().push(digest);
+        }
+        for (peer, digests) in by_peer {
+            fx.send.push((peer, RbcMessage::SyncRequest(digests)));
+        }
+        // Re-broadcast uncertified proposals (pre-GST losses).
+        for p in self.proposals.values() {
+            if !p.certified {
+                fx.broadcast.push(RbcMessage::Propose(p.vertex.clone()));
+            }
+        }
+        // Prune below GC.
+        let gc = dag.gc_round();
+        self.acked.retain(|(round, _), _| *round >= gc);
+        self.proposals.retain(|round, _| *round >= gc);
+        self.certs.retain(|d, _| dag.contains(d));
+        let stale: Vec<Digest> = self
+            .pending
+            .iter()
+            .filter(|(_, (v, _))| v.round() < gc)
+            .map(|(d, _)| *d)
+            .collect();
+        for d in stale {
+            self.drop_pending(&d);
+        }
+        fx
+    }
+
+    fn author_signature_ok(&self, v: &Vertex) -> bool {
+        match self.committee.validator(v.author()) {
+            Ok(info) => v.verify(info.public_key()),
+            Err(_) => false,
+        }
+    }
+
+    fn on_propose(&mut self, v: Vertex) -> RbcEffects {
+        let mut fx = RbcEffects::default();
+        if self.mode != BroadcastMode::Certified || !self.author_signature_ok(&v) {
+            return fx;
+        }
+        let key = (v.round(), v.author());
+        match self.acked.get(&key) {
+            Some(prev) if *prev != v.digest() => {
+                // Second distinct header this round: equivocation attempt.
+                self.equivocation_attempts += 1;
+                return fx;
+            }
+            _ => {}
+        }
+        self.acked.insert(key, v.digest());
+        let sig = self.keypair.sign(ACK_CONTEXT, v.digest().as_bytes());
+        fx.send
+            .push((v.author(), RbcMessage::Ack { vertex: v.reference(), sig }));
+        fx
+    }
+
+    fn on_ack(&mut self, from: ValidatorId, vref: VertexRef, sig: Signature, dag: &mut Dag) -> RbcEffects {
+        if self.mode != BroadcastMode::Certified {
+            return RbcEffects::default();
+        }
+        let Ok(info) = self.committee.validator(from) else {
+            return RbcEffects::default();
+        };
+        if !info.public_key().verify(ACK_CONTEXT, vref.digest.as_bytes(), &sig) {
+            return RbcEffects::default();
+        }
+        let Some(p) = self.proposals.get_mut(&vref.round) else {
+            return RbcEffects::default();
+        };
+        if p.certified || p.vertex.digest() != vref.digest {
+            return RbcEffects::default();
+        }
+        p.acks.insert(from, sig);
+        self.try_finalize_proposal(vref.round, dag)
+    }
+
+    /// If the proposal for `round` has quorum acks, certify, deliver
+    /// locally, and broadcast.
+    fn try_finalize_proposal(&mut self, round: Round, dag: &mut Dag) -> RbcEffects {
+        let mut fx = RbcEffects::default();
+        let Some(p) = self.proposals.get_mut(&round) else {
+            return fx;
+        };
+        if p.certified {
+            return fx;
+        }
+        let stake: Stake = p.acks.keys().map(|v| self.committee.stake_of(*v)).sum();
+        if stake < self.committee.quorum_threshold() {
+            return fx;
+        }
+        p.certified = true;
+        let vertex = p.vertex.clone();
+        let cert = Certificate::new(
+            vertex.reference(),
+            p.acks.iter().map(|(v, s)| (*v, *s)).collect(),
+        );
+        debug_assert!(cert.verify(&self.committee).is_ok());
+        fx.broadcast
+            .push(RbcMessage::Certified(vertex.clone(), cert.clone()));
+        fx.merge(self.accept(vertex, Some(cert), dag));
+        fx
+    }
+
+    /// Validated-vertex intake: insert, or buffer + request missing
+    /// ancestry. Cascades over buffered children on success.
+    fn accept(&mut self, vertex: Vertex, cert: Option<Certificate>, dag: &mut Dag) -> RbcEffects {
+        let mut fx = RbcEffects::default();
+        let mut queue: VecDeque<(Vertex, Option<Certificate>)> = VecDeque::new();
+        queue.push_back((vertex, cert));
+
+        while let Some((v, cert)) = queue.pop_front() {
+            let digest = v.digest();
+            let author = v.author();
+            match dag.try_insert(v.clone()) {
+                Ok(InsertOutcome::Inserted) => {
+                    if let Some(c) = cert {
+                        self.certs.insert(digest, c);
+                    }
+                    self.requested.remove(&digest);
+                    fx.delivered.push(dag.get(&digest).expect("just inserted").clone());
+                    // Unblock children waiting on this digest.
+                    if let Some(children) = self.missing_index.remove(&digest) {
+                        for child in children {
+                            let ready = match self.missing_count.get_mut(&child) {
+                                Some(count) => {
+                                    *count = count.saturating_sub(1);
+                                    *count == 0
+                                }
+                                None => false,
+                            };
+                            if ready {
+                                self.missing_count.remove(&child);
+                                if let Some((cv, ccert)) = self.pending.remove(&child) {
+                                    queue.push_back((cv, ccert));
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(InsertOutcome::AlreadyPresent) => {
+                    self.requested.remove(&digest);
+                }
+                Err(DagError::MissingParents(missing)) => {
+                    if self.pending.len() >= PENDING_CAP {
+                        self.evict_one_pending();
+                    }
+                    if self.pending.contains_key(&digest) {
+                        continue;
+                    }
+                    self.pending.insert(digest, (v, cert));
+                    self.missing_count.insert(digest, missing.len());
+                    let mut to_request = Vec::new();
+                    for m in &missing {
+                        self.missing_index.entry(*m).or_default().push(digest);
+                        if !self.requested.contains_key(m) && !self.pending.contains_key(m) {
+                            self.requested.insert(*m, 0);
+                            to_request.push(*m);
+                        }
+                    }
+                    if !to_request.is_empty() {
+                        // First ask the child's author: Claim 1 guarantees
+                        // it holds the full ancestry.
+                        fx.send.push((author, RbcMessage::SyncRequest(to_request)));
+                    }
+                }
+                Err(DagError::Equivocation { .. }) => {
+                    self.equivocation_attempts += 1;
+                }
+                Err(_) => {
+                    // Structurally invalid or below GC: drop.
+                }
+            }
+        }
+        fx
+    }
+
+    /// Re-run the cascade as if `digest` was just inserted (used after
+    /// crash-recovery replay inserts vertices directly into the DAG).
+    fn cascade_from(&mut self, digest: Digest, dag: &mut Dag) -> RbcEffects {
+        let mut fx = RbcEffects::default();
+        if let Some(children) = self.missing_index.remove(&digest) {
+            for child in children {
+                let ready = match self.missing_count.get_mut(&child) {
+                    Some(count) => {
+                        *count = count.saturating_sub(1);
+                        *count == 0
+                    }
+                    None => false,
+                };
+                if ready {
+                    self.missing_count.remove(&child);
+                    if let Some((cv, ccert)) = self.pending.remove(&child) {
+                        fx.merge(self.accept(cv, ccert, dag));
+                    }
+                }
+            }
+        }
+        fx
+    }
+
+    fn on_sync_request(&self, from: ValidatorId, digests: Vec<Digest>, dag: &Dag) -> RbcEffects {
+        let mut fx = RbcEffects::default();
+        let mut found: Vec<(Vertex, Option<Certificate>)> = Vec::new();
+        for d in digests.into_iter().take(SYNC_RESPONSE_CAP) {
+            if let Some(v) = dag.get(&d) {
+                let cert = self.certs.get(&d).cloned();
+                if self.mode == BroadcastMode::Certified && cert.is_none() {
+                    continue; // cannot prove availability without the cert
+                }
+                found.push(((**v).clone(), cert));
+            }
+        }
+        if !found.is_empty() {
+            // Parents first, so the receiver can insert without buffering.
+            found.sort_by_key(|(v, _)| v.round());
+            fx.send.push((from, RbcMessage::SyncResponse(found)));
+        }
+        fx
+    }
+
+    fn evict_one_pending(&mut self) {
+        if let Some(victim) = self
+            .pending
+            .iter()
+            .min_by_key(|(_, (v, _))| v.round())
+            .map(|(d, _)| *d)
+        {
+            self.drop_pending(&victim);
+        }
+    }
+
+    fn drop_pending(&mut self, digest: &Digest) {
+        self.pending.remove(digest);
+        self.missing_count.remove(digest);
+        for waiters in self.missing_index.values_mut() {
+            waiters.retain(|d| d != digest);
+        }
+        self.missing_index.retain(|_, w| !w.is_empty());
+    }
+}
+
+/// Deterministic retry-target rotation for sync requests, seeded by the
+/// missing digest so different validators probe different peers.
+fn rotate_peer(me: ValidatorId, n: u64, digest: &Digest, attempts: u32) -> ValidatorId {
+    let mut idx = (digest.prefix_u64().wrapping_add(attempts as u64)) % n;
+    if idx == me.0 as u64 {
+        idx = (idx + 1) % n;
+    }
+    ValidatorId(idx as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_types::Block;
+
+    fn committee4() -> Committee {
+        Committee::new_equal_stake(4)
+    }
+
+    fn make_vertex(c: &Committee, round: u64, author: u16, parents: Vec<Digest>) -> Vertex {
+        Vertex::new(
+            Round(round),
+            ValidatorId(author),
+            Block::empty(),
+            parents,
+            &c.keypair(ValidatorId(author)),
+        )
+    }
+
+    /// Builds one node's (rbc, dag) pair.
+    fn node(c: &Committee, id: u16, mode: BroadcastMode) -> (Rbc, Dag) {
+        (Rbc::new(c.clone(), ValidatorId(id), mode), Dag::new(c.clone()))
+    }
+
+    #[test]
+    fn best_effort_push_delivers() {
+        let c = committee4();
+        let (mut rbc0, mut dag0) = node(&c, 0, BroadcastMode::BestEffort);
+        let (mut rbc1, mut dag1) = node(&c, 1, BroadcastMode::BestEffort);
+
+        let v = make_vertex(&c, 0, 0, vec![]);
+        let fx = rbc0.broadcast_own(v.clone(), &mut dag0);
+        assert_eq!(fx.delivered.len(), 1);
+        assert_eq!(fx.broadcast.len(), 1);
+
+        let fx1 = rbc1.handle(ValidatorId(0), fx.broadcast[0].clone(), &mut dag1);
+        assert_eq!(fx1.delivered.len(), 1);
+        assert!(dag1.contains(&v.digest()));
+    }
+
+    #[test]
+    fn tampered_vertex_rejected() {
+        let c = committee4();
+        let (mut rbc1, mut dag1) = node(&c, 1, BroadcastMode::BestEffort);
+        // Signed with the wrong key: author claims v0 but signs with v2.
+        let forged = Vertex::new(
+            Round(0),
+            ValidatorId(0),
+            Block::empty(),
+            vec![],
+            &c.keypair(ValidatorId(2)),
+        );
+        let fx = rbc1.handle(ValidatorId(0), RbcMessage::Vertex(forged), &mut dag1);
+        assert!(fx.delivered.is_empty());
+        assert!(dag1.is_empty());
+    }
+
+    #[test]
+    fn missing_ancestry_buffers_and_requests() {
+        let c = committee4();
+        let (mut rbc1, mut dag1) = node(&c, 1, BroadcastMode::BestEffort);
+
+        // Build rounds 0-1 externally.
+        let genesis: Vec<Vertex> = (0..4).map(|i| make_vertex(&c, 0, i, vec![])).collect();
+        let parents: Vec<Digest> = genesis.iter().map(|v| v.digest()).collect();
+        let child = make_vertex(&c, 1, 0, parents.clone());
+
+        // Child arrives before its parents.
+        let fx = rbc1.handle(ValidatorId(0), RbcMessage::Vertex(child.clone()), &mut dag1);
+        assert!(fx.delivered.is_empty());
+        assert_eq!(rbc1.pending_len(), 1);
+        // A sync request went to the child's author.
+        assert!(matches!(
+            &fx.send[..],
+            [(ValidatorId(0), RbcMessage::SyncRequest(missing))] if missing.len() == 4
+        ));
+
+        // Parents arrive (out of order); child cascades in at the end.
+        let mut delivered = 0;
+        for g in genesis.iter().rev() {
+            let fx = rbc1.handle(ValidatorId(0), RbcMessage::Vertex(g.clone()), &mut dag1);
+            delivered += fx.delivered.len();
+        }
+        assert_eq!(delivered, 5, "4 parents + cascaded child");
+        assert!(dag1.contains(&child.digest()));
+        assert_eq!(rbc1.pending_len(), 0);
+    }
+
+    #[test]
+    fn sync_request_answered_parents_first() {
+        let c = committee4();
+        let (mut rbc0, mut dag0) = node(&c, 0, BroadcastMode::BestEffort);
+        let genesis: Vec<Vertex> = (0..4).map(|i| make_vertex(&c, 0, i, vec![])).collect();
+        for g in &genesis {
+            rbc0.handle(ValidatorId(g.author().0), RbcMessage::Vertex(g.clone()), &mut dag0);
+        }
+        let parents: Vec<Digest> = genesis.iter().map(|v| v.digest()).collect();
+        let child = make_vertex(&c, 1, 0, parents.clone());
+        rbc0.broadcast_own(child.clone(), &mut dag0);
+
+        let mut wanted = vec![child.digest()];
+        wanted.extend(parents.clone());
+        let fx = rbc0.handle(ValidatorId(2), RbcMessage::SyncRequest(wanted), &mut dag0);
+        match &fx.send[..] {
+            [(ValidatorId(2), RbcMessage::SyncResponse(pairs))] => {
+                assert_eq!(pairs.len(), 5);
+                // Rounds ascend, so a receiver can insert directly.
+                let rounds: Vec<u64> = pairs.iter().map(|(v, _)| v.round().0).collect();
+                let mut sorted = rounds.clone();
+                sorted.sort();
+                assert_eq!(rounds, sorted);
+            }
+            other => panic!("unexpected effects {other:?}"),
+        }
+    }
+
+    #[test]
+    fn certified_flow_produces_certificate() {
+        let c = committee4();
+        let (mut rbc0, mut dag0) = node(&c, 0, BroadcastMode::Certified);
+        let v = make_vertex(&c, 0, 0, vec![]);
+        let fx = rbc0.broadcast_own(v.clone(), &mut dag0);
+        // Not yet certified: only a proposal went out.
+        assert!(fx.delivered.is_empty());
+        assert!(matches!(&fx.broadcast[..], [RbcMessage::Propose(_)]));
+
+        // Voters 1 and 2 ack.
+        let mut acks = Vec::new();
+        for i in 1..=2u16 {
+            let (mut rbc_i, mut dag_i) = node(&c, i, BroadcastMode::Certified);
+            let fx_i = rbc_i.handle(ValidatorId(0), fx.broadcast[0].clone(), &mut dag_i);
+            assert_eq!(fx_i.send.len(), 1);
+            acks.push(fx_i.send[0].1.clone());
+        }
+
+        // First ack: still below quorum (self + 1 = 2 < 3).
+        let fx1 = rbc0.handle(ValidatorId(1), acks[0].clone(), &mut dag0);
+        assert!(fx1.delivered.is_empty());
+        // Second ack: quorum reached; vertex delivered + Certified broadcast.
+        let fx2 = rbc0.handle(ValidatorId(2), acks[1].clone(), &mut dag0);
+        assert_eq!(fx2.delivered.len(), 1);
+        let certified = fx2
+            .broadcast
+            .iter()
+            .find(|m| matches!(m, RbcMessage::Certified(_, _)))
+            .expect("certified broadcast");
+
+        // A fourth node accepts the certified vertex directly.
+        let (mut rbc3, mut dag3) = node(&c, 3, BroadcastMode::Certified);
+        let fx3 = rbc3.handle(ValidatorId(0), certified.clone(), &mut dag3);
+        assert_eq!(fx3.delivered.len(), 1);
+        assert!(dag3.contains(&v.digest()));
+    }
+
+    #[test]
+    fn certified_mode_blocks_equivocation() {
+        let c = committee4();
+        let (mut rbc1, mut dag1) = node(&c, 1, BroadcastMode::Certified);
+        let v_a = make_vertex(&c, 0, 0, vec![]);
+        let v_b = Vertex::new(
+            Round(0),
+            ValidatorId(0),
+            Block::new(vec![hh_types::Transaction::new(9, 9, 9)]),
+            vec![],
+            &c.keypair(ValidatorId(0)),
+        );
+        assert_ne!(v_a.digest(), v_b.digest());
+
+        let fx_a = rbc1.handle(ValidatorId(0), RbcMessage::Propose(v_a.clone()), &mut dag1);
+        assert_eq!(fx_a.send.len(), 1, "first header acked");
+        let fx_b = rbc1.handle(ValidatorId(0), RbcMessage::Propose(v_b), &mut dag1);
+        assert!(fx_b.send.is_empty(), "second distinct header refused");
+        assert_eq!(rbc1.equivocation_attempts(), 1);
+        // Re-proposing the same first header is fine (retransmission).
+        let fx_a2 = rbc1.handle(ValidatorId(0), RbcMessage::Propose(v_a), &mut dag1);
+        assert_eq!(fx_a2.send.len(), 1);
+    }
+
+    #[test]
+    fn uncertified_vertex_push_ignored_in_certified_mode() {
+        let c = committee4();
+        let (mut rbc1, mut dag1) = node(&c, 1, BroadcastMode::Certified);
+        let v = make_vertex(&c, 0, 0, vec![]);
+        let fx = rbc1.handle(ValidatorId(0), RbcMessage::Vertex(v), &mut dag1);
+        assert!(fx.delivered.is_empty());
+        assert!(dag1.is_empty());
+    }
+
+    #[test]
+    fn forged_ack_ignored() {
+        let c = committee4();
+        let (mut rbc0, mut dag0) = node(&c, 0, BroadcastMode::Certified);
+        let v = make_vertex(&c, 0, 0, vec![]);
+        rbc0.broadcast_own(v.clone(), &mut dag0);
+        // Ack "from v1" signed by v3's key.
+        let bad_sig = c.keypair(ValidatorId(3)).sign(ACK_CONTEXT, v.digest().as_bytes());
+        let fx = rbc0.handle(
+            ValidatorId(1),
+            RbcMessage::Ack { vertex: v.reference(), sig: bad_sig },
+            &mut dag0,
+        );
+        assert!(fx.delivered.is_empty());
+        // Legit acks from v1 and v2 still certify (forgery left no trace).
+        for i in 1..=2u16 {
+            let sig = c.keypair(ValidatorId(i)).sign(ACK_CONTEXT, v.digest().as_bytes());
+            rbc0.handle(ValidatorId(i), RbcMessage::Ack { vertex: v.reference(), sig }, &mut dag0);
+        }
+        assert!(dag0.contains(&v.digest()));
+    }
+
+    #[test]
+    fn integrity_no_double_delivery() {
+        let c = committee4();
+        let (mut rbc1, mut dag1) = node(&c, 1, BroadcastMode::BestEffort);
+        let v = make_vertex(&c, 0, 0, vec![]);
+        let fx1 = rbc1.handle(ValidatorId(0), RbcMessage::Vertex(v.clone()), &mut dag1);
+        let fx2 = rbc1.handle(ValidatorId(0), RbcMessage::Vertex(v.clone()), &mut dag1);
+        assert_eq!(fx1.delivered.len(), 1);
+        assert!(fx2.delivered.is_empty(), "duplicate push must not re-deliver");
+    }
+
+    #[test]
+    fn tick_rerequests_missing_from_rotating_peers() {
+        let c = committee4();
+        let (mut rbc1, mut dag1) = node(&c, 1, BroadcastMode::BestEffort);
+        let genesis: Vec<Vertex> = (0..4).map(|i| make_vertex(&c, 0, i, vec![])).collect();
+        let parents: Vec<Digest> = genesis.iter().map(|v| v.digest()).collect();
+        let child = make_vertex(&c, 1, 0, parents);
+        rbc1.handle(ValidatorId(0), RbcMessage::Vertex(child), &mut dag1);
+
+        let mut peers = std::collections::HashSet::new();
+        for _ in 0..6 {
+            let fx = rbc1.tick(&dag1);
+            for (peer, msg) in fx.send {
+                assert!(matches!(msg, RbcMessage::SyncRequest(_)));
+                assert_ne!(peer, ValidatorId(1), "never sync from self");
+                peers.insert(peer);
+            }
+        }
+        assert!(peers.len() > 1, "targets rotate: {peers:?}");
+    }
+
+    #[test]
+    fn tick_rebroadcasts_uncertified_proposals() {
+        let c = committee4();
+        let (mut rbc0, mut dag0) = node(&c, 0, BroadcastMode::Certified);
+        let v = make_vertex(&c, 0, 0, vec![]);
+        rbc0.broadcast_own(v.clone(), &mut dag0);
+        let fx = rbc0.tick(&dag0);
+        assert!(
+            fx.broadcast.iter().any(|m| matches!(m, RbcMessage::Propose(_))),
+            "uncertified proposal re-broadcast"
+        );
+        // Certify it; tick stops re-broadcasting.
+        for i in 1..=2u16 {
+            let sig = c.keypair(ValidatorId(i)).sign(ACK_CONTEXT, v.digest().as_bytes());
+            rbc0.handle(ValidatorId(i), RbcMessage::Ack { vertex: v.reference(), sig }, &mut dag0);
+        }
+        let fx = rbc0.tick(&dag0);
+        assert!(!fx.broadcast.iter().any(|m| matches!(m, RbcMessage::Propose(_))));
+    }
+
+    #[test]
+    fn late_ack_after_certification_ignored() {
+        let c = committee4();
+        let (mut rbc0, mut dag0) = node(&c, 0, BroadcastMode::Certified);
+        let v = make_vertex(&c, 0, 0, vec![]);
+        rbc0.broadcast_own(v.clone(), &mut dag0);
+        for i in 1..=2u16 {
+            let sig = c.keypair(ValidatorId(i)).sign(ACK_CONTEXT, v.digest().as_bytes());
+            rbc0.handle(ValidatorId(i), RbcMessage::Ack { vertex: v.reference(), sig }, &mut dag0);
+        }
+        let sig3 = c.keypair(ValidatorId(3)).sign(ACK_CONTEXT, v.digest().as_bytes());
+        let fx = rbc0.handle(ValidatorId(3), RbcMessage::Ack { vertex: v.reference(), sig: sig3 }, &mut dag0);
+        assert!(fx.delivered.is_empty());
+        assert!(fx.broadcast.is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! Reliable broadcast of DAG vertices (the paper's Definition 1).
+//!
+//! HammerHead sits on a DAG built by reliable broadcast: every vertex an
+//! honest party delivers is eventually delivered by all honest parties
+//! (*Agreement*), at most once per `(round, author)` (*Integrity*), and
+//! honest broadcasts always deliver (*Validity*). This crate implements the
+//! two instantiations used in practice:
+//!
+//! * [`BroadcastMode::BestEffort`] — the author pushes the vertex to
+//!   everyone; receivers whose DAG is missing the vertex's ancestry issue
+//!   pull-based [`RbcMessage::SyncRequest`]s (Narwhal's "fetcher" pattern).
+//!   Sufficient under crash faults, which is the paper's evaluation setting,
+//!   and cheaper by one round-trip.
+//! * [`BroadcastMode::Certified`] — Narwhal-style: the author proposes a
+//!   header, collects quorum-stake signed acks, assembles a
+//!   [`Certificate`], and broadcasts the certified vertex. Honest validators
+//!   ack at most one header per `(round, author)`, so quorum intersection
+//!   makes per-round equivocation impossible — two conflicting vertices can
+//!   never both gather certificates.
+//!
+//! The layer is a pure state machine ([`Rbc`]): it consumes protocol
+//! messages plus a DAG reference and emits [`RbcEffects`] (messages to send
+//! and vertices newly *delivered* — inserted into the DAG with complete
+//! ancestry). The validator wires it to the network runtime.
+//!
+//! # Example
+//!
+//! ```
+//! use hh_rbc::{BroadcastMode, Rbc, RbcMessage};
+//! use hh_dag::Dag;
+//! use hh_types::{Block, Committee, Round, ValidatorId, Vertex};
+//!
+//! let committee = Committee::new_equal_stake(4);
+//! let mut dag0 = Dag::new(committee.clone());
+//! let mut rbc0 = Rbc::new(committee.clone(), ValidatorId(0), BroadcastMode::BestEffort);
+//!
+//! // v0 creates and broadcasts its genesis vertex.
+//! let v = Vertex::new(Round(0), ValidatorId(0), Block::empty(),
+//!                     vec![], &committee.keypair(ValidatorId(0)));
+//! let fx = rbc0.broadcast_own(v.clone(), &mut dag0);
+//! assert_eq!(fx.delivered.len(), 1);         // self-delivery is immediate
+//! assert_eq!(fx.broadcast.len(), 1);         // one message to everyone
+//!
+//! // v1 receives it.
+//! let mut dag1 = Dag::new(committee.clone());
+//! let mut rbc1 = Rbc::new(committee, ValidatorId(1), BroadcastMode::BestEffort);
+//! let fx = rbc1.handle(ValidatorId(0), fx.broadcast[0].clone(), &mut dag1);
+//! assert_eq!(fx.delivered.len(), 1);
+//! ```
+
+mod cert;
+mod layer;
+
+pub use cert::{Certificate, CertificateError};
+pub use layer::{BroadcastMode, Rbc, RbcEffects, RbcMessage};

@@ -1,0 +1,40 @@
+//! Whole-system simulation harness.
+//!
+//! Assembles [`hammerhead::Validator`] nodes and open-loop load generators
+//! on the deterministic discrete-event network (`hh-net`), reproducing the
+//! paper's measurement methodology (§5):
+//!
+//! * geo-distributed validators (13 AWS regions, round-robin assignment);
+//! * benchmark clients submitting at a fixed rate to live validators,
+//!   each co-located with its validator;
+//! * *latency* = client submission → execution finality of the
+//!   transaction; *throughput* = distinct transactions over the run;
+//! * crash faults from t=0 (Fig. 2), slowdown faults (the §1 incident),
+//!   and arbitrary [`hh_net::FaultPlan`]s for tests;
+//! * an agreement audit across all live validators' commit sequences after
+//!   every run (safety is checked on every experiment, not assumed).
+//!
+//! # Example
+//!
+//! ```
+//! use hh_sim::{ExperimentConfig, SystemKind, run_experiment};
+//!
+//! let mut config = ExperimentConfig::quick_test(SystemKind::Hammerhead);
+//! config.committee_size = 4;
+//! config.load_tps = 100;
+//! let result = run_experiment(&config);
+//! assert!(result.agreement_ok);
+//! assert!(result.commits > 0);
+//! ```
+
+mod actor;
+mod experiment;
+mod metrics;
+mod timeseries;
+
+pub use actor::{Actor, Client, NetMessage};
+pub use experiment::{
+    build_sim, run_experiment, ExperimentConfig, FaultSpec, RunResult, SimHandle, SystemKind,
+};
+pub use metrics::LatencySummary;
+pub use timeseries::{Bucket, TimeSeries};

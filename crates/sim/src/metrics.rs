@@ -1,0 +1,115 @@
+//! Latency statistics matching the paper's reporting: mean ± one standard
+//! deviation (Fig. 1/2 error bars) plus the p50/p95 percentiles quoted for
+//! the §1 incident.
+
+/// Summary statistics over a set of latencies (seconds).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (s).
+    pub mean: f64,
+    /// Population standard deviation (s).
+    pub stddev: f64,
+    /// Median (s).
+    pub p50: f64,
+    /// 95th percentile (s).
+    pub p95: f64,
+    /// Maximum (s).
+    pub max: f64,
+}
+
+impl LatencySummary {
+    /// Computes the summary from raw microsecond samples.
+    ///
+    /// Returns the zero summary for an empty input (count = 0).
+    pub fn from_micros(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_unstable();
+        let count = samples.len();
+        let sum: f64 = samples.iter().map(|s| *s as f64).sum();
+        let mean_us = sum / count as f64;
+        let var = samples
+            .iter()
+            .map(|s| {
+                let d = *s as f64 - mean_us;
+                d * d
+            })
+            .sum::<f64>()
+            / count as f64;
+        LatencySummary {
+            count,
+            mean: mean_us / 1e6,
+            stddev: var.sqrt() / 1e6,
+            p50: percentile(&samples, 50.0) / 1e6,
+            p95: percentile(&samples, 95.0) / 1e6,
+            max: *samples.last().expect("non-empty") as f64 / 1e6,
+        }
+    }
+}
+
+/// Nearest-rank percentile over sorted samples (returns µs as f64).
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1] as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_zero() {
+        let s = LatencySummary::from_micros(vec![]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn constant_samples() {
+        let s = LatencySummary::from_micros(vec![2_000_000; 10]);
+        assert_eq!(s.count, 10);
+        assert!((s.mean - 2.0).abs() < 1e-9);
+        assert!(s.stddev.abs() < 1e-9);
+        assert!((s.p50 - 2.0).abs() < 1e-9);
+        assert!((s.p95 - 2.0).abs() < 1e-9);
+        assert!((s.max - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_on_known_distribution() {
+        // 1..=100 ms.
+        let samples: Vec<u64> = (1..=100u64).map(|i| i * 1000).collect();
+        let s = LatencySummary::from_micros(samples);
+        assert!((s.p50 - 0.050).abs() < 1e-9, "p50 = {}", s.p50);
+        assert!((s.p95 - 0.095).abs() < 1e-9, "p95 = {}", s.p95);
+        assert!((s.max - 0.100).abs() < 1e-9);
+        assert!((s.mean - 0.0505).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let s = LatencySummary::from_micros(vec![3_000_000, 1_000_000, 2_000_000]);
+        assert!((s.p50 - 2.0).abs() < 1e-9);
+        assert!((s.max - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stddev_matches_hand_computation() {
+        // {1s, 3s}: mean 2s, population stddev 1s.
+        let s = LatencySummary::from_micros(vec![1_000_000, 3_000_000]);
+        assert!((s.stddev - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = LatencySummary::from_micros(vec![500_000]);
+        assert_eq!(s.count, 1);
+        assert!((s.p95 - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,159 @@
+//! Per-interval time series over transaction records — throughput and
+//! latency as they evolve through a run. Powers incident-style analyses
+//! (how fast does HammerHead react to a degradation?) and ASCII sparkline
+//! rendering in examples.
+
+use hammerhead::ExecRecord;
+
+/// One aggregation bucket.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Bucket {
+    /// Transactions whose submission fell in this bucket and that reached
+    /// execution finality.
+    pub count: u64,
+    /// Sum of their end-to-end latencies (µs).
+    pub latency_sum_us: u64,
+    /// Worst latency in the bucket (µs).
+    pub latency_max_us: u64,
+}
+
+impl Bucket {
+    /// Mean latency in seconds (0 for an empty bucket).
+    pub fn mean_latency_s(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.latency_sum_us as f64 / self.count as f64 / 1e6
+        }
+    }
+}
+
+/// A fixed-width bucketed series over a run.
+#[derive(Clone, Debug)]
+pub struct TimeSeries {
+    bucket_us: u64,
+    buckets: Vec<Bucket>,
+}
+
+impl TimeSeries {
+    /// Aggregates `records` (bucketed by submission time) into
+    /// `duration_secs / bucket_secs` buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_secs` is zero.
+    pub fn from_records<'a>(
+        records: impl IntoIterator<Item = &'a ExecRecord>,
+        bucket_secs: u64,
+        duration_secs: u64,
+    ) -> Self {
+        assert!(bucket_secs > 0, "bucket width must be positive");
+        let bucket_us = bucket_secs * 1_000_000;
+        let n = (duration_secs / bucket_secs).max(1) as usize;
+        let mut buckets = vec![Bucket::default(); n];
+        for rec in records {
+            let idx = (rec.submitted_at / bucket_us) as usize;
+            if let Some(b) = buckets.get_mut(idx) {
+                let latency = rec.executed_at.saturating_sub(rec.submitted_at);
+                b.count += 1;
+                b.latency_sum_us += latency;
+                b.latency_max_us = b.latency_max_us.max(latency);
+            }
+        }
+        TimeSeries { bucket_us, buckets }
+    }
+
+    /// The buckets in time order.
+    pub fn buckets(&self) -> &[Bucket] {
+        &self.buckets
+    }
+
+    /// Bucket width in seconds.
+    pub fn bucket_secs(&self) -> u64 {
+        self.bucket_us / 1_000_000
+    }
+
+    /// Per-bucket throughput (tx/s).
+    pub fn throughput(&self) -> Vec<f64> {
+        let secs = self.bucket_us as f64 / 1e6;
+        self.buckets.iter().map(|b| b.count as f64 / secs).collect()
+    }
+
+    /// Per-bucket mean latency (s).
+    pub fn mean_latency(&self) -> Vec<f64> {
+        self.buckets.iter().map(|b| b.mean_latency_s()).collect()
+    }
+
+    /// Renders values as an ASCII sparkline (8 levels, scaled to the max).
+    pub fn sparkline(values: &[f64]) -> String {
+        const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = values.iter().copied().fold(0.0_f64, f64::max);
+        if max <= 0.0 {
+            return LEVELS[0].to_string().repeat(values.len());
+        }
+        values
+            .iter()
+            .map(|v| {
+                let idx = ((v / max) * (LEVELS.len() - 1) as f64).round() as usize;
+                LEVELS[idx.min(LEVELS.len() - 1)]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(submitted_s: u64, latency_ms: u64) -> ExecRecord {
+        ExecRecord {
+            submitted_at: submitted_s * 1_000_000,
+            committed_at: submitted_s * 1_000_000 + latency_ms * 500,
+            executed_at: submitted_s * 1_000_000 + latency_ms * 1_000,
+        }
+    }
+
+    #[test]
+    fn buckets_by_submission_time() {
+        let records = vec![rec(0, 100), rec(1, 200), rec(1, 300), rec(5, 400)];
+        let ts = TimeSeries::from_records(&records, 1, 6);
+        assert_eq!(ts.buckets().len(), 6);
+        assert_eq!(ts.buckets()[0].count, 1);
+        assert_eq!(ts.buckets()[1].count, 2);
+        assert_eq!(ts.buckets()[5].count, 1);
+        assert!((ts.buckets()[1].mean_latency_s() - 0.25).abs() < 1e-9);
+        assert_eq!(ts.buckets()[1].latency_max_us, 300_000);
+    }
+
+    #[test]
+    fn throughput_respects_bucket_width() {
+        let records = vec![rec(0, 10), rec(1, 10), rec(2, 10), rec(3, 10)];
+        let ts = TimeSeries::from_records(&records, 2, 4);
+        assert_eq!(ts.buckets().len(), 2);
+        assert_eq!(ts.throughput(), vec![1.0, 1.0]); // 2 txs / 2 s
+    }
+
+    #[test]
+    fn out_of_range_records_ignored() {
+        let records = vec![rec(99, 10)];
+        let ts = TimeSeries::from_records(&records, 1, 5);
+        assert!(ts.buckets().iter().all(|b| b.count == 0));
+    }
+
+    #[test]
+    fn sparkline_scales_to_max() {
+        let line = TimeSeries::sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(line.chars().count(), 3);
+        assert!(line.starts_with('▁'));
+        assert!(line.ends_with('█'));
+        // All-zero input renders flat, not panicking on division by zero.
+        assert_eq!(TimeSeries::sparkline(&[0.0, 0.0]), "▁▁");
+    }
+
+    #[test]
+    fn empty_records_empty_buckets() {
+        let ts = TimeSeries::from_records(std::iter::empty(), 1, 3);
+        assert_eq!(ts.buckets().len(), 3);
+        assert_eq!(ts.mean_latency(), vec![0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,229 @@
+//! A log-structured key-value store over the WAL.
+
+use crate::backend::LogBackend;
+use crate::wal::{Wal, WalError};
+use std::collections::BTreeMap;
+
+/// Record tags in the KV log.
+const TAG_PUT: u8 = 1;
+const TAG_DEL: u8 = 2;
+
+/// A small log-structured KV store: every mutation appends to the WAL; an
+/// in-memory index serves reads; [`KvStore::compact`] rewrites the log to
+/// the live set.
+///
+/// This is the RocksDB stand-in for components that want point lookups
+/// (e.g. persisting per-epoch schedule state).
+///
+/// ```
+/// use hh_storage::{KvStore, MemBackend};
+///
+/// let backend = MemBackend::new();
+/// let mut kv = KvStore::open(backend.clone()).unwrap();
+/// kv.put(b"leader-epoch", b"7").unwrap();
+/// assert_eq!(kv.get(b"leader-epoch"), Some(&b"7"[..]));
+///
+/// // Reopen from the same bytes: state survives.
+/// let kv2 = KvStore::open(backend).unwrap();
+/// assert_eq!(kv2.get(b"leader-epoch"), Some(&b"7"[..]));
+/// ```
+#[derive(Debug)]
+pub struct KvStore<B: LogBackend> {
+    wal: Wal<B>,
+    index: BTreeMap<Vec<u8>, Vec<u8>>,
+    /// Mutations since the last compaction (compaction heuristic input).
+    mutations: u64,
+}
+
+impl<B: LogBackend> KvStore<B> {
+    /// Opens a store, replaying any existing log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::Io`] if the backend cannot be read.
+    pub fn open(backend: B) -> Result<Self, WalError> {
+        let wal = Wal::new(backend);
+        let mut index = BTreeMap::new();
+        for record in wal.replay()? {
+            Self::apply(&mut index, &record);
+        }
+        Ok(KvStore { wal, index, mutations: 0 })
+    }
+
+    fn apply(index: &mut BTreeMap<Vec<u8>, Vec<u8>>, record: &[u8]) {
+        if record.len() < 5 {
+            return; // malformed; ignore
+        }
+        let tag = record[0];
+        let key_len = u32::from_be_bytes(record[1..5].try_into().expect("4 bytes")) as usize;
+        if record.len() < 5 + key_len {
+            return;
+        }
+        let key = record[5..5 + key_len].to_vec();
+        match tag {
+            TAG_PUT => {
+                let value = record[5 + key_len..].to_vec();
+                index.insert(key, value);
+            }
+            TAG_DEL => {
+                index.remove(&key);
+            }
+            _ => {}
+        }
+    }
+
+    fn encode(tag: u8, key: &[u8], value: &[u8]) -> Vec<u8> {
+        let mut rec = Vec::with_capacity(5 + key.len() + value.len());
+        rec.push(tag);
+        rec.extend_from_slice(&(key.len() as u32).to_be_bytes());
+        rec.extend_from_slice(key);
+        rec.extend_from_slice(value);
+        rec
+    }
+
+    /// Inserts or overwrites `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::Io`] if the append fails; the in-memory index is
+    /// only updated after a successful append (write-ahead discipline).
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), WalError> {
+        self.wal.append(&Self::encode(TAG_PUT, key, value))?;
+        self.index.insert(key.to_vec(), value.to_vec());
+        self.mutations += 1;
+        Ok(())
+    }
+
+    /// Deletes `key` (appends a tombstone).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::Io`] if the append fails.
+    pub fn delete(&mut self, key: &[u8]) -> Result<(), WalError> {
+        self.wal.append(&Self::encode(TAG_DEL, key, b""))?;
+        self.index.remove(key);
+        self.mutations += 1;
+        Ok(())
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
+        self.index.get(key).map(|v| v.as_slice())
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether no live keys exist.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Iterates live entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], &[u8])> {
+        self.index.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))
+    }
+
+    /// Rewrites the log to exactly the live set, dropping tombstones and
+    /// overwritten versions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::Io`] if the rewrite fails.
+    pub fn compact(&mut self) -> Result<(), WalError> {
+        let records: Vec<Vec<u8>> = self
+            .index
+            .iter()
+            .map(|(k, v)| Self::encode(TAG_PUT, k, v))
+            .collect();
+        self.wal.compact_to(&records)?;
+        self.mutations = 0;
+        Ok(())
+    }
+
+    /// Mutations since the last compaction.
+    pub fn mutations_since_compaction(&self) -> u64 {
+        self.mutations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    #[test]
+    fn put_get_delete() {
+        let mut kv = KvStore::open(MemBackend::new()).unwrap();
+        kv.put(b"a", b"1").unwrap();
+        kv.put(b"b", b"2").unwrap();
+        assert_eq!(kv.get(b"a"), Some(&b"1"[..]));
+        kv.delete(b"a").unwrap();
+        assert_eq!(kv.get(b"a"), None);
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn overwrite_keeps_latest() {
+        let backend = MemBackend::new();
+        let mut kv = KvStore::open(backend.clone()).unwrap();
+        kv.put(b"k", b"v1").unwrap();
+        kv.put(b"k", b"v2").unwrap();
+        assert_eq!(kv.get(b"k"), Some(&b"v2"[..]));
+        let reopened = KvStore::open(backend).unwrap();
+        assert_eq!(reopened.get(b"k"), Some(&b"v2"[..]));
+    }
+
+    #[test]
+    fn tombstones_survive_reopen() {
+        let backend = MemBackend::new();
+        let mut kv = KvStore::open(backend.clone()).unwrap();
+        kv.put(b"gone", b"x").unwrap();
+        kv.delete(b"gone").unwrap();
+        let reopened = KvStore::open(backend).unwrap();
+        assert_eq!(reopened.get(b"gone"), None);
+        assert!(reopened.is_empty());
+    }
+
+    #[test]
+    fn compaction_preserves_live_set_and_shrinks() {
+        let backend = MemBackend::new();
+        let mut kv = KvStore::open(backend.clone()).unwrap();
+        for i in 0..50u32 {
+            kv.put(&i.to_be_bytes(), &[0u8; 64]).unwrap();
+        }
+        for i in 0..40u32 {
+            kv.delete(&i.to_be_bytes()).unwrap();
+        }
+        let before = kv.wal.size_bytes();
+        kv.compact().unwrap();
+        assert!(kv.wal.size_bytes() < before);
+        assert_eq!(kv.len(), 10);
+        let reopened = KvStore::open(backend).unwrap();
+        assert_eq!(reopened.len(), 10);
+        for i in 40..50u32 {
+            assert_eq!(reopened.get(&i.to_be_bytes()), Some(&[0u8; 64][..]));
+        }
+    }
+
+    #[test]
+    fn iter_is_key_ordered() {
+        let mut kv = KvStore::open(MemBackend::new()).unwrap();
+        kv.put(b"b", b"2").unwrap();
+        kv.put(b"a", b"1").unwrap();
+        kv.put(b"c", b"3").unwrap();
+        let keys: Vec<&[u8]> = kv.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![&b"a"[..], &b"b"[..], &b"c"[..]]);
+    }
+
+    #[test]
+    fn binary_keys_and_values() {
+        let mut kv = KvStore::open(MemBackend::new()).unwrap();
+        let key = [0u8, 255, 1, 254];
+        let val = vec![7u8; 300];
+        kv.put(&key, &val).unwrap();
+        assert_eq!(kv.get(&key), Some(val.as_slice()));
+    }
+}

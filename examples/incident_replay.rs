@@ -1,0 +1,93 @@
+//! Replay of the §1 Sui mainnet incident at example scale: a healthy
+//! committee suddenly has 10% of its validators turn slow (not crashed —
+//! just +800 ms on every message), exactly the "less responsive" failure
+//! mode the paper opens with.
+//!
+//! Watch Bullshark's tail latency jump while HammerHead's reputation
+//! mechanism rotates the degraded validators out of the leader schedule
+//! within one epoch.
+//!
+//! ```sh
+//! cargo run --release --example incident_replay
+//! ```
+
+use hammerhead_repro::hh_net::SimTime;
+use hammerhead_repro::hh_sim::{build_sim, ExperimentConfig, FaultSpec, LatencySummary, SystemKind};
+
+fn window_summary(
+    handle: &hammerhead_repro::hh_sim::SimHandle,
+    from_us: u64,
+    to_us: u64,
+) -> LatencySummary {
+    let mut latencies = Vec::new();
+    for i in 0..handle.n_validators {
+        for rec in &handle.validator(i).metrics().exec_records {
+            if rec.submitted_at >= from_us && rec.submitted_at < to_us && rec.executed_at <= to_us {
+                latencies.push(rec.executed_at - rec.submitted_at);
+            }
+        }
+    }
+    LatencySummary::from_micros(latencies)
+}
+
+fn main() {
+    let committee = 13; // one validator per AWS region
+    let degraded = 2;
+    let onset_s = 30u64;
+    let end_s = 60u64;
+
+    println!(
+        "{committee} validators; at t={onset_s}s validators v0,v1 gain +800ms latency \
+         (the Aug 29 incident shape)\n"
+    );
+
+    for system in [SystemKind::Bullshark, SystemKind::Hammerhead] {
+        let mut config = ExperimentConfig::paper(system, committee, 150);
+        config.duration_secs = end_s;
+        config.warmup_secs = 5;
+        config.faults = FaultSpec {
+            crashed: vec![],
+            slowdowns: (0..degraded).map(|v| (v, onset_s * 1_000_000, 800_000)).collect(),
+        };
+        let mut handle = build_sim(&config);
+        handle.sim.run_until(SimTime::from_secs(end_s));
+
+        let healthy = window_summary(&handle, 5_000_000, onset_s * 1_000_000);
+        let incident = window_summary(&handle, onset_s * 1_000_000, end_s * 1_000_000);
+        // Per-2s latency sparkline across the whole run.
+        let all_records: Vec<_> = (0..handle.n_validators)
+            .flat_map(|i| handle.validator(i).metrics().exec_records.clone())
+            .collect();
+        let series = hammerhead_repro::hh_sim::TimeSeries::from_records(&all_records, 2, end_s);
+        println!("{}:", system.label());
+        println!(
+            "  mean latency / 2s: {}  (incident starts mid-line)",
+            hammerhead_repro::hh_sim::TimeSeries::sparkline(&series.mean_latency())
+        );
+        println!(
+            "  healthy window : p50 {:>5.2}s  p95 {:>5.2}s  ({} txs)",
+            healthy.p50, healthy.p95, healthy.count
+        );
+        println!(
+            "  incident window: p50 {:>5.2}s  p95 {:>5.2}s  ({} txs)   p95 {:+.0}%",
+            incident.p50,
+            incident.p95,
+            incident.count,
+            (incident.p95 / healthy.p95.max(1e-9) - 1.0) * 100.0
+        );
+        if system == SystemKind::Hammerhead {
+            let policy = handle.validator(2).hammerhead_policy().expect("configured");
+            if let Some(last) = policy.epoch_history().last() {
+                println!(
+                    "  last schedule switch excluded {:?} (degraded validators leave the rotation)",
+                    last.excluded
+                );
+            }
+        }
+        println!();
+    }
+    println!(
+        "paper reference (100 validators, production deployment): Bullshark p50 1.9→2.2s, \
+         p95 3.0→4.6s; HammerHead's design goal is a flat incident window."
+    );
+}

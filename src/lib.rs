@@ -1,0 +1,31 @@
+//! # HammerHead reproduction — workspace root
+//!
+//! This crate re-exports the workspace's public API and hosts the runnable
+//! examples (`examples/`) and cross-crate integration tests (`tests/`).
+//!
+//! The interesting entry points:
+//!
+//! * [`hammerhead`] — the paper's contribution: reputation scores, the
+//!   schedule-switch rule, the scheduling policy and the full validator.
+//! * [`hh_sim`] — run whole committees on the deterministic network
+//!   simulator with the paper's measurement methodology.
+//! * [`hh_consensus`] — the Bullshark engine and the baseline round-robin
+//!   schedule.
+//!
+//! ```
+//! use hammerhead_repro::hh_sim::{run_experiment, ExperimentConfig, SystemKind};
+//!
+//! let config = ExperimentConfig::quick_test(SystemKind::Hammerhead);
+//! let result = run_experiment(&config);
+//! assert!(result.agreement_ok);
+//! ```
+
+pub use hammerhead;
+pub use hh_consensus;
+pub use hh_crypto;
+pub use hh_dag;
+pub use hh_net;
+pub use hh_rbc;
+pub use hh_sim;
+pub use hh_storage;
+pub use hh_types;
