@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Local CI gate for the HammerHead reproduction.
+#
+# Usage: ./ci.sh
+#
+# Runs, in order: format check, clippy (warnings are errors), release
+# build, the full workspace test suite, doc tests, and an hh-cli smoke
+# run of the Figure 1 scenario capped at 50 DAG rounds.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all -- --check
+
+step "cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "cargo build --release"
+cargo build --release --workspace
+
+step "cargo test -q"
+cargo test --workspace -q
+
+step "cargo test --doc"
+cargo test --workspace --doc -q
+
+step "hh-cli smoke run (fig1, 50 rounds)"
+./target/release/hh-cli run scenarios/fig1_faultless.toml --quick --rounds 50
+
+step "all green"

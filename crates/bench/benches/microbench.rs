@@ -63,10 +63,8 @@ fn bench_dag(c: &mut Criterion) {
         base.extend_full_rounds(1);
         let genesis = base.into_dag();
         let parents: Vec<_> = {
-            let mut refs: Vec<_> = genesis
-                .round_vertices(Round(0))
-                .map(|v| (v.author(), v.digest()))
-                .collect();
+            let mut refs: Vec<_> =
+                genesis.round_vertices(Round(0)).map(|v| (v.author(), v.digest())).collect();
             refs.sort();
             refs.into_iter().map(|(_, d)| d).collect()
         };
@@ -93,9 +91,7 @@ fn bench_dag(c: &mut Criterion) {
     group.bench_function("reachable_depth9_n50", |b| {
         b.iter(|| assert!(dag.reachable(&top, &bottom)))
     });
-    group.bench_function("causal_history_n50_r10", |b| {
-        b.iter(|| dag.causal_history(&top).len())
-    });
+    group.bench_function("causal_history_n50_r10", |b| b.iter(|| dag.causal_history(&top).len()));
     group.finish();
 }
 

@@ -1,48 +1,8 @@
-//! **Ablation A2 — exclusion fraction.** The paper's benchmarks exclude the
-//! bottom 33% of validators by stake (= `f`); Sui mainnet only excludes the
-//! bottom 20% (footnote 15). With `f` validators crashed, an exclusion
-//! budget below the crash count necessarily leaves crashed leaders in the
-//! schedule — this ablation quantifies that cliff.
+//! **Ablation A2 — exclusion fraction** (paper footnote 15). Thin
+//! wrapper over `scenarios/ablation_exclusion.toml`.
 //!
 //! Run: `cargo run -p hh-bench --release --bin ablation_exclusion [--quick]`
 
-use hammerhead::HammerheadConfig;
-use hh_bench::Scale;
-use hh_sim::{run_experiment, ExperimentConfig, FaultSpec, SystemKind};
-use hh_types::Stake;
-
 fn main() {
-    let scale = Scale::from_args();
-    let committee = if scale.quick { 12 } else { 30 };
-    let crashed = committee / 4; // 25% crashed: between the 20% and 33% budgets
-    let duration = scale.duration_secs.max(30);
-    let fractions: &[(u64, &str)] = &[(10, "10%"), (20, "20% (mainnet)"), (33, "33% (paper bench)")];
-
-    println!(
-        "# Ablation A2 — exclusion budget ({crashed}/{committee} crashed, {duration}s runs)"
-    );
-    println!("csv,exclusion_pct,throughput_tps,latency_s,latency_p95_s,leader_timeouts,epochs");
-
-    for &(pct, label) in fractions {
-        let budget = Stake(committee as u64 * pct / 100);
-        let mut config = ExperimentConfig::paper(SystemKind::Hammerhead, committee, 500);
-        config.duration_secs = duration;
-        config.warmup_secs = duration / 6;
-        config.seed = scale.seed;
-        config.faults = FaultSpec::crash_last(committee, crashed);
-        config.hammerhead = HammerheadConfig {
-            max_excluded_stake: Some(budget),
-            ..HammerheadConfig::default()
-        };
-        let r = run_experiment(&config);
-        assert!(r.agreement_ok, "agreement violated at exclusion {pct}%");
-        println!(
-            "  exclude {:<16} {:>6.0} tx/s | latency {:>5.2}s (p95 {:>5.2}) | timeouts {:>4} | epochs {:>3}",
-            label, r.throughput_tps, r.latency.mean, r.latency.p95, r.leader_timeouts, r.schedule_epochs
-        );
-        println!(
-            "csv,{},{:.1},{:.3},{:.3},{},{}",
-            pct, r.throughput_tps, r.latency.mean, r.latency.p95, r.leader_timeouts, r.schedule_epochs
-        );
-    }
+    hh_bench::run_repo_scenario("ablation_exclusion.toml");
 }

@@ -1,45 +1,8 @@
-//! **Ablation A1 — schedule period T.** The paper benchmarks with the
-//! schedule recomputed every 10 commits; Sui mainnet uses a conservative
-//! 300 commits (footnote 15). Shorter periods react to crashes faster
-//! (fewer leader timeouts before the crashed validators leave the
-//! schedule) at the cost of more schedule churn.
+//! **Ablation A1 — schedule period T** (paper footnote 15). Thin wrapper
+//! over `scenarios/ablation_period.toml`.
 //!
 //! Run: `cargo run -p hh-bench --release --bin ablation_period [--quick]`
 
-use hammerhead::HammerheadConfig;
-use hh_bench::Scale;
-use hh_sim::{run_experiment, ExperimentConfig, FaultSpec, SystemKind};
-
 fn main() {
-    let scale = Scale::from_args();
-    let committee = if scale.quick { 10 } else { 30 };
-    let faults = committee / 3;
-    let duration = scale.duration_secs.max(30);
-    // Periods in rounds; ≈ commits × 2 (one anchor per two rounds).
-    let periods: &[u64] = if scale.quick { &[4, 20, 120] } else { &[4, 10, 20, 60, 150, 300, 600] };
-
-    println!(
-        "# Ablation A1 — schedule period T ({faults}/{committee} crashed, {duration}s runs). \
-         Paper bench ≈ 20 rounds; Sui mainnet ≈ 600."
-    );
-    println!("csv,period_rounds,throughput_tps,latency_s,latency_p95_s,leader_timeouts,epochs");
-
-    for &period in periods {
-        let mut config = ExperimentConfig::paper(SystemKind::Hammerhead, committee, 500);
-        config.duration_secs = duration;
-        config.warmup_secs = duration / 6;
-        config.seed = scale.seed;
-        config.faults = FaultSpec::crash_last(committee, faults);
-        config.hammerhead = HammerheadConfig { period_rounds: period, ..HammerheadConfig::default() };
-        let r = run_experiment(&config);
-        assert!(r.agreement_ok, "agreement violated at T={period}");
-        println!(
-            "  T={:<4} rounds: {:>6.0} tx/s | latency {:>5.2}s (p95 {:>5.2}) | timeouts {:>4} | epochs {:>3}",
-            period, r.throughput_tps, r.latency.mean, r.latency.p95, r.leader_timeouts, r.schedule_epochs
-        );
-        println!(
-            "csv,{},{:.1},{:.3},{:.3},{},{}",
-            period, r.throughput_tps, r.latency.mean, r.latency.p95, r.leader_timeouts, r.schedule_epochs
-        );
-    }
+    hh_bench::run_repo_scenario("ablation_period.toml");
 }

@@ -1,80 +1,8 @@
-//! **Ablation A3 — scoring rule.** §7 compares HammerHead's vote-based
-//! scores (discouraging vote withholding) with Shoal's committed/skipped
-//! leader outcomes, and mentions the PBFT-style static leader as a
-//! rejected extreme. This ablation runs all four schedules under crash
-//! faults:
-//!
-//! * `vote-based` — HammerHead's rule (+1 per vote for a leader);
-//! * `leader-outcome` — Shoal-style (+bonus to committed anchors' authors);
-//! * `round-robin` — the static baseline;
-//! * `static-leader` — one fixed leader (pinned to a live validator, the
-//!   rejected §7 extreme; pinning to a crashed one would halt commits
-//!   entirely).
+//! **Ablation A3 — scoring rule** (paper §7). Thin wrapper over
+//! `scenarios/ablation_scoring.toml`.
 //!
 //! Run: `cargo run -p hh-bench --release --bin ablation_scoring [--quick]`
 
-use hammerhead::{HammerheadConfig, ScheduleConfig, ScoringRule};
-use hh_bench::Scale;
-use hh_sim::{run_experiment, ExperimentConfig, FaultSpec, SystemKind};
-use hh_types::ValidatorId;
-
 fn main() {
-    let scale = Scale::from_args();
-    let committee = if scale.quick { 10 } else { 30 };
-    let crashed = committee / 3;
-    let duration = scale.duration_secs.max(30);
-
-    println!("# Ablation A3 — scoring rules ({crashed}/{committee} crashed, {duration}s runs)");
-    println!("csv,rule,throughput_tps,latency_s,latency_p95_s,leader_timeouts,epochs");
-
-    let rules: Vec<(&str, ExperimentConfig)> = vec![
-        ("vote-based", {
-            let mut c = ExperimentConfig::paper(SystemKind::Hammerhead, committee, 500);
-            c.hammerhead = HammerheadConfig {
-                scoring_rule: ScoringRule::VoteBased,
-                ..HammerheadConfig::default()
-            };
-            c
-        }),
-        ("leader-outcome", {
-            let mut c = ExperimentConfig::paper(SystemKind::Hammerhead, committee, 500);
-            c.hammerhead = HammerheadConfig {
-                scoring_rule: ScoringRule::LeaderOutcome,
-                ..HammerheadConfig::default()
-            };
-            c
-        }),
-        ("vote-ema-30", {
-            // §7's "more adaptive scoring" open question: cross-epoch EMA.
-            let mut c = ExperimentConfig::paper(SystemKind::Hammerhead, committee, 500);
-            c.hammerhead = HammerheadConfig {
-                scoring_rule: ScoringRule::VoteEma { alpha_percent: 30 },
-                ..HammerheadConfig::default()
-            };
-            c
-        }),
-        ("round-robin", ExperimentConfig::paper(SystemKind::Bullshark, committee, 500)),
-        ("static-leader", {
-            let mut c = ExperimentConfig::paper(SystemKind::Bullshark, committee, 500);
-            c.schedule_override = Some(ScheduleConfig::StaticLeader(ValidatorId(0)));
-            c
-        }),
-    ];
-
-    for (label, mut config) in rules {
-        config.duration_secs = duration;
-        config.warmup_secs = duration / 6;
-        config.seed = scale.seed;
-        config.faults = FaultSpec::crash_last(committee, crashed);
-        let r = run_experiment(&config);
-        assert!(r.agreement_ok, "agreement violated for rule {label}");
-        println!(
-            "  {:<14} {:>6.0} tx/s | latency {:>5.2}s (p95 {:>5.2}) | timeouts {:>4} | epochs {:>3}",
-            label, r.throughput_tps, r.latency.mean, r.latency.p95, r.leader_timeouts, r.schedule_epochs
-        );
-        println!(
-            "csv,{},{:.1},{:.3},{:.3},{},{}",
-            label, r.throughput_tps, r.latency.mean, r.latency.p95, r.leader_timeouts, r.schedule_epochs
-        );
-    }
+    hh_bench::run_repo_scenario("ablation_scoring.toml");
 }

@@ -1,40 +1,10 @@
-//! **Figure 1**: HammerHead vs Bullshark latency–throughput with 10, 50 and
-//! 100 validators, no faults.
-//!
-//! Paper's observations to reproduce (shape, not absolute values):
-//! * both systems peak around 4,000 tx/s (10/50 validators) and ~3,500 tx/s
-//!   (100 validators);
-//! * HammerHead's latency sits slightly *below* Bullshark's (2.7 s vs 3.0 s
-//!   in the paper) because remote, slower leaders are elected less often;
-//! * neither system loses throughput from the reputation mechanism.
+//! **Figure 1**: HammerHead vs Bullshark latency–throughput with 10, 50
+//! and 100 validators, no faults. Thin wrapper over
+//! `scenarios/fig1_faultless.toml` (see the file for the paper's
+//! observations to reproduce).
 //!
 //! Run: `cargo run -p hh-bench --release --bin fig1_faultless [--quick]`
 
-use hh_bench::{check_agreement, print_csv_header, print_row, Row, Scale};
-use hh_sim::{run_experiment, SystemKind};
-
 fn main() {
-    let scale = Scale::from_args();
-    println!(
-        "# Figure 1 — faultless latency/throughput (duration {}s/run, seed {})",
-        scale.duration_secs, scale.seed
-    );
-    print_csv_header();
-    for &committee in &scale.committees {
-        for system in [SystemKind::Bullshark, SystemKind::Hammerhead] {
-            for load in scale.loads(committee) {
-                let config = scale.config(system, committee, load);
-                let result = run_experiment(&config);
-                let row = Row {
-                    system: system.label().to_string(),
-                    committee,
-                    faults: 0,
-                    load,
-                    result,
-                };
-                check_agreement(&row);
-                print_row(&row);
-            }
-        }
-    }
+    hh_bench::run_repo_scenario("fig1_faultless.toml");
 }

@@ -1,44 +1,10 @@
-//! **Figure 2**: HammerHead vs Bullshark under the maximum tolerable crash
-//! faults — 3/10, 16/50, 33/100 validators crashed from t=0.
-//!
-//! Paper's observations to reproduce (shape, not absolute values):
-//! * Bullshark degrades badly: throughput −25% (small committees) to −40%+
-//!   (100 validators), latency 2–3×, because a third of the leader slots
-//!   hit the leader-await timeout and commits stall;
-//! * HammerHead suffers no visible throughput loss and only a slight
-//!   latency increase (≤0.5 s in the paper) — crashed validators are
-//!   excluded from the schedule within the first epoch and never return
-//!   while down.
+//! **Figure 2**: HammerHead vs Bullshark under the maximum tolerable
+//! crash faults — f validators crashed from t=0. Thin wrapper over
+//! `scenarios/fig2_faults.toml` (see the file for the paper's
+//! observations to reproduce).
 //!
 //! Run: `cargo run -p hh-bench --release --bin fig2_faults [--quick]`
 
-use hh_bench::{check_agreement, print_csv_header, print_row, Row, Scale};
-use hh_sim::{run_experiment, FaultSpec, SystemKind};
-
 fn main() {
-    let scale = Scale::from_args();
-    println!(
-        "# Figure 2 — maximum crash faults (duration {}s/run, seed {})",
-        scale.duration_secs, scale.seed
-    );
-    print_csv_header();
-    for &committee in &scale.committees {
-        let faults = committee / 3; // the maximum tolerable
-        for system in [SystemKind::Bullshark, SystemKind::Hammerhead] {
-            for load in scale.loads(committee) {
-                let mut config = scale.config(system, committee, load);
-                config.faults = FaultSpec::crash_last(committee, faults);
-                let result = run_experiment(&config);
-                let row = Row {
-                    system: system.label().to_string(),
-                    committee,
-                    faults,
-                    load,
-                    result,
-                };
-                check_agreement(&row);
-                print_row(&row);
-            }
-        }
-    }
+    hh_bench::run_repo_scenario("fig2_faults.toml");
 }

@@ -1,88 +1,9 @@
-//! **Incident replay** (§1 motivation): on August 29th, 10% of Sui mainnet
-//! validators suddenly became less responsive; under low load (~130 tx/s)
-//! Bullshark's p95 latency rose from 3.0 s to 4.6 s and p50 from 1.9 s to
-//! 2.2 s. HammerHead's pitch is that it removes the degraded validators
-//! from the leader schedule and restores latency.
-//!
-//! This binary reproduces the scenario: a long low-load run in which 10% of
-//! the committee gains +800 ms of one-way latency halfway through. It
-//! reports p50/p95 for the healthy window and the degraded window, for both
-//! systems. Expect Bullshark's percentiles to jump and HammerHead's to
-//! barely move (shape, not absolute values).
+//! **Incident replay** (§1 motivation): 10% of validators suddenly gain
+//! +800 ms of one-way latency halfway through a low-load run. Thin
+//! wrapper over `scenarios/incident_replay.toml`.
 //!
 //! Run: `cargo run -p hh-bench --release --bin incident_replay [--quick]`
 
-use hh_bench::Scale;
-use hh_sim::{build_sim, ExperimentConfig, FaultSpec, LatencySummary, SystemKind};
-
 fn main() {
-    let scale = Scale::from_args();
-    let committee = if scale.quick { 13 } else { 100 };
-    let degraded = (committee / 10).max(1);
-    let duration = scale.duration_secs.max(60);
-    let onset_us = duration * 1_000_000 / 2;
-    // Scale the paper's 130 tx/s (on 100 validators) to the committee.
-    let load = (130 * committee as u64 / 100).max(20);
-
-    println!(
-        "# Incident replay — {degraded}/{committee} validators degraded (+800ms) at t={}s, load {} tx/s",
-        onset_us / 1_000_000,
-        load
-    );
-    println!("csv,system,window,count,p50_s,p95_s,mean_s");
-
-    for system in [SystemKind::Bullshark, SystemKind::Hammerhead] {
-        let mut config = ExperimentConfig::paper(system, committee, load);
-        config.duration_secs = duration;
-        config.warmup_secs = (duration / 10).max(5);
-        config.seed = scale.seed;
-        // Degrade the *first* validators: with stake-weighted round-robin
-        // they hold early leader slots, like the high-stake mainnet
-        // validators the paper describes.
-        config.faults = FaultSpec {
-            crashed: vec![],
-            slowdowns: (0..degraded as u16).map(|v| (v, onset_us, 800_000)).collect(),
-        };
-
-        let mut handle = build_sim(&config);
-        handle.sim.run_until(hh_net::SimTime::from_secs(duration));
-
-        let warmup_us = config.warmup_secs * 1_000_000;
-        let end_us = duration * 1_000_000;
-        let mut healthy = Vec::new();
-        let mut incident = Vec::new();
-        for i in 0..handle.n_validators {
-            for rec in &handle.validator(i).metrics().exec_records {
-                if rec.executed_at > end_us || rec.submitted_at < warmup_us {
-                    continue;
-                }
-                if rec.submitted_at < onset_us {
-                    healthy.push(rec.executed_at - rec.submitted_at);
-                } else {
-                    incident.push(rec.executed_at - rec.submitted_at);
-                }
-            }
-        }
-        let h = LatencySummary::from_micros(healthy);
-        let d = LatencySummary::from_micros(incident);
-        println!(
-            "  {:<10} healthy : p50 {:>6.3}s p95 {:>6.3}s mean {:>6.3}s ({} txs)",
-            system.label(),
-            h.p50,
-            h.p95,
-            h.mean,
-            h.count
-        );
-        println!(
-            "  {:<10} incident: p50 {:>6.3}s p95 {:>6.3}s mean {:>6.3}s ({} txs)  p95 change {:+.1}%",
-            system.label(),
-            d.p50,
-            d.p95,
-            d.mean,
-            d.count,
-            if h.p95 > 0.0 { (d.p95 / h.p95 - 1.0) * 100.0 } else { 0.0 }
-        );
-        println!("csv,{},healthy,{},{:.3},{:.3},{:.3}", system.label(), h.count, h.p50, h.p95, h.mean);
-        println!("csv,{},incident,{},{:.3},{:.3},{:.3}", system.label(), d.count, d.p50, d.p95, d.mean);
-    }
+    hh_bench::run_repo_scenario("incident_replay.toml");
 }

@@ -1,87 +1,9 @@
-//! **Leader Utilization** (Lemma 6): in crash-only executions, the number
-//! of rounds in which no honest party commits an anchor is bounded by
-//! O(T)·f for HammerHead — while for static round-robin it grows linearly
-//! forever (every crashed leader slot is a permanently skipped round).
-//!
-//! The binary runs both systems with `f` crashed validators over increasing
-//! durations and counts *skipped leader rounds*: even rounds at or below
-//! the last committed anchor with no committed anchor of their own.
-//! HammerHead's count must plateau (crashed validators leave the schedule
-//! after the first epoch and never return while down); Bullshark's keeps
-//! climbing.
+//! **Leader Utilization** (Lemma 6): skipped leader rounds over
+//! increasing durations with f crashed validators. Thin wrapper over
+//! `scenarios/leader_utilization.toml`.
 //!
 //! Run: `cargo run -p hh-bench --release --bin leader_utilization [--quick]`
 
-use hh_bench::Scale;
-use hh_sim::{build_sim, ExperimentConfig, FaultSpec, SystemKind};
-use std::collections::HashSet;
-
-fn skipped_leader_rounds(anchors: &[hh_types::VertexRef]) -> u64 {
-    let Some(last) = anchors.last() else { return 0 };
-    let committed: HashSet<u64> = anchors.iter().map(|a| a.round.0).collect();
-    (0..=last.round.0)
-        .step_by(2)
-        .filter(|r| !committed.contains(r))
-        .count() as u64
-}
-
 fn main() {
-    let scale = Scale::from_args();
-    let committee = if scale.quick { 10 } else { 40 };
-    let faults = committee / 3;
-    let durations: Vec<u64> = if scale.quick {
-        vec![15, 30, 60]
-    } else {
-        vec![30, 60, 120, 240]
-    };
-
-    println!("# Leader utilization (Lemma 6) — {faults}/{committee} crashed, skipped leader rounds over time");
-    println!("csv,system,duration_s,skipped_rounds,last_round,epochs");
-
-    for system in [SystemKind::Bullshark, SystemKind::Hammerhead] {
-        let mut plateau: Vec<u64> = Vec::new();
-        for &duration in &durations {
-            let mut config = ExperimentConfig::paper(system, committee, 200);
-            config.duration_secs = duration;
-            config.warmup_secs = 1;
-            config.seed = scale.seed;
-            config.faults = FaultSpec::crash_last(committee, faults);
-            let mut handle = build_sim(&config);
-            handle.sim.run_until(hh_net::SimTime::from_secs(duration));
-
-            // Use the most advanced live validator's view.
-            let anchors = (0..committee - faults)
-                .map(|i| handle.validator(i).committed_anchors().to_vec())
-                .max_by_key(|a| a.len())
-                .unwrap_or_default();
-            let skipped = skipped_leader_rounds(&anchors);
-            let last = anchors.last().map(|a| a.round.0).unwrap_or(0);
-            let epochs = (0..committee - faults)
-                .filter_map(|i| handle.validator(i).hammerhead_policy())
-                .map(hh_consensus_epoch)
-                .max()
-                .unwrap_or(0);
-            plateau.push(skipped);
-            println!(
-                "  {:<10} {}s: skipped {:>4} of {:>5} leader rounds (epochs {})",
-                system.label(),
-                duration,
-                skipped,
-                last / 2 + 1,
-                epochs
-            );
-            println!("csv,{},{},{},{},{}", system.label(), duration, skipped, last, epochs);
-        }
-        if system == SystemKind::Hammerhead && plateau.len() >= 2 {
-            let growth = plateau.last().unwrap() - plateau.first().unwrap();
-            println!(
-                "  hammerhead skipped-round growth across durations: {growth} (bounded ⇒ Lemma 6 holds)"
-            );
-        }
-    }
-}
-
-fn hh_consensus_epoch(p: &hammerhead::HammerheadPolicy) -> u64 {
-    use hh_consensus::SchedulePolicy;
-    p.epoch()
+    hh_bench::run_repo_scenario("leader_utilization.toml");
 }

@@ -1,147 +1,56 @@
-//! Shared harness for the experiment binaries.
+//! Thin wrappers over the scenario engine.
 //!
 //! Each binary in `src/bin/` regenerates one figure or analysis from the
-//! paper (see `DESIGN.md` §3 for the full index). They share the sweep
-//! runner and table/CSV output here.
+//! paper by running its checked-in scenario file from `scenarios/` —
+//! the declarative specs are the single source of truth, and
+//! `hh-cli run scenarios/<name>.toml` produces byte-identical JSON.
 //!
 //! All binaries accept:
 //!
-//! * `--quick` — a scaled-down sweep (small committees, short runs) that
-//!   finishes in seconds; useful for smoke-testing the harness;
-//! * `--duration <secs>` — simulated seconds per run (default 60);
-//! * `--seed <n>` — simulation seed.
+//! * `--quick` — the scenario's `[quick]` scaled-down axes (small
+//!   committees, short runs); useful for smoke-testing the harness;
+//! * `--duration <secs>` — override the duration axis;
+//! * `--seed <n>` — override the seed axis;
+//! * `--out <file>` — also write the JSON report.
 
-use hh_sim::{ExperimentConfig, RunResult, SystemKind};
+#![deny(rustdoc::broken_intra_doc_links)]
 
-/// Scale parameters shared by the binaries.
-#[derive(Clone, Debug)]
-pub struct Scale {
-    /// Committee sizes to sweep (the paper uses 10/50/100).
-    pub committees: Vec<usize>,
-    /// Simulated seconds per run.
-    pub duration_secs: u64,
-    /// Warmup excluded from latency stats.
-    pub warmup_secs: u64,
-    /// Simulation seed.
-    pub seed: u64,
-    /// Whether `--quick` was requested.
-    pub quick: bool,
-}
+use hh_scenario::{
+    load_scenario, render_header, repo_scenarios_dir, report_json, run_plan, PlanOptions, RunLimit,
+};
 
-impl Scale {
-    /// Parses common CLI flags (`--quick`, `--duration`, `--seed`).
-    pub fn from_args() -> Self {
-        let args: Vec<String> = std::env::args().collect();
-        let quick = args.iter().any(|a| a == "--quick");
-        let duration_secs = flag_value(&args, "--duration").unwrap_or(if quick { 15 } else { 60 });
-        let seed = flag_value(&args, "--seed").unwrap_or(42);
-        let committees = if quick { vec![10] } else { vec![10, 50, 100] };
-        Scale {
-            committees,
-            duration_secs,
-            warmup_secs: (duration_secs / 6).max(1),
-            seed,
-            quick,
-        }
-    }
+/// Runs the named scenario file from the repository's `scenarios/`
+/// directory with the standard wrapper flags, printing one row per run.
+///
+/// Exits the process with an error message if the scenario is missing,
+/// invalid, or a CLI flag cannot be parsed.
+pub fn run_repo_scenario(file: &str) {
+    let args: Vec<String> = std::env::args().collect();
+    let opts = PlanOptions {
+        quick: args.iter().any(|a| a == "--quick"),
+        duration_override: flag_value(&args, "--duration"),
+        seed_override: flag_value(&args, "--seed"),
+    };
+    let out = args.iter().position(|a| a == "--out").and_then(|i| args.get(i + 1)).cloned();
 
-    /// The paper's experiment config for this scale.
-    pub fn config(&self, system: SystemKind, committee: usize, load: u64) -> ExperimentConfig {
-        let mut config = ExperimentConfig::paper(system, committee, load);
-        config.duration_secs = self.duration_secs;
-        config.warmup_secs = self.warmup_secs;
-        config.seed = self.seed;
-        config
-    }
-
-    /// The offered-load sweep for a committee size (stops above the
-    /// calibrated capacity so every point costs simulation time well
-    /// spent).
-    pub fn loads(&self, _committee: usize) -> Vec<u64> {
-        if self.quick {
-            vec![500, 2_000, 4_000]
-        } else {
-            vec![250, 500, 1_000, 2_000, 3_000, 3_500, 4_000, 4_500]
-        }
+    let path = repo_scenarios_dir().join(file);
+    let spec = load_scenario(&path).unwrap_or_else(|e| die(&e.to_string()));
+    let plan = spec.plan(&opts).unwrap_or_else(|e| die(&e.to_string()));
+    println!("# scenario {} — {} run(s)", plan.name, plan.runs.len());
+    let report = run_plan(&plan, RunLimit::Duration, true);
+    println!("{}", render_header(&report));
+    if let Some(out) = out {
+        let json = report_json(&report).render();
+        std::fs::write(&out, json).unwrap_or_else(|e| die(&format!("{out}: {e}")));
+        println!("wrote {out}");
     }
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<u64> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
 }
 
-/// One output row of a sweep.
-#[derive(Clone, Debug)]
-pub struct Row {
-    /// System label (`bullshark` / `hammerhead`).
-    pub system: String,
-    /// Committee size.
-    pub committee: usize,
-    /// Crashed validators.
-    pub faults: usize,
-    /// Offered load (tx/s).
-    pub load: u64,
-    /// The run's measurements.
-    pub result: RunResult,
-}
-
-/// Prints the CSV header used by all sweep binaries.
-pub fn print_csv_header() {
-    println!(
-        "csv,system,committee,faults,load_tps,throughput_tps,latency_s,latency_std_s,\
-         latency_p50_s,latency_p95_s,commit_latency_s,commits,leader_timeouts,shed,epochs,agreement"
-    );
-}
-
-/// Prints one row in both human-aligned and CSV form.
-pub fn print_row(row: &Row) {
-    let r = &row.result;
-    println!(
-        "  {:<10} n={:<3} f={:<2} load={:<5} -> {:>7.0} tx/s | latency {:>6.2}s ±{:>5.2} \
-         (p50 {:>5.2} p95 {:>5.2}) | commits {:>5} timeouts {:>4} shed {:>6} epochs {:>3} {}",
-        row.system,
-        row.committee,
-        row.faults,
-        row.load,
-        r.throughput_tps,
-        r.latency.mean,
-        r.latency.stddev,
-        r.latency.p50,
-        r.latency.p95,
-        r.commits,
-        r.leader_timeouts,
-        r.shed,
-        r.schedule_epochs,
-        if r.agreement_ok { "✓" } else { "AGREEMENT-VIOLATION" },
-    );
-    println!(
-        "csv,{},{},{},{},{:.1},{:.3},{:.3},{:.3},{:.3},{:.3},{},{},{},{},{}",
-        row.system,
-        row.committee,
-        row.faults,
-        row.load,
-        r.throughput_tps,
-        r.latency.mean,
-        r.latency.stddev,
-        r.latency.p50,
-        r.latency.p95,
-        r.commit_latency.mean,
-        r.commits,
-        r.leader_timeouts,
-        r.shed,
-        r.schedule_epochs,
-        r.agreement_ok,
-    );
-}
-
-/// Asserts the safety audit passed, loudly.
-pub fn check_agreement(row: &Row) {
-    assert!(
-        row.result.agreement_ok,
-        "TOTAL ORDER VIOLATION in {} n={} f={} load={}",
-        row.system, row.committee, row.faults, row.load
-    );
+fn die(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(1);
 }

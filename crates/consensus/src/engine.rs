@@ -256,10 +256,7 @@ mod tests {
         assert_eq!(rounds, vec![0, 2, 4, 6]);
         // Leaders rotate.
         let leaders: Vec<ValidatorId> = commits.iter().map(|cmt| cmt.anchor.author).collect();
-        assert_eq!(
-            leaders,
-            vec![ValidatorId(0), ValidatorId(1), ValidatorId(2), ValidatorId(3)]
-        );
+        assert_eq!(leaders, vec![ValidatorId(0), ValidatorId(1), ValidatorId(2), ValidatorId(3)]);
         assert_eq!(e.commit_count(), 4);
     }
 
@@ -322,16 +319,13 @@ mod tests {
         let mut b = DagBuilder::new(c.clone());
         b.extend_full_rounds(3); // rounds 0,1,2
         let anchor_author = ValidatorId(1);
-        b.extend_round_custom(
-            &c.ids().collect::<Vec<_>>(),
-            move |voter| {
-                if voter == ValidatorId(0) {
-                    None // v0 votes for the anchor
-                } else {
-                    Some(vec![anchor_author]) // others exclude it
-                }
-            },
-        ); // round 3
+        b.extend_round_custom(&c.ids().collect::<Vec<_>>(), move |voter| {
+            if voter == ValidatorId(0) {
+                None // v0 votes for the anchor
+            } else {
+                Some(vec![anchor_author]) // others exclude it
+            }
+        }); // round 3
         b.extend_full_rounds(3); // rounds 4,5,6
         let dag = b.into_dag();
         let mut e = engine(&c);
@@ -340,10 +334,8 @@ mod tests {
         // Round 2's anchor lacks direct validity votes; round 4's anchor
         // reaches it through v0's round-3 vertex, so it commits then.
         assert_eq!(rounds, vec![0, 2, 4]);
-        let positions: Vec<(u64, u64)> = commits
-            .iter()
-            .map(|cmt| (cmt.commit_index, cmt.anchor.round.0))
-            .collect();
+        let positions: Vec<(u64, u64)> =
+            commits.iter().map(|cmt| (cmt.commit_index, cmt.anchor.round.0)).collect();
         assert_eq!(positions, vec![(0, 0), (1, 2), (2, 4)]);
     }
 
@@ -415,9 +407,6 @@ mod tests {
         feed_all(&mut e2, &dag, 4); // shorter prefix
         assert_ne!(e1.chain_hash(), e2.chain_hash());
         // Prefix property: e2's anchors are a prefix of e1's.
-        assert_eq!(
-            &e1.committed_anchors()[..e2.committed_anchors().len()],
-            e2.committed_anchors()
-        );
+        assert_eq!(&e1.committed_anchors()[..e2.committed_anchors().len()], e2.committed_anchors());
     }
 }

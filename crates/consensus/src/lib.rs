@@ -55,8 +55,12 @@
 //! assert_eq!(commits[1].anchor.round, Round(2));
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 mod engine;
 mod policy;
 
 pub use engine::{Bullshark, CommittedSubDag};
-pub use policy::{RoundRobinPolicy, ScheduleDecision, SchedulePolicy, SlotSchedule, StaticLeaderPolicy};
+pub use policy::{
+    RoundRobinPolicy, ScheduleDecision, SchedulePolicy, SlotSchedule, StaticLeaderPolicy,
+};

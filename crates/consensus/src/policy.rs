@@ -224,12 +224,8 @@ mod tests {
 
     #[test]
     fn round_robin_slots_follow_stake() {
-        let committee = CommitteeBuilder::new()
-            .add(Stake(3))
-            .add(Stake(1))
-            .add(Stake(2))
-            .build()
-            .unwrap();
+        let committee =
+            CommitteeBuilder::new().add(Stake(3)).add(Stake(1)).add(Stake(2)).build().unwrap();
         let s = SlotSchedule::round_robin(&committee);
         assert_eq!(s.slots().len(), 6);
         assert_eq!(s.slot_count(ValidatorId(0)), 3);

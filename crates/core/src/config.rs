@@ -1,7 +1,57 @@
 //! Configuration for the HammerHead policy and the validator node.
 
 use hh_rbc::BroadcastMode;
-use hh_types::{Stake, ValidatorId};
+use hh_types::{Committee, Stake, ValidatorId};
+use std::fmt;
+
+/// A [`HammerheadConfig`] that cannot run (see
+/// [`HammerheadConfig::validate`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `period_rounds` below 2: anchors live on even rounds, so an epoch
+    /// shorter than 2 rounds can never contain a committed anchor to
+    /// trigger the switch.
+    PeriodTooShort {
+        /// The rejected period.
+        period_rounds: u64,
+    },
+    /// `max_excluded_stake` above the committee's `f`: excluding more
+    /// than `f` stake could hand every leader slot of an epoch to fewer
+    /// than `2f+1` validators and break the liveness argument of Lemma 6.
+    ExcludedStakeAboveF {
+        /// The rejected budget.
+        requested: Stake,
+        /// The committee's maximum tolerable faulty stake.
+        max_faulty: Stake,
+    },
+    /// `VoteEma` smoothing weight outside `1..=100` percent.
+    InvalidEmaAlpha {
+        /// The rejected weight.
+        alpha_percent: u8,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::PeriodTooShort { period_rounds } => write!(
+                f,
+                "period_rounds must be at least 2 (anchors live on even rounds), got {period_rounds}"
+            ),
+            ConfigError::ExcludedStakeAboveF { requested, max_faulty } => write!(
+                f,
+                "max_excluded_stake {} exceeds the committee's f = {}",
+                requested.0, max_faulty.0
+            ),
+            ConfigError::InvalidEmaAlpha { alpha_percent } => write!(
+                f,
+                "vote-ema alpha_percent must be in 1..=100, got {alpha_percent}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// How reputation points are assigned (ablation A3 in `DESIGN.md`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,6 +92,32 @@ pub struct HammerheadConfig {
     pub scoring_rule: ScoringRule,
     /// Seed for the unbiased permutation of the initial schedule S0.
     pub schedule_seed: u64,
+}
+
+impl HammerheadConfig {
+    /// Checks the parameters against the committee they will schedule.
+    ///
+    /// Rejects periods too short to ever contain a committed anchor,
+    /// exclusion budgets above the committee's `f`, and out-of-range EMA
+    /// weights. The scenario engine calls this before building a run;
+    /// programmatic users should too.
+    pub fn validate(&self, committee: &Committee) -> Result<(), ConfigError> {
+        if self.period_rounds < 2 {
+            return Err(ConfigError::PeriodTooShort { period_rounds: self.period_rounds });
+        }
+        if let Some(requested) = self.max_excluded_stake {
+            let max_faulty = committee.max_faulty_stake();
+            if requested > max_faulty {
+                return Err(ConfigError::ExcludedStakeAboveF { requested, max_faulty });
+            }
+        }
+        if let ScoringRule::VoteEma { alpha_percent } = self.scoring_rule {
+            if alpha_percent == 0 || alpha_percent > 100 {
+                return Err(ConfigError::InvalidEmaAlpha { alpha_percent });
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Default for HammerheadConfig {
@@ -156,6 +232,40 @@ mod tests {
         assert!(c.min_round_delay_us < c.leader_timeout_us);
         assert!(c.max_block_txs <= c.pool_capacity);
         assert!(matches!(c.schedule, ScheduleConfig::RoundRobin));
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_rejects_bad_knobs() {
+        let committee = Committee::new_equal_stake(10);
+        assert!(HammerheadConfig::default().validate(&committee).is_ok());
+
+        let short = HammerheadConfig { period_rounds: 1, ..HammerheadConfig::default() };
+        assert!(matches!(
+            short.validate(&committee),
+            Err(ConfigError::PeriodTooShort { period_rounds: 1 })
+        ));
+
+        // f = 3 for n = 10 equal-stake validators; 4 is over budget.
+        let greedy =
+            HammerheadConfig { max_excluded_stake: Some(Stake(4)), ..HammerheadConfig::default() };
+        assert!(matches!(
+            greedy.validate(&committee),
+            Err(ConfigError::ExcludedStakeAboveF { .. })
+        ));
+        let exact = HammerheadConfig {
+            max_excluded_stake: Some(committee.max_faulty_stake()),
+            ..HammerheadConfig::default()
+        };
+        assert!(exact.validate(&committee).is_ok());
+
+        let ema = HammerheadConfig {
+            scoring_rule: ScoringRule::VoteEma { alpha_percent: 0 },
+            ..HammerheadConfig::default()
+        };
+        assert!(matches!(
+            ema.validate(&committee),
+            Err(ConfigError::InvalidEmaAlpha { alpha_percent: 0 })
+        ));
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //!   highest-scoring ones (set `G`, `|G| = |B|`), round-robin, with
 //!   deterministic tie-breaks.
 //! * [`HammerheadPolicy`] — plugs the above into the Bullshark engine's
-//!   [`SchedulePolicy`] seam. Epochs last `T` rounds; the switch triggers
+//!   [`SchedulePolicy`](hh_consensus::SchedulePolicy) seam. Epochs last
+//!   `T` rounds; the switch triggers
 //!   on the first committed anchor at or past the boundary, finalizing
 //!   scores from the anchor's (agreed) causal history *up to but excluding
 //!   the committed leader*, and the engine re-interprets the DAG under the
@@ -56,6 +57,8 @@
 //! assert!(engine.policy().epoch() >= 2, "schedule rotated");
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 mod config;
 pub mod monitor;
 mod node;
@@ -63,7 +66,7 @@ mod policy;
 mod schedule;
 mod scores;
 
-pub use config::{HammerheadConfig, ScheduleConfig, ScoringRule, ValidatorConfig};
+pub use config::{ConfigError, HammerheadConfig, ScheduleConfig, ScoringRule, ValidatorConfig};
 pub use node::{ExecRecord, Output, Validator, ValidatorMessage, ValidatorMetrics};
 pub use policy::{EpochSummary, HammerheadPolicy};
 pub use schedule::{compute_next_schedule, ScheduleChange};

@@ -106,10 +106,7 @@ mod tests {
         Validator::new(
             Committee::new_equal_stake(1),
             ValidatorId(0),
-            ValidatorConfig {
-                min_round_delay_us: 1_000,
-                ..ValidatorConfig::hammerhead()
-            },
+            ValidatorConfig { min_round_delay_us: 1_000, ..ValidatorConfig::hammerhead() },
             None,
         )
     }

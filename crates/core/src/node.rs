@@ -308,7 +308,12 @@ impl<B: LogBackend> Validator<B> {
     }
 
     /// Handles a message from a peer validator or a client.
-    pub fn on_message(&mut self, from: ValidatorId, msg: ValidatorMessage, now: u64) -> Vec<Output> {
+    pub fn on_message(
+        &mut self,
+        from: ValidatorId,
+        msg: ValidatorMessage,
+        now: u64,
+    ) -> Vec<Output> {
         let mut out = Vec::new();
         match msg {
             ValidatorMessage::Submit(tx) => {
@@ -346,12 +351,13 @@ impl<B: LogBackend> Validator<B> {
             TOKEN_TICK => {
                 let fx = self.rbc.tick(&self.dag);
                 self.absorb_rbc(fx, now, &mut out);
-                out.push(Output::SetTimer { delay_us: self.config.sync_tick_us, token: TOKEN_TICK });
+                out.push(Output::SetTimer {
+                    delay_us: self.config.sync_tick_us,
+                    token: TOKEN_TICK,
+                });
             }
-            TOKEN_ROUND | TOKEN_LEADER => {
-                if self.next_wake <= now {
-                    self.next_wake = u64::MAX;
-                }
+            TOKEN_ROUND | TOKEN_LEADER if self.next_wake <= now => {
+                self.next_wake = u64::MAX;
             }
             _ => {}
         }
@@ -390,11 +396,8 @@ impl<B: LogBackend> Validator<B> {
                 let round = vertex.round();
                 if self.dag.try_insert(vertex).is_ok() {
                     if author == self.id {
-                        self.uncommitted_txs += self
-                            .dag
-                            .get(&digest)
-                            .map(|v| v.block().len() as u64)
-                            .unwrap_or(0);
+                        self.uncommitted_txs +=
+                            self.dag.get(&digest).map(|v| v.block().len() as u64).unwrap_or(0);
                         if round >= self.next_round {
                             self.next_round = round.next();
                         }
@@ -429,7 +432,9 @@ impl<B: LogBackend> Validator<B> {
         // serve us anything we missed (their responses resync us forward).
         if self.next_round.0 > 0 {
             if let Some(v) = self.dag.vertex_by_author(self.next_round.prev(), self.id) {
-                out.push(Output::Broadcast(ValidatorMessage::Rbc(RbcMessage::Vertex((**v).clone()))));
+                out.push(Output::Broadcast(ValidatorMessage::Rbc(RbcMessage::Vertex(
+                    (**v).clone(),
+                ))));
             }
         }
         self.drive(now, &mut out);
@@ -466,7 +471,7 @@ impl<B: LogBackend> Validator<B> {
     }
 
     fn note_quorum(&mut self, round: Round) {
-        if self.best_quorum_round.map_or(true, |b| round > b) && self.dag.is_quorum_at(round) {
+        if self.best_quorum_round.is_none_or(|b| round > b) && self.dag.is_quorum_at(round) {
             self.best_quorum_round = Some(round);
         }
     }
@@ -477,9 +482,8 @@ impl<B: LogBackend> Validator<B> {
         for vertex in &sd.vertices {
             let own = vertex.author() == self.id;
             if own {
-                self.uncommitted_txs = self
-                    .uncommitted_txs
-                    .saturating_sub(vertex.block().len() as u64);
+                self.uncommitted_txs =
+                    self.uncommitted_txs.saturating_sub(vertex.block().len() as u64);
             }
             for tx in vertex.block().transactions() {
                 // Every validator executes every committed transaction at a
@@ -506,7 +510,7 @@ impl<B: LogBackend> Validator<B> {
         }
         if !self.replaying {
             if let Some(store) = &mut self.store {
-                if sd.commit_index % self.config.checkpoint_interval.max(1) == 0 {
+                if sd.commit_index.is_multiple_of(self.config.checkpoint_interval.max(1)) {
                     store
                         .persist_checkpoint(self.engine.commit_count(), self.engine.chain_hash())
                         .expect("persist checkpoint");
@@ -541,7 +545,12 @@ impl<B: LogBackend> Validator<B> {
             }
             let elapsed = now.saturating_sub(self.last_proposal_at);
             if elapsed < self.config.min_round_delay_us {
-                self.arm_wake(now, self.last_proposal_at + self.config.min_round_delay_us, TOKEN_ROUND, out);
+                self.arm_wake(
+                    now,
+                    self.last_proposal_at + self.config.min_round_delay_us,
+                    TOKEN_ROUND,
+                    out,
+                );
                 return;
             }
             if prev.is_even() {
@@ -578,22 +587,15 @@ impl<B: LogBackend> Validator<B> {
             // Deterministic parent order (the DAG's round index is a hash
             // map): sort by author so identical DAG state yields identical
             // vertex digests on every run.
-            let mut refs: Vec<(ValidatorId, Digest)> = self
-                .dag
-                .round_vertices(round.prev())
-                .map(|v| (v.author(), v.digest()))
-                .collect();
+            let mut refs: Vec<(ValidatorId, Digest)> =
+                self.dag.round_vertices(round.prev()).map(|v| (v.author(), v.digest())).collect();
             refs.sort();
             refs.into_iter().map(|(_, d)| d).collect()
         };
         // Backpressure: stop pulling from the pool once too many of our
         // transactions sit uncommitted.
         let budget = (self.config.max_uncommitted_txs as u64).saturating_sub(self.uncommitted_txs);
-        let take = self
-            .tx_pool
-            .len()
-            .min(self.config.max_block_txs)
-            .min(budget as usize);
+        let take = self.tx_pool.len().min(self.config.max_block_txs).min(budget as usize);
         let batch: Vec<Transaction> = self.tx_pool.drain(..take).collect();
         self.uncommitted_txs += batch.len() as u64;
 
@@ -783,11 +785,7 @@ mod tests {
     #[test]
     fn backpressure_limits_uncommitted() {
         // Tiny budget: only 3 txs may be in flight.
-        let config = ValidatorConfig {
-            max_uncommitted_txs: 3,
-            max_block_txs: 10,
-            ..fast_config()
-        };
+        let config = ValidatorConfig { max_uncommitted_txs: 3, max_block_txs: 10, ..fast_config() };
         let mut pump = SoloPump::new(config, None);
         pump.start();
         for i in 0..9 {

@@ -143,9 +143,7 @@ impl HammerheadPolicy {
     }
 
     fn stake_bound(&self) -> hh_types::Stake {
-        self.config
-            .max_excluded_stake
-            .unwrap_or_else(|| self.committee.max_faulty_stake())
+        self.config.max_excluded_stake.unwrap_or_else(|| self.committee.max_faulty_stake())
     }
 }
 
@@ -183,15 +181,11 @@ impl SchedulePolicy for HammerheadPolicy {
         // ordered vertices plus the anchor's still-unordered causal history
         // — which Observation 2 makes identical at every honest validator —
         // up to but excluding the committed leader itself.
-        if matches!(
-            self.config.scoring_rule,
-            ScoringRule::VoteBased | ScoringRule::VoteEma { .. }
-        ) {
+        if matches!(self.config.scoring_rule, ScoringRule::VoteBased | ScoringRule::VoteEma { .. })
+        {
             let pending = dag.causal_sub_dag(anchor, |d| ordered.contains(d));
-            let mut votes: Vec<&std::sync::Arc<Vertex>> = pending
-                .iter()
-                .filter(|v| v.digest() != anchor.digest())
-                .collect();
+            let mut votes: Vec<&std::sync::Arc<Vertex>> =
+                pending.iter().filter(|v| v.digest() != anchor.digest()).collect();
             // Deterministic accumulation order (scores are additive, but
             // keep the walk canonical anyway).
             votes.sort_by_key(|v| (v.round(), v.author()));
@@ -203,21 +197,21 @@ impl SchedulePolicy for HammerheadPolicy {
 
         // Under EMA scoring, the ranking input is the smoothed cross-epoch
         // score; plain integer arithmetic keeps it deterministic.
-        let ranking_scores = if let ScoringRule::VoteEma { alpha_percent } = self.config.scoring_rule
-        {
-            let alpha = alpha_percent.min(100) as u64;
-            let mut smoothed = ReputationScores::new(&self.committee);
-            for id in self.committee.ids() {
-                let epoch_milli = self.scores.get(id) * 1000;
-                let prev_milli = self.ema_milli[id.index()];
-                let next = (alpha * epoch_milli + (100 - alpha) * prev_milli) / 100;
-                self.ema_milli[id.index()] = next;
-                smoothed.add(id, next);
-            }
-            smoothed
-        } else {
-            self.scores.clone()
-        };
+        let ranking_scores =
+            if let ScoringRule::VoteEma { alpha_percent } = self.config.scoring_rule {
+                let alpha = alpha_percent.min(100) as u64;
+                let mut smoothed = ReputationScores::new(&self.committee);
+                for id in self.committee.ids() {
+                    let epoch_milli = self.scores.get(id) * 1000;
+                    let prev_milli = self.ema_milli[id.index()];
+                    let next = (alpha * epoch_milli + (100 - alpha) * prev_milli) / 100;
+                    self.ema_milli[id.index()] = next;
+                    smoothed.add(id, next);
+                }
+                smoothed
+            } else {
+                self.scores.clone()
+            };
 
         let prev = self.active_schedule().clone();
         let change =
@@ -229,20 +223,16 @@ impl SchedulePolicy for HammerheadPolicy {
             promoted: change.promoted.clone(),
             final_scores: self.scores.as_slice().to_vec(),
         });
-        self.schedules.push(ScheduleEntry {
-            initial_round: anchor.round(),
-            slots: change.schedule,
-        });
+        self.schedules
+            .push(ScheduleEntry { initial_round: anchor.round(), slots: change.schedule });
         self.epoch += 1;
         self.scores.reset();
         ScheduleDecision::Switched
     }
 
     fn on_vertex_ordered(&mut self, vertex: &Vertex, dag: &Dag) {
-        if matches!(
-            self.config.scoring_rule,
-            ScoringRule::VoteBased | ScoringRule::VoteEma { .. }
-        ) {
+        if matches!(self.config.scoring_rule, ScoringRule::VoteBased | ScoringRule::VoteEma { .. })
+        {
             self.accumulate_vote(vertex, dag);
         }
     }
@@ -258,10 +248,7 @@ mod tests {
         Committee::new_equal_stake(4)
     }
 
-    fn engine_with(
-        c: &Committee,
-        config: HammerheadConfig,
-    ) -> Bullshark<HammerheadPolicy> {
+    fn engine_with(c: &Committee, config: HammerheadConfig) -> Bullshark<HammerheadPolicy> {
         Bullshark::new(c.clone(), HammerheadPolicy::new(c.clone(), config))
     }
 
@@ -325,16 +312,13 @@ mod tests {
             if !round.is_even() {
                 let leader = p0.leader_at(round - 1);
                 if leader != ValidatorId(3) {
-                    b.extend_round_custom(
-                        &c.ids().collect::<Vec<_>>(),
-                        move |author| {
-                            if author == ValidatorId(3) {
-                                Some(vec![leader])
-                            } else {
-                                None
-                            }
-                        },
-                    );
+                    b.extend_round_custom(&c.ids().collect::<Vec<_>>(), move |author| {
+                        if author == ValidatorId(3) {
+                            Some(vec![leader])
+                        } else {
+                            None
+                        }
+                    });
                     continue;
                 }
             }
@@ -364,13 +348,11 @@ mod tests {
         let dag = b.into_dag();
 
         // Record pre-switch leader assignments.
-        let before: Vec<ValidatorId> =
-            (0..3).map(|i| e.policy().leader_at(Round(i * 2))).collect();
+        let before: Vec<ValidatorId> = (0..3).map(|i| e.policy().leader_at(Round(i * 2))).collect();
         feed_all(&mut e, &dag, 12);
         assert!(e.policy().epoch() >= 1);
         // Old rounds still resolve to the same leaders after switches.
-        let after: Vec<ValidatorId> =
-            (0..3).map(|i| e.policy().leader_at(Round(i * 2))).collect();
+        let after: Vec<ValidatorId> = (0..3).map(|i| e.policy().leader_at(Round(i * 2))).collect();
         assert_eq!(before, after);
     }
 
@@ -421,11 +403,7 @@ mod tests {
             // S0's leader; what matters is keeping direct votes scarce.
             let leader = probe.leader_at(round - 1);
             let committee_ids = c.ids().collect::<Vec<_>>();
-            let voter = committee_ids
-                .iter()
-                .find(|id| **id != leader)
-                .copied()
-                .expect("n > 1");
+            let voter = committee_ids.iter().find(|id| **id != leader).copied().expect("n > 1");
             b.extend_round_custom(&committee_ids, move |author| {
                 if author == voter {
                     None
@@ -458,10 +436,7 @@ mod tests {
         assert_eq!(rounds, sorted);
 
         // A second engine fed in reverse author order agrees exactly.
-        let mut e2 = engine_with(
-            &c,
-            HammerheadConfig { period_rounds: 4, ..Default::default() },
-        );
+        let mut e2 = engine_with(&c, HammerheadConfig { period_rounds: 4, ..Default::default() });
         for r in 0..=16u64 {
             let mut vs: Vec<_> = dag.round_vertices(Round(r)).cloned().collect();
             vs.sort_by_key(|v| std::cmp::Reverse(v.author()));
@@ -491,10 +466,7 @@ mod tests {
         feed_all(&mut ev, &dag, 12);
         feed_all(&mut ee, &dag, 12);
         assert_eq!(ev.chain_hash(), ee.chain_hash());
-        assert_eq!(
-            ev.policy().active_schedule().slots(),
-            ee.policy().active_schedule().slots()
-        );
+        assert_eq!(ev.policy().active_schedule().slots(), ee.policy().active_schedule().slots());
         // EMA with alpha=1 carries score×1000 exactly.
         let hist = ee.policy().epoch_history();
         assert!(!hist.is_empty());
@@ -543,9 +515,6 @@ mod tests {
         }
         assert_eq!(e1.chain_hash(), e2.chain_hash());
         assert_eq!(e1.policy().epoch(), e2.policy().epoch());
-        assert_eq!(
-            e1.policy().active_schedule().slots(),
-            e2.policy().active_schedule().slots()
-        );
+        assert_eq!(e1.policy().active_schedule().slots(), e2.policy().active_schedule().slots());
     }
 }

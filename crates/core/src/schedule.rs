@@ -76,11 +76,7 @@ pub fn compute_next_schedule(
         }
     }
 
-    ScheduleChange {
-        schedule: SlotSchedule::from_slots(slots),
-        excluded,
-        promoted,
-    }
+    ScheduleChange { schedule: SlotSchedule::from_slots(slots), excluded, promoted }
 }
 
 #[cfg(test)]

@@ -64,12 +64,8 @@ impl ReputationScores {
     /// Validators sorted ascending by `(score, id)` — the deterministic
     /// order used to pick the `B` (worst) set; reverse for `G`.
     pub fn ranked_ascending(&self) -> Vec<(ValidatorId, u64)> {
-        let mut ranked: Vec<(ValidatorId, u64)> = self
-            .scores
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (ValidatorId(i as u16), *s))
-            .collect();
+        let mut ranked: Vec<(ValidatorId, u64)> =
+            self.scores.iter().enumerate().map(|(i, s)| (ValidatorId(i as u16), *s)).collect();
         ranked.sort_by_key(|(id, s)| (*s, *id));
         ranked
     }

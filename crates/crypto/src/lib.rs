@@ -35,6 +35,8 @@
 //! assert!(!kp.public().verify(b"vote", b"tampered", &sig));
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 mod crc;
 mod digest;
 mod sha256;

@@ -31,6 +31,8 @@
 //! assert!(dag.is_quorum_at(Round(2)));
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 mod store;
 pub mod testkit;
 

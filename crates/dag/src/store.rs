@@ -59,10 +59,9 @@ impl fmt::Display for DagError {
         match self {
             DagError::UnknownAuthor(id) => write!(f, "unknown author {id}"),
             DagError::MissingParents(p) => write!(f, "{} parents missing from the dag", p.len()),
-            DagError::WrongParentRound { round, parent, parent_round } => write!(
-                f,
-                "parent {parent} of round-{round} vertex lives in round {parent_round}"
-            ),
+            DagError::WrongParentRound { round, parent, parent_round } => {
+                write!(f, "parent {parent} of round-{round} vertex lives in round {parent_round}")
+            }
             DagError::InsufficientParentStake { have, need } => {
                 write!(f, "parent stake {have} below quorum {need}")
             }
@@ -229,11 +228,7 @@ impl Dag {
 
     /// Which of `parents` are not yet in the DAG.
     pub fn missing_from(&self, parents: &[Digest]) -> Vec<Digest> {
-        parents
-            .iter()
-            .filter(|d| !self.by_digest.contains_key(*d))
-            .copied()
-            .collect()
+        parents.iter().filter(|d| !self.by_digest.contains_key(*d)).copied().collect()
     }
 
     /// Looks a vertex up by digest.
@@ -453,7 +448,13 @@ mod tests {
         let ghost1 = hh_crypto::sha256(b"g1");
         let ghost2 = hh_crypto::sha256(b"g2");
         let ghost3 = hh_crypto::sha256(b"g3");
-        let v = Vertex::new(Round(1), ValidatorId(0), Block::empty(), vec![ghost1, ghost2, ghost3], &kp);
+        let v = Vertex::new(
+            Round(1),
+            ValidatorId(0),
+            Block::empty(),
+            vec![ghost1, ghost2, ghost3],
+            &kp,
+        );
         match dag.try_insert(v) {
             Err(DagError::MissingParents(m)) => assert_eq!(m.len(), 3),
             other => panic!("expected MissingParents, got {other:?}"),
@@ -466,19 +467,12 @@ mod tests {
         let mut builder = DagBuilder::new(c.clone());
         builder.extend_full_rounds(1);
         // Only 2 parents (< quorum 3 for n=4).
-        let parents: Vec<Digest> = builder
-            .dag()
-            .round_vertices(Round(0))
-            .take(2)
-            .map(|v| v.digest())
-            .collect();
+        let parents: Vec<Digest> =
+            builder.dag().round_vertices(Round(0)).take(2).map(|v| v.digest()).collect();
         let kp = c.keypair(ValidatorId(0));
         let v = Vertex::new(Round(1), ValidatorId(0), Block::empty(), parents, &kp);
         let mut dag = builder.into_dag();
-        assert!(matches!(
-            dag.try_insert(v),
-            Err(DagError::InsufficientParentStake { .. })
-        ));
+        assert!(matches!(dag.try_insert(v), Err(DagError::InsufficientParentStake { .. })));
     }
 
     #[test]
@@ -486,13 +480,10 @@ mod tests {
         let c = committee4();
         let mut builder = DagBuilder::new(c.clone());
         builder.extend_full_rounds(1);
-        let first = builder
-            .dag()
-            .vertex_by_author(Round(0), ValidatorId(0))
-            .unwrap()
-            .digest();
+        let first = builder.dag().vertex_by_author(Round(0), ValidatorId(0)).unwrap().digest();
         let kp = c.keypair(ValidatorId(1));
-        let v = Vertex::new(Round(1), ValidatorId(1), Block::empty(), vec![first, first, first], &kp);
+        let v =
+            Vertex::new(Round(1), ValidatorId(1), Block::empty(), vec![first, first, first], &kp);
         let mut dag = builder.into_dag();
         assert_eq!(dag.try_insert(v), Err(DagError::DuplicateParents));
     }
@@ -502,12 +493,9 @@ mod tests {
         let c = committee4();
         let mut builder = DagBuilder::new(c.clone());
         builder.extend_full_rounds(2); // rounds 0 and 1
-        // A round-2 vertex pointing straight at round-0 vertices.
-        let parents: Vec<Digest> = builder
-            .dag()
-            .round_vertices(Round(0))
-            .map(|v| v.digest())
-            .collect();
+                                       // A round-2 vertex pointing straight at round-0 vertices.
+        let parents: Vec<Digest> =
+            builder.dag().round_vertices(Round(0)).map(|v| v.digest()).collect();
         let kp = c.keypair(ValidatorId(0));
         let v = Vertex::new(Round(2), ValidatorId(0), Block::empty(), parents, &kp);
         let mut dag = builder.into_dag();
@@ -545,10 +533,7 @@ mod tests {
             Err(DagError::Equivocation { author: ValidatorId(0), round: Round(0) })
         ));
         assert_eq!(dag.equivocations(), 1);
-        assert_eq!(
-            dag.vertex_by_author(Round(0), ValidatorId(0)).unwrap().digest(),
-            v1.digest()
-        );
+        assert_eq!(dag.vertex_by_author(Round(0), ValidatorId(0)).unwrap().digest(), v1.digest());
     }
 
     #[test]
@@ -639,7 +624,8 @@ mod tests {
         assert_eq!(dag.round_len(Round(0)), 0);
         assert_eq!(dag.round_len(Round(2)), 4);
         let kp = c.keypair(ValidatorId(0));
-        let stale = Vertex::new(Round(1), ValidatorId(0), Block::empty(), vec![victim.digest()], &kp);
+        let stale =
+            Vertex::new(Round(1), ValidatorId(0), Block::empty(), vec![victim.digest()], &kp);
         assert!(matches!(dag.try_insert(stale), Err(DagError::BelowGc { .. })));
         // GC going backwards is a no-op.
         dag.gc(Round(1));

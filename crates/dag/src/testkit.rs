@@ -32,12 +32,7 @@ pub struct DagBuilder {
 impl DagBuilder {
     /// A builder over an empty DAG.
     pub fn new(committee: Committee) -> Self {
-        DagBuilder {
-            dag: Dag::new(committee.clone()),
-            committee,
-            next_round: Round(0),
-            tx_seq: 0,
-        }
+        DagBuilder { dag: Dag::new(committee.clone()), committee, next_round: Round(0), tx_seq: 0 }
     }
 
     /// The round the next `extend_*` call will create.

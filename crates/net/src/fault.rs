@@ -133,30 +133,19 @@ impl FaultPlan {
     /// If a `from → to` message sent at `now` crosses an active partition,
     /// returns the heal time it must wait for.
     pub fn partition_release(&self, from: NodeId, to: NodeId, now: SimTime) -> Option<SimTime> {
-        self.partitions
-            .iter()
-            .filter(|p| p.severs(from, to, now))
-            .map(|p| p.until)
-            .max()
+        self.partitions.iter().filter(|p| p.severs(from, to, now)).map(|p| p.until).max()
     }
 
     /// Nodes that are crashed at `t` (crashed at or before, not yet
     /// recovered after the crash).
     pub fn crashed_at(&self, node: NodeId, t: SimTime) -> bool {
-        let last_crash = self
-            .crashes
-            .iter()
-            .filter(|(n, at)| *n == node && *at <= t)
-            .map(|(_, at)| *at)
-            .max();
+        let last_crash =
+            self.crashes.iter().filter(|(n, at)| *n == node && *at <= t).map(|(_, at)| *at).max();
         let Some(crash_time) = last_crash else {
             return false;
         };
         // Recovered strictly after the crash and at or before t?
-        !self
-            .recoveries
-            .iter()
-            .any(|(n, at)| *n == node && *at >= crash_time && *at <= t)
+        !self.recoveries.iter().any(|(n, at)| *n == node && *at >= crash_time && *at <= t)
     }
 }
 
@@ -206,7 +195,10 @@ mod tests {
         assert_eq!(plan.slowdown_delay(NodeId(2), NodeId(0), t), Duration::from_millis(100));
         assert_eq!(plan.slowdown_delay(NodeId(0), NodeId(2), t), Duration::from_millis(100));
         assert_eq!(plan.slowdown_delay(NodeId(0), NodeId(1), t), Duration::ZERO);
-        assert_eq!(plan.slowdown_delay(NodeId(2), NodeId(0), SimTime::from_secs(3)), Duration::ZERO);
+        assert_eq!(
+            plan.slowdown_delay(NodeId(2), NodeId(0), SimTime::from_secs(3)),
+            Duration::ZERO
+        );
     }
 
     #[test]

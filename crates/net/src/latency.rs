@@ -95,19 +95,20 @@ impl Region {
 /// The matrix is symmetric with ~1 ms intra-region RTT.
 const RTT_MS: [[u32; REGION_COUNT]; REGION_COUNT] = [
     //           use1 usw2  cac  euc  euw1 euw2 euw3  eun  aps  apse1 apse2 apne1 apne2
-    /* use1  */ [1,   65,   15,  90,  70,  75,  80,  110, 190, 220,  200,  160,  180],
-    /* usw2  */ [65,  1,    60,  150, 130, 135, 140, 165, 220, 165,  140,  100,  120],
-    /* cac   */ [15,  60,   1,   95,  75,  80,  85,  110, 200, 215,  210,  155,  175],
-    /* euc   */ [90,  150,  95,  1,   25,  15,  10,  25,  110, 160,  280,  230,  240],
-    /* euw1  */ [70,  130,  75,  25,  1,   12,  18,  40,  125, 180,  280,  220,  240],
-    /* euw2  */ [75,  135,  80,  15,  12,  1,   8,   30,  115, 170,  275,  215,  235],
-    /* euw3  */ [80,  140,  85,  10,  18,  8,   1,   30,  105, 160,  280,  225,  235],
-    /* eun   */ [110, 165,  110, 25,  40,  30,  30,  1,   140, 190,  300,  250,  260],
-    /* aps   */ [190, 220,  200, 110, 125, 115, 105, 140, 1,   60,   150,  120,  130],
-    /* apse1 */ [220, 165,  215, 160, 180, 170, 160, 190, 60,  1,    95,   70,   75],
-    /* apse2 */ [200, 140,  210, 280, 280, 275, 280, 300, 150, 95,   1,    105,  135],
-    /* apne1 */ [160, 100,  155, 230, 220, 215, 225, 250, 120, 70,   105,  1,    35],
-    /* apne2 */ [180, 120,  175, 240, 240, 235, 235, 260, 130, 75,   135,  35,   1],
+    /* use1  */
+    [1, 65, 15, 90, 70, 75, 80, 110, 190, 220, 200, 160, 180],
+    /* usw2  */ [65, 1, 60, 150, 130, 135, 140, 165, 220, 165, 140, 100, 120],
+    /* cac   */ [15, 60, 1, 95, 75, 80, 85, 110, 200, 215, 210, 155, 175],
+    /* euc   */ [90, 150, 95, 1, 25, 15, 10, 25, 110, 160, 280, 230, 240],
+    /* euw1  */ [70, 130, 75, 25, 1, 12, 18, 40, 125, 180, 280, 220, 240],
+    /* euw2  */ [75, 135, 80, 15, 12, 1, 8, 30, 115, 170, 275, 215, 235],
+    /* euw3  */ [80, 140, 85, 10, 18, 8, 1, 30, 105, 160, 280, 225, 235],
+    /* eun   */ [110, 165, 110, 25, 40, 30, 30, 1, 140, 190, 300, 250, 260],
+    /* aps   */ [190, 220, 200, 110, 125, 115, 105, 140, 1, 60, 150, 120, 130],
+    /* apse1 */ [220, 165, 215, 160, 180, 170, 160, 190, 60, 1, 95, 70, 75],
+    /* apse2 */ [200, 140, 210, 280, 280, 275, 280, 300, 150, 95, 1, 105, 135],
+    /* apne1 */ [160, 100, 155, 230, 220, 215, 225, 250, 120, 70, 105, 1, 35],
+    /* apne2 */ [180, 120, 175, 240, 240, 235, 235, 260, 130, 75, 135, 35, 1],
 ];
 
 /// Geo-distributed latency: nodes assigned to the 13 regions round-robin.
@@ -211,6 +212,7 @@ mod tests {
     use rand::SeedableRng;
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn matrix_is_symmetric_with_unit_diagonal() {
         for i in 0..REGION_COUNT {
             assert_eq!(RTT_MS[i][i], 1, "diagonal at {i}");

@@ -48,6 +48,8 @@
 //! assert_eq!(sim.node(NodeId(0)).hellos, 3);
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 mod fault;
 mod latency;
 mod sim;

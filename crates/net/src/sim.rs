@@ -38,7 +38,12 @@ pub trait Node {
     fn on_start(&mut self, ctx: &mut Context<'_, Self::Message>);
 
     /// Invoked when a message arrives.
-    fn on_message(&mut self, from: NodeId, msg: Self::Message, ctx: &mut Context<'_, Self::Message>);
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: Self::Message,
+        ctx: &mut Context<'_, Self::Message>,
+    );
 
     /// Invoked when a timer armed via [`Context::set_timer`] fires.
     fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, Self::Message>);
@@ -113,7 +118,12 @@ impl<'a, M: Clone> Context<'a, M> {
     }
 
     /// Constructs a context for the threaded runtime adapter.
-    pub(crate) fn for_runtime(id: NodeId, now: SimTime, num_nodes: usize, rng: &'a mut StdRng) -> Self {
+    pub(crate) fn for_runtime(
+        id: NodeId,
+        now: SimTime,
+        num_nodes: usize,
+        rng: &'a mut StdRng,
+    ) -> Self {
         Context { id, now, num_nodes, rng, actions: Vec::new() }
     }
 
@@ -135,10 +145,7 @@ pub struct PreGstAdversary {
 
 impl Default for PreGstAdversary {
     fn default() -> Self {
-        PreGstAdversary {
-            max_extra_delay: Duration::from_millis(500),
-            loss_probability: 0.05,
-        }
+        PreGstAdversary { max_extra_delay: Duration::from_millis(500), loss_probability: 0.05 }
     }
 }
 
@@ -474,7 +481,12 @@ mod tests {
             }
         }
 
-        fn on_message(&mut self, from: NodeId, msg: Self::Message, ctx: &mut Context<'_, Self::Message>) {
+        fn on_message(
+            &mut self,
+            from: NodeId,
+            msg: Self::Message,
+            ctx: &mut Context<'_, Self::Message>,
+        ) {
             self.log.push((ctx.now(), from, msg));
             if msg == "ping" {
                 ctx.send(from, "pong");
@@ -567,7 +579,10 @@ mod tests {
             latency: LatencyModel::Constant(Duration::from_millis(10)),
             gst: SimTime::from_secs(2),
             delta: Duration::from_millis(400),
-            pre_gst: PreGstAdversary { max_extra_delay: Duration::from_millis(800), loss_probability: 0.5 },
+            pre_gst: PreGstAdversary {
+                max_extra_delay: Duration::from_millis(800),
+                loss_probability: 0.5,
+            },
             ..NetworkConfig::default()
         };
         let mut sim = Simulator::new(nodes, cfg, 99);

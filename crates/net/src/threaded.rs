@@ -104,32 +104,33 @@ where
             let mut latency_rng = StdRng::seed_from_u64(seed ^ 0x5eed ^ i as u64);
             let mut timers: BinaryHeap<Reverse<(Instant, u64)>> = BinaryHeap::new();
 
-            let process = |node: &mut N,
-                               rng: &mut StdRng,
-                               latency_rng: &mut StdRng,
-                               timers: &mut BinaryHeap<Reverse<(Instant, u64)>>,
-                               f: &mut dyn FnMut(&mut N, &mut Context<'_, N::Message>)| {
-                let now = SimTime(start.elapsed().as_micros() as u64);
-                let mut ctx = Context::for_runtime(id, now, n, rng);
-                f(node, &mut ctx);
-                for action in ctx.into_actions() {
-                    match action {
-                        Action::Send { to, msg } => {
-                            let delay = if to == id {
-                                SimDuration::from_micros(50)
-                            } else {
-                                latency.sample(id, to, latency_rng)
-                            };
-                            let at = Instant::now() + Duration::from_micros(delay.as_micros());
-                            let _ = sched_tx.send(ToScheduler::Route { at, from: id, to, msg });
-                        }
-                        Action::Timer { delay, token } => {
-                            let at = Instant::now() + Duration::from_micros(delay.as_micros());
-                            timers.push(Reverse((at, token)));
+            let process =
+                |node: &mut N,
+                 rng: &mut StdRng,
+                 latency_rng: &mut StdRng,
+                 timers: &mut BinaryHeap<Reverse<(Instant, u64)>>,
+                 f: &mut dyn FnMut(&mut N, &mut Context<'_, N::Message>)| {
+                    let now = SimTime(start.elapsed().as_micros() as u64);
+                    let mut ctx = Context::for_runtime(id, now, n, rng);
+                    f(node, &mut ctx);
+                    for action in ctx.into_actions() {
+                        match action {
+                            Action::Send { to, msg } => {
+                                let delay = if to == id {
+                                    SimDuration::from_micros(50)
+                                } else {
+                                    latency.sample(id, to, latency_rng)
+                                };
+                                let at = Instant::now() + Duration::from_micros(delay.as_micros());
+                                let _ = sched_tx.send(ToScheduler::Route { at, from: id, to, msg });
+                            }
+                            Action::Timer { delay, token } => {
+                                let at = Instant::now() + Duration::from_micros(delay.as_micros());
+                                timers.push(Reverse((at, token)));
+                            }
                         }
                     }
-                }
-            };
+                };
 
             process(&mut node, &mut rng, &mut latency_rng, &mut timers, &mut |n, ctx| {
                 n.on_start(ctx)
@@ -150,9 +151,13 @@ where
                     .unwrap_or(Duration::from_millis(20));
                 match rx.recv_timeout(timeout) {
                     Ok(Wire::Deliver { from, msg }) => {
-                        process(&mut node, &mut rng, &mut latency_rng, &mut timers, &mut |n, ctx| {
-                            n.on_message(from, msg.clone(), ctx)
-                        });
+                        process(
+                            &mut node,
+                            &mut rng,
+                            &mut latency_rng,
+                            &mut timers,
+                            &mut |n, ctx| n.on_message(from, msg.clone(), ctx),
+                        );
                     }
                     Ok(Wire::Shutdown) => return node,
                     Err(RecvTimeoutError::Timeout) => {}

@@ -88,10 +88,7 @@ impl Certificate {
             let info = committee
                 .validator(*signer)
                 .map_err(|_| CertificateError::UnknownSigner(*signer))?;
-            if !info
-                .public_key()
-                .verify(ACK_CONTEXT, self.vertex.digest.as_bytes(), sig)
-            {
+            if !info.public_key().verify(ACK_CONTEXT, self.vertex.digest.as_bytes(), sig) {
                 return Err(CertificateError::BadSignature(*signer));
             }
             stake += info.stake();
@@ -163,7 +160,7 @@ mod tests {
     fn duplicate_signer_rejected() {
         let (c, vref) = setup();
         let a = ack(&c, &vref, 0);
-        let acks = vec![a.clone(), a, ack(&c, &vref, 1)];
+        let acks = vec![a, a, ack(&c, &vref, 1)];
         assert!(matches!(
             Certificate::new(vref, acks).verify(&c),
             Err(CertificateError::DuplicateSigner(ValidatorId(0)))
@@ -174,10 +171,8 @@ mod tests {
     fn forged_signature_rejected() {
         let (c, vref) = setup();
         // v2's "ack" signed with v3's key.
-        let forged = (
-            ValidatorId(2),
-            c.keypair(ValidatorId(3)).sign(ACK_CONTEXT, vref.digest.as_bytes()),
-        );
+        let forged =
+            (ValidatorId(2), c.keypair(ValidatorId(3)).sign(ACK_CONTEXT, vref.digest.as_bytes()));
         let acks = vec![ack(&c, &vref, 0), ack(&c, &vref, 1), forged];
         assert!(matches!(
             Certificate::new(vref, acks).verify(&c),
@@ -257,9 +252,7 @@ mod tests {
             .map(|i| {
                 (
                     ValidatorId(i),
-                    committee
-                        .keypair(ValidatorId(i))
-                        .sign(ACK_CONTEXT, vref.digest.as_bytes()),
+                    committee.keypair(ValidatorId(i)).sign(ACK_CONTEXT, vref.digest.as_bytes()),
                 )
             })
             .collect();

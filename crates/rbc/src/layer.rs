@@ -148,8 +148,7 @@ impl Rbc {
                     Ok(_) => {}
                     Err(e) => panic!("own vertex rejected by local dag: {e}"),
                 }
-                fx.delivered
-                    .push(dag.get(&vertex.digest()).expect("just inserted").clone());
+                fx.delivered.push(dag.get(&vertex.digest()).expect("just inserted").clone());
                 fx.broadcast.push(RbcMessage::Vertex(vertex));
                 // Our vertex may unblock buffered children (possible after
                 // crash-recovery replays).
@@ -163,8 +162,10 @@ impl Rbc {
                 let mut acks = BTreeMap::new();
                 acks.insert(self.me, self_sig);
                 self.acked.insert((round, self.me), vref.digest);
-                self.proposals
-                    .insert(round, PendingProposal { vertex: vertex.clone(), acks, certified: false });
+                self.proposals.insert(
+                    round,
+                    PendingProposal { vertex: vertex.clone(), acks, certified: false },
+                );
                 fx.broadcast.push(RbcMessage::Propose(vertex));
                 // Degenerate committees (or whales) may self-certify.
                 let done = self.try_finalize_proposal(round, dag);
@@ -256,12 +257,8 @@ impl Rbc {
         self.acked.retain(|(round, _), _| *round >= gc);
         self.proposals.retain(|round, _| *round >= gc);
         self.certs.retain(|d, _| dag.contains(d));
-        let stale: Vec<Digest> = self
-            .pending
-            .iter()
-            .filter(|(_, (v, _))| v.round() < gc)
-            .map(|(d, _)| *d)
-            .collect();
+        let stale: Vec<Digest> =
+            self.pending.iter().filter(|(_, (v, _))| v.round() < gc).map(|(d, _)| *d).collect();
         for d in stale {
             self.drop_pending(&d);
         }
@@ -291,12 +288,17 @@ impl Rbc {
         }
         self.acked.insert(key, v.digest());
         let sig = self.keypair.sign(ACK_CONTEXT, v.digest().as_bytes());
-        fx.send
-            .push((v.author(), RbcMessage::Ack { vertex: v.reference(), sig }));
+        fx.send.push((v.author(), RbcMessage::Ack { vertex: v.reference(), sig }));
         fx
     }
 
-    fn on_ack(&mut self, from: ValidatorId, vref: VertexRef, sig: Signature, dag: &mut Dag) -> RbcEffects {
+    fn on_ack(
+        &mut self,
+        from: ValidatorId,
+        vref: VertexRef,
+        sig: Signature,
+        dag: &mut Dag,
+    ) -> RbcEffects {
         if self.mode != BroadcastMode::Certified {
             return RbcEffects::default();
         }
@@ -332,13 +334,10 @@ impl Rbc {
         }
         p.certified = true;
         let vertex = p.vertex.clone();
-        let cert = Certificate::new(
-            vertex.reference(),
-            p.acks.iter().map(|(v, s)| (*v, *s)).collect(),
-        );
+        let cert =
+            Certificate::new(vertex.reference(), p.acks.iter().map(|(v, s)| (*v, *s)).collect());
         debug_assert!(cert.verify(&self.committee).is_ok());
-        fx.broadcast
-            .push(RbcMessage::Certified(vertex.clone(), cert.clone()));
+        fx.broadcast.push(RbcMessage::Certified(vertex.clone(), cert.clone()));
         fx.merge(self.accept(vertex, Some(cert), dag));
         fx
     }
@@ -461,11 +460,8 @@ impl Rbc {
     }
 
     fn evict_one_pending(&mut self) {
-        if let Some(victim) = self
-            .pending
-            .iter()
-            .min_by_key(|(_, (v, _))| v.round())
-            .map(|(d, _)| *d)
+        if let Some(victim) =
+            self.pending.iter().min_by_key(|(_, (v, _))| v.round()).map(|(d, _)| *d)
         {
             self.drop_pending(&victim);
         }
@@ -764,7 +760,11 @@ mod tests {
             rbc0.handle(ValidatorId(i), RbcMessage::Ack { vertex: v.reference(), sig }, &mut dag0);
         }
         let sig3 = c.keypair(ValidatorId(3)).sign(ACK_CONTEXT, v.digest().as_bytes());
-        let fx = rbc0.handle(ValidatorId(3), RbcMessage::Ack { vertex: v.reference(), sig: sig3 }, &mut dag0);
+        let fx = rbc0.handle(
+            ValidatorId(3),
+            RbcMessage::Ack { vertex: v.reference(), sig: sig3 },
+            &mut dag0,
+        );
         assert!(fx.delivered.is_empty());
         assert!(fx.broadcast.is_empty());
     }

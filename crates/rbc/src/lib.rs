@@ -48,6 +48,8 @@
 //! assert_eq!(fx.delivered.len(), 1);
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 mod cert;
 mod layer;
 

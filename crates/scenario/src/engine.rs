@@ -1,0 +1,412 @@
+//! Runs an expanded [`ScenarioPlan`] and renders the results.
+//!
+//! One [`RunRow`] per planned run: the standard paper metrics
+//! ([`hh_sim::RunResult`]) plus whatever extra analyses the scenario
+//! declared (windowed latency percentiles, skipped leader rounds, B/G
+//! schedule churn). Reports render as an aligned text table for humans
+//! and as deterministic JSON for `BENCH_*.json`-style artifacts.
+
+use crate::json::Json;
+use crate::spec::{AnalysisSpec, PlannedRun, ScenarioPlan};
+use hh_sim::{collect_metrics, run_sim_limited, LatencySummary, RunLimit, RunResult, SimHandle};
+use std::fmt::Write as _;
+
+/// Latency summary for one named submission-time window.
+#[derive(Clone, Debug)]
+pub struct WindowRow {
+    /// Window name from the scenario.
+    pub name: String,
+    /// Post-warmup latencies of transactions submitted inside the window.
+    pub latency: LatencySummary,
+}
+
+/// Extra per-run analysis results.
+#[derive(Clone, Debug, Default)]
+pub struct AnalysisRow {
+    /// One entry per `[[analysis.window]]`.
+    pub windows: Vec<WindowRow>,
+    /// Even rounds ≤ the last committed anchor without a committed anchor
+    /// (Lemma 6's metric), when requested.
+    pub skipped_rounds: Option<u64>,
+    /// Round of the last committed anchor, when `skipped_rounds` is on.
+    pub last_anchor_round: Option<u64>,
+    /// Total validators swapped out across all schedule switches (the
+    /// size of every epoch's B set summed), when requested.
+    pub bg_churn: Option<u64>,
+}
+
+/// One finished run.
+#[derive(Clone, Debug)]
+pub struct RunRow {
+    /// The plan entry that produced this row.
+    pub run: PlannedRun,
+    /// Standard metrics.
+    pub result: RunResult,
+    /// Scenario-declared analyses.
+    pub analysis: AnalysisRow,
+}
+
+/// A fully executed scenario.
+#[derive(Clone, Debug)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub name: String,
+    /// Scenario description.
+    pub description: String,
+    /// Paper figure, if declared.
+    pub figure: Option<String>,
+    /// Stop rule the runs used.
+    pub limit: RunLimit,
+    /// One row per run, in plan order.
+    pub rows: Vec<RunRow>,
+}
+
+/// Executes every run of the plan, printing progress rows to stdout as
+/// they finish when `verbose`.
+///
+/// # Panics
+///
+/// Panics if a run violates the Total Order audit — a safety violation
+/// is never something to report as a data point.
+pub fn run_plan(plan: &ScenarioPlan, limit: RunLimit, verbose: bool) -> ScenarioReport {
+    let mut rows = Vec::with_capacity(plan.runs.len());
+    for (i, run) in plan.runs.iter().enumerate() {
+        let (handle, end_us) = run_sim_limited(&run.config, limit);
+        let result = collect_metrics(&run.config, &handle, end_us);
+        assert!(
+            result.agreement_ok,
+            "TOTAL ORDER VIOLATION in scenario `{}`, run {} ({})",
+            plan.name,
+            i,
+            describe(run)
+        );
+        let analysis = analyze(&plan.analysis, run, &handle, end_us);
+        let row = RunRow { run: run.clone(), result, analysis };
+        if verbose {
+            println!("{}", render_row(&row));
+        }
+        rows.push(row);
+    }
+    ScenarioReport {
+        name: plan.name.clone(),
+        description: plan.description.clone(),
+        figure: plan.figure.clone(),
+        limit,
+        rows,
+    }
+}
+
+fn describe(run: &PlannedRun) -> String {
+    run.labels.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join(" ")
+}
+
+fn analyze(spec: &AnalysisSpec, run: &PlannedRun, handle: &SimHandle, end_us: u64) -> AnalysisRow {
+    let mut analysis = AnalysisRow::default();
+    let config = &run.config;
+    let live: Vec<usize> = (0..handle.n_validators)
+        .filter(|i| !config.faults.crashed.contains(&(*i as u16)))
+        .collect();
+    let duration_us = config.duration_secs * 1_000_000;
+    let warmup_us = config.warmup_secs * 1_000_000;
+
+    for window in &spec.windows {
+        let from_us = (duration_us as f64 * window.from_frac) as u64;
+        let to_us = (duration_us as f64 * window.to_frac) as u64;
+        let mut latencies = Vec::new();
+        for &i in &live {
+            for rec in &handle.validator(i).metrics().exec_records {
+                if rec.executed_at > end_us || rec.submitted_at < warmup_us {
+                    continue;
+                }
+                if rec.submitted_at >= from_us && rec.submitted_at < to_us {
+                    latencies.push(rec.executed_at - rec.submitted_at);
+                }
+            }
+        }
+        analysis.windows.push(WindowRow {
+            name: window.name.clone(),
+            latency: LatencySummary::from_micros(latencies),
+        });
+    }
+
+    if spec.skipped_rounds {
+        // Lemma 6: count even (anchor) rounds at or below the last
+        // committed anchor that never committed, in the most advanced
+        // live validator's view.
+        let anchors = live
+            .iter()
+            .map(|i| handle.validator(*i).committed_anchors().to_vec())
+            .max_by_key(|a| a.len())
+            .unwrap_or_default();
+        let last = anchors.last().map(|a| a.round.0).unwrap_or(0);
+        let committed: std::collections::HashSet<u64> = anchors.iter().map(|a| a.round.0).collect();
+        let skipped = (0..=last).step_by(2).filter(|r| !committed.contains(r)).count() as u64;
+        analysis.skipped_rounds = Some(skipped);
+        analysis.last_anchor_round = Some(last);
+    }
+
+    if spec.schedule_churn {
+        let churn = live
+            .iter()
+            .filter_map(|i| handle.validator(*i).hammerhead_policy())
+            .map(|p| p.epoch_history().iter().map(|e| e.excluded.len() as u64).sum::<u64>())
+            .max()
+            .unwrap_or(0);
+        analysis.bg_churn = Some(churn);
+    }
+
+    analysis
+}
+
+// ---------------------------------------------------------------------------
+// Text rendering
+// ---------------------------------------------------------------------------
+
+/// One aligned human-readable line for a finished run.
+pub fn render_row(row: &RunRow) -> String {
+    let r = &row.result;
+    let mut line = format!(
+        "  {:<16} n={:<3} f={:<2} load={:<5} -> {:>7.0} tx/s | latency {:>6.2}s ±{:>5.2} \
+         (p50 {:>5.2} p95 {:>5.2}) | commits {:>5} timeouts {:>4} epochs {:>3}",
+        row.run.variant,
+        row.run.config.committee_size,
+        row.run.fault_count,
+        row.run.config.load_tps,
+        r.throughput_tps,
+        r.latency.mean,
+        r.latency.stddev,
+        r.latency.p50,
+        r.latency.p95,
+        r.commits,
+        r.leader_timeouts,
+        r.schedule_epochs,
+    );
+    for w in &row.analysis.windows {
+        let _ = write!(
+            line,
+            "\n      window {:<10} p50 {:>6.3}s p95 {:>6.3}s mean {:>6.3}s ({} txs)",
+            w.name, w.latency.p50, w.latency.p95, w.latency.mean, w.latency.count
+        );
+    }
+    if let (Some(skipped), Some(last)) =
+        (row.analysis.skipped_rounds, row.analysis.last_anchor_round)
+    {
+        let _ = write!(
+            line,
+            "\n      skipped {skipped} of {} leader rounds (last anchor round {last})",
+            last / 2 + 1
+        );
+    }
+    if let Some(churn) = row.analysis.bg_churn {
+        let _ = write!(line, "\n      schedule churn: {churn} validators swapped out");
+    }
+    line
+}
+
+/// The report header line.
+pub fn render_header(report: &ScenarioReport) -> String {
+    let mut line = format!("# scenario {}", report.name);
+    if let Some(figure) = &report.figure {
+        let _ = write!(line, " ({figure})");
+    }
+    if !report.description.is_empty() {
+        let _ = write!(line, " — {}", report.description);
+    }
+    line
+}
+
+// ---------------------------------------------------------------------------
+// JSON rendering
+// ---------------------------------------------------------------------------
+
+fn latency_json(latency: &LatencySummary) -> Json {
+    Json::object()
+        .with("count", Json::Int(latency.count as i64))
+        .with("mean_s", Json::Float(latency.mean))
+        .with("stddev_s", Json::Float(latency.stddev))
+        .with("p50_s", Json::Float(latency.p50))
+        .with("p95_s", Json::Float(latency.p95))
+        .with("max_s", Json::Float(latency.max))
+}
+
+fn row_json(row: &RunRow) -> Json {
+    // Only inherently numeric labels render as JSON numbers; free-form
+    // labels (variant, scoring, exclusion) stay strings even when they
+    // happen to look numeric, so consumers see stable types.
+    const NUMERIC_LABELS: &[&str] =
+        &["committee", "faults", "load_tps", "duration_secs", "seed", "period_rounds"];
+    let mut labels = Json::object();
+    for (key, value) in &row.run.labels {
+        let as_int: Option<i64> =
+            if NUMERIC_LABELS.contains(&key.as_str()) { value.parse().ok() } else { None };
+        labels = labels.with(
+            key,
+            match as_int {
+                Some(i) => Json::Int(i),
+                None => Json::Str(value.clone()),
+            },
+        );
+    }
+    let r = &row.result;
+    let metrics = Json::object()
+        .with("throughput_tps", Json::Float(r.throughput_tps))
+        .with("latency", latency_json(&r.latency))
+        .with("commit_latency", latency_json(&r.commit_latency))
+        .with("commits", Json::Int(r.commits as i64))
+        .with("leader_timeouts", Json::Int(r.leader_timeouts as i64))
+        .with("submitted", Json::Int(r.submitted as i64))
+        .with("client_skipped", Json::Int(r.client_skipped as i64))
+        .with("shed", Json::Int(r.shed as i64))
+        .with("schedule_epochs", Json::Int(r.schedule_epochs as i64))
+        .with("agreement_ok", Json::Bool(r.agreement_ok))
+        .with("chain_hash", Json::Str(r.chain_hash.to_string()));
+
+    let mut out = Json::object().with("labels", labels).with("metrics", metrics);
+    let a = &row.analysis;
+    if !a.windows.is_empty() || a.skipped_rounds.is_some() || a.bg_churn.is_some() {
+        let mut analysis = Json::object();
+        if !a.windows.is_empty() {
+            analysis = analysis.with(
+                "windows",
+                Json::Array(
+                    a.windows
+                        .iter()
+                        .map(|w| {
+                            Json::object()
+                                .with("name", Json::Str(w.name.clone()))
+                                .with("latency", latency_json(&w.latency))
+                        })
+                        .collect(),
+                ),
+            );
+        }
+        if let Some(skipped) = a.skipped_rounds {
+            analysis = analysis.with("skipped_leader_rounds", Json::Int(skipped as i64));
+        }
+        if let Some(last) = a.last_anchor_round {
+            analysis = analysis.with("last_anchor_round", Json::Int(last as i64));
+        }
+        if let Some(churn) = a.bg_churn {
+            analysis = analysis.with("bg_churn", Json::Int(churn as i64));
+        }
+        out = out.with("analysis", analysis);
+    }
+    out
+}
+
+/// Renders the whole report as deterministic JSON.
+pub fn report_json(report: &ScenarioReport) -> Json {
+    let limit = match report.limit {
+        RunLimit::Duration => Json::Str("duration".into()),
+        RunLimit::Rounds(n) => Json::object().with("rounds", Json::Int(n as i64)),
+    };
+    Json::object()
+        .with("scenario", Json::Str(report.name.clone()))
+        .with("description", Json::Str(report.description.clone()))
+        .with(
+            "figure",
+            match &report.figure {
+                Some(f) => Json::Str(f.clone()),
+                None => Json::Null,
+            },
+        )
+        .with("limit", limit)
+        .with("runs", Json::Array(report.rows.iter().map(row_json).collect()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{PlanOptions, ScenarioSpec};
+
+    fn tiny_spec(extra: &str) -> ScenarioSpec {
+        ScenarioSpec::parse(&format!(
+            r#"
+name = "engine-test"
+[committee]
+size = 4
+[load]
+tps = 200
+[run]
+duration_secs = 3
+warmup_secs = 1
+[network]
+model = "flat"
+{extra}
+"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn runs_plan_and_reports_metrics() {
+        let plan = tiny_spec("").plan(&PlanOptions::default()).unwrap();
+        let report = run_plan(&plan, RunLimit::Duration, false);
+        assert_eq!(report.rows.len(), 1);
+        let row = &report.rows[0];
+        assert!(row.result.agreement_ok);
+        assert!(row.result.commits > 0);
+        let json = report_json(&report).render();
+        assert!(json.contains("\"scenario\": \"engine-test\""));
+        assert!(json.contains("\"throughput_tps\""));
+    }
+
+    #[test]
+    fn analyses_populate_when_requested() {
+        let extra = r#"
+[analysis]
+skipped_rounds = true
+schedule_churn = true
+[[analysis.window]]
+name = "early"
+from_frac = 0.0
+to_frac = 0.5
+[[analysis.window]]
+name = "late"
+from_frac = 0.5
+to_frac = 1.0
+"#;
+        let plan = tiny_spec(extra).plan(&PlanOptions::default()).unwrap();
+        let report = run_plan(&plan, RunLimit::Duration, false);
+        let a = &report.rows[0].analysis;
+        assert_eq!(a.windows.len(), 2);
+        assert!(a.skipped_rounds.is_some());
+        assert!(a.bg_churn.is_some());
+        let json = report_json(&report).render();
+        assert!(json.contains("skipped_leader_rounds"));
+        assert!(json.contains("\"early\""));
+    }
+
+    #[test]
+    fn numeric_looking_variant_labels_stay_strings() {
+        let spec = ScenarioSpec::parse(
+            r#"
+name = "labels"
+[committee]
+size = 4
+[run]
+duration_secs = 2
+warmup_secs = 1
+[network]
+model = "flat"
+[[variant]]
+label = "120"
+period_rounds = 120
+"#,
+        )
+        .unwrap();
+        let plan = spec.plan(&PlanOptions::default()).unwrap();
+        let report = run_plan(&plan, RunLimit::Duration, false);
+        let json = report_json(&report).render();
+        assert!(json.contains("\"variant\": \"120\""), "free-form label must stay a string");
+        assert!(json.contains("\"period_rounds\": 120"), "numeric label renders as a number");
+    }
+
+    #[test]
+    fn identical_seeds_render_identical_json() {
+        let plan = tiny_spec("").plan(&PlanOptions::default()).unwrap();
+        let a = report_json(&run_plan(&plan, RunLimit::Duration, false)).render();
+        let b = report_json(&run_plan(&plan, RunLimit::Duration, false)).render();
+        assert_eq!(a, b);
+    }
+}

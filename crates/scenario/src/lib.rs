@@ -1,0 +1,78 @@
+//! Declarative scenario engine for the HammerHead reproduction.
+//!
+//! Every claim in the paper is a *scenario* — a committee shape, a load,
+//! a fault schedule, a scheduling configuration, and the metrics that
+//! come out. This crate turns those from hard-coded binaries into data:
+//!
+//! * a TOML schema (see `docs/scenarios.md`) parsed and validated by
+//!   [`ScenarioSpec`] — unknown keys and unrunnable parameter
+//!   combinations are rejected up front;
+//! * axis expansion ([`ScenarioSpec::plan`]): list-valued knobs
+//!   (committee sizes, loads, seeds, periods…) expand into the cross
+//!   product of concrete [`hh_sim::ExperimentConfig`]s;
+//! * an execution engine ([`run_plan`]) producing a [`ScenarioReport`]
+//!   with the paper's metrics plus declared analyses (latency windows,
+//!   skipped leader rounds, B/G churn);
+//! * deterministic JSON output ([`report_json`]) — same seeds, same
+//!   bytes;
+//! * the `hh-cli` binary: `hh-cli run scenarios/fig1_faultless.toml`,
+//!   `hh-cli list`, `hh-cli matrix`, `hh-cli validate`.
+//!
+//! The checked-in scenario files under `scenarios/` reproduce the
+//! paper's figures; the seven binaries in `hh-bench` are thin wrappers
+//! over them.
+//!
+//! # Example
+//!
+//! ```
+//! use hh_scenario::{PlanOptions, RunLimit, ScenarioSpec};
+//!
+//! let spec = ScenarioSpec::parse(r#"
+//! name = "smoke"
+//! [committee]
+//! size = 4
+//! [run]
+//! duration_secs = 2
+//! warmup_secs = 1
+//! [network]
+//! model = "flat"
+//! "#).unwrap();
+//! let plan = spec.plan(&PlanOptions::default()).unwrap();
+//! let report = hh_scenario::run_plan(&plan, RunLimit::Duration, false);
+//! assert!(report.rows[0].result.agreement_ok);
+//! ```
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod engine;
+mod json;
+mod spec;
+pub mod toml;
+
+pub use engine::{
+    render_header, render_row, report_json, run_plan, AnalysisRow, RunRow, ScenarioReport,
+    WindowRow,
+};
+pub use hh_sim::RunLimit;
+pub use json::Json;
+pub use spec::{
+    parse_scoring, scoring_name, AnalysisSpec, CountExpr, ExclusionSpec, FaultsSpec, NetworkSpec,
+    NodeSel, PlanOptions, PlannedRun, QuickSpec, ScenarioError, ScenarioPlan, ScenarioSpec,
+    SlowdownEntry, SystemSpec, VariantSpec, WhenSpec, WindowSpec,
+};
+
+use std::path::{Path, PathBuf};
+
+/// Loads and parses a scenario file.
+pub fn load_scenario(path: &Path) -> Result<ScenarioSpec, ScenarioError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ScenarioError::Io(format!("{}: {e}", path.display())))?;
+    ScenarioSpec::parse(&text)
+}
+
+/// The repository's `scenarios/` directory, resolved relative to this
+/// crate at compile time — lets the `hh-bench` wrappers find their
+/// scenario files regardless of the working directory.
+pub fn repo_scenarios_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}

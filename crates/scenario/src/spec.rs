@@ -1,0 +1,1794 @@
+//! The scenario schema: parsing, validation and expansion into concrete
+//! [`ExperimentConfig`]s.
+//!
+//! A scenario file is declarative: it names the committee/load/duration/
+//! seed *axes* (scalar or list — lists expand to the cross product), the
+//! system variants to compare, the fault schedule, and optional analyses.
+//! [`ScenarioSpec::parse`] rejects unknown keys and invalid parameter
+//! combinations up front, so a typo'd knob fails loudly instead of
+//! silently running the default. The full schema is documented in
+//! `docs/scenarios.md`.
+
+use crate::toml::{self, TomlError, Value};
+use hammerhead::{HammerheadConfig, ScheduleConfig, ScoringRule};
+use hh_sim::{ExperimentConfig, FaultSpec, SystemKind};
+use hh_types::{Committee, Stake, ValidatorId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Anything that can go wrong turning scenario text into a run plan.
+#[derive(Clone, Debug)]
+pub enum ScenarioError {
+    /// The TOML itself does not parse.
+    Toml(TomlError),
+    /// The TOML parses but does not match the schema.
+    Schema(String),
+    /// The spec matches the schema but describes an unrunnable experiment.
+    Invalid(String),
+    /// Reading the scenario file failed.
+    Io(String),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Toml(e) => write!(f, "{e}"),
+            ScenarioError::Schema(m) => write!(f, "schema error: {m}"),
+            ScenarioError::Invalid(m) => write!(f, "invalid scenario: {m}"),
+            ScenarioError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<TomlError> for ScenarioError {
+    fn from(e: TomlError) -> Self {
+        ScenarioError::Toml(e)
+    }
+}
+
+/// Which system a variant benchmarks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SystemSpec {
+    /// Static stake-weighted round-robin Bullshark (the baseline).
+    Bullshark,
+    /// HammerHead reputation scheduling.
+    Hammerhead,
+    /// One pinned leader (the §7 extreme; ablations only).
+    StaticLeader,
+}
+
+impl SystemSpec {
+    fn parse(s: &str) -> Result<Self, ScenarioError> {
+        match s {
+            "bullshark" | "round-robin" => Ok(SystemSpec::Bullshark),
+            "hammerhead" => Ok(SystemSpec::Hammerhead),
+            "static-leader" => Ok(SystemSpec::StaticLeader),
+            other => Err(ScenarioError::Schema(format!(
+                "unknown system `{other}` (expected bullshark, hammerhead or static-leader)"
+            ))),
+        }
+    }
+
+    /// The label used in output rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemSpec::Bullshark => "bullshark",
+            SystemSpec::Hammerhead => "hammerhead",
+            SystemSpec::StaticLeader => "static-leader",
+        }
+    }
+}
+
+/// The link-latency model of a run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum NetworkSpec {
+    /// The paper's 13-region AWS matrix.
+    Geo,
+    /// A flat network with the given constant one-way delay.
+    Flat {
+        /// One-way delay in milliseconds.
+        ms: u64,
+    },
+}
+
+/// The schedule-exclusion budget (set `B`'s stake bound).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExclusionSpec {
+    /// The committee's `f` (the paper's benchmark setting).
+    F,
+    /// A percentage of total committee stake (Sui mainnet runs 20%).
+    Pct(u64),
+    /// An absolute stake amount.
+    Stake(u64),
+}
+
+impl ExclusionSpec {
+    fn to_config(self, committee: &Committee) -> Option<Stake> {
+        match self {
+            ExclusionSpec::F => None,
+            ExclusionSpec::Pct(pct) => Some(Stake(committee.total_stake().0 * pct / 100)),
+            ExclusionSpec::Stake(s) => Some(Stake(s)),
+        }
+    }
+
+    fn label(self) -> String {
+        match self {
+            ExclusionSpec::F => "f".to_string(),
+            ExclusionSpec::Pct(p) => format!("{p}%"),
+            ExclusionSpec::Stake(s) => format!("stake{s}"),
+        }
+    }
+}
+
+/// Parses a scoring-rule name (`vote-based`, `leader-outcome`,
+/// `vote-ema-<alpha>`).
+pub fn parse_scoring(s: &str) -> Result<ScoringRule, ScenarioError> {
+    if s == "vote-based" {
+        return Ok(ScoringRule::VoteBased);
+    }
+    if s == "leader-outcome" {
+        return Ok(ScoringRule::LeaderOutcome);
+    }
+    if let Some(alpha) = s.strip_prefix("vote-ema-") {
+        let alpha_percent: u8 = alpha
+            .parse()
+            .map_err(|_| ScenarioError::Schema(format!("bad vote-ema alpha in `{s}`")))?;
+        return Ok(ScoringRule::VoteEma { alpha_percent });
+    }
+    Err(ScenarioError::Schema(format!(
+        "unknown scoring rule `{s}` (expected vote-based, leader-outcome or vote-ema-<alpha>)"
+    )))
+}
+
+/// Formats a scoring rule back to its scenario-file name.
+pub fn scoring_name(rule: ScoringRule) -> String {
+    match rule {
+        ScoringRule::VoteBased => "vote-based".to_string(),
+        ScoringRule::LeaderOutcome => "leader-outcome".to_string(),
+        ScoringRule::VoteEma { alpha_percent } => format!("vote-ema-{alpha_percent}"),
+    }
+}
+
+/// A validator count: absolute, or derived from the committee size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CountExpr {
+    /// Exactly this many validators.
+    Abs(u64),
+    /// `max(1, committee_size / k)` — "one in every k", as in the paper's
+    /// "10% of validators" (`"n/10"`) or "maximum tolerable faults"
+    /// (`"n/3"`).
+    DivN(u64),
+}
+
+impl CountExpr {
+    fn parse(value: &Value) -> Result<Self, ScenarioError> {
+        match value {
+            Value::Int(i) if *i >= 0 => Ok(CountExpr::Abs(*i as u64)),
+            Value::Str(s) => {
+                let k = s
+                    .strip_prefix("n/")
+                    .and_then(|k| k.parse::<u64>().ok())
+                    .filter(|k| *k > 0)
+                    .ok_or_else(|| {
+                        ScenarioError::Schema(format!(
+                            "bad count `{s}` (expected an integer or \"n/<k>\")"
+                        ))
+                    })?;
+                Ok(CountExpr::DivN(k))
+            }
+            other => Err(ScenarioError::Schema(format!(
+                "bad count `{other:?}` (expected an integer or \"n/<k>\")"
+            ))),
+        }
+    }
+
+    /// Resolves against a committee size.
+    pub fn resolve(self, committee_size: usize) -> usize {
+        match self {
+            CountExpr::Abs(k) => k as usize,
+            CountExpr::DivN(k) => (committee_size / k as usize).max(1),
+        }
+    }
+
+    fn to_value(self) -> Value {
+        match self {
+            CountExpr::Abs(k) => Value::Int(k as i64),
+            CountExpr::DivN(k) => Value::Str(format!("n/{k}")),
+        }
+    }
+}
+
+/// One named system configuration under test.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VariantSpec {
+    /// Output label for this variant's rows.
+    pub label: String,
+    /// System override (defaults to hammerhead).
+    pub system: SystemSpec,
+    /// Pinned leader for [`SystemSpec::StaticLeader`].
+    pub static_leader: u16,
+    /// Scoring-rule override.
+    pub scoring: Option<ScoringRule>,
+    /// Period override.
+    pub period_rounds: Option<u64>,
+    /// Exclusion-budget override.
+    pub exclusion: Option<ExclusionSpec>,
+}
+
+/// When a slowdown window opens.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WhenSpec {
+    /// At an absolute simulated second.
+    Secs(u64),
+    /// At this fraction of the run duration (resolved per-run, so a
+    /// "degrade halfway" scenario scales with `--duration`).
+    Frac(f64),
+}
+
+/// Which validators a fault hits.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NodeSel {
+    /// Explicit validator ids.
+    Ids(Vec<u16>),
+    /// The first `count` validators (low ids hold early leader slots).
+    First(CountExpr),
+}
+
+/// One slowdown window from the scenario's fault schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SlowdownEntry {
+    /// Affected validators.
+    pub nodes: NodeSel,
+    /// Window start.
+    pub at: WhenSpec,
+    /// Extra one-way delay while degraded, in milliseconds.
+    pub extra_ms: u64,
+}
+
+/// The scenario's fault schedule.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultsSpec {
+    /// Explicitly crashed validator ids (from t=0).
+    pub crashed: Vec<u16>,
+    /// Crash the last `count` validators from t=0 (Fig. 2's setting).
+    pub crash_last: Option<CountExpr>,
+    /// Slowdown windows (the §1 incident's shape).
+    pub slowdowns: Vec<SlowdownEntry>,
+}
+
+/// A named latency-measurement window over submission times.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WindowSpec {
+    /// Window name in the report.
+    pub name: String,
+    /// Start, as a fraction of the run duration (inclusive).
+    pub from_frac: f64,
+    /// End, as a fraction of the run duration (exclusive).
+    pub to_frac: f64,
+}
+
+/// Extra per-run analyses beyond the standard metrics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AnalysisSpec {
+    /// Latency percentiles per named submission-time window.
+    pub windows: Vec<WindowSpec>,
+    /// Count even rounds ≤ the last committed anchor with no committed
+    /// anchor (the Lemma 6 "skipped leader rounds" metric).
+    pub skipped_rounds: bool,
+    /// Report per-epoch B/G churn from the schedule history.
+    pub schedule_churn: bool,
+}
+
+/// Scaled-down axis overrides applied by `--quick`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QuickSpec {
+    /// Committee-size axis override.
+    pub sizes: Option<Vec<usize>>,
+    /// Load axis override.
+    pub tps: Option<Vec<u64>>,
+    /// Duration axis override.
+    pub duration_secs: Option<Vec<u64>>,
+    /// Seed axis override.
+    pub seeds: Option<Vec<u64>>,
+    /// Period axis override.
+    pub period_rounds: Option<Vec<u64>>,
+}
+
+/// A fully parsed scenario file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (used in output and by `hh-cli list`).
+    pub name: String,
+    /// Human description.
+    pub description: String,
+    /// The paper figure/section this scenario reproduces, if any.
+    pub figure: Option<String>,
+    /// Committee-size axis.
+    pub committee_sizes: Vec<usize>,
+    /// Offered-load axis (tx/s).
+    pub load_tps: Vec<u64>,
+    /// Run-length axis (simulated seconds).
+    pub duration_secs: Vec<u64>,
+    /// Warmup excluded from latency stats; default `max(1, duration/6)`.
+    pub warmup_secs: Option<u64>,
+    /// Seed axis.
+    pub seeds: Vec<u64>,
+    /// Global Stabilization Time (0 = synchronous, the benchmark setting).
+    pub gst_secs: u64,
+    /// Client in-flight window in seconds of offered rate.
+    pub client_window_secs: f64,
+    /// Link-latency model.
+    pub network: NetworkSpec,
+    /// Systems axis, used when `variants` is empty.
+    pub systems: Vec<SystemSpec>,
+    /// HammerHead period axis.
+    pub period_rounds: Vec<u64>,
+    /// HammerHead exclusion-budget axis.
+    pub exclusion: Vec<ExclusionSpec>,
+    /// HammerHead scoring-rule axis.
+    pub scoring: Vec<ScoringRule>,
+    /// Seed for the initial schedule permutation.
+    pub schedule_seed: u64,
+    /// Explicit variants; when non-empty they replace the systems ×
+    /// hammerhead-knob axes.
+    pub variants: Vec<VariantSpec>,
+    /// Fault schedule applied to every run.
+    pub faults: FaultsSpec,
+    /// Extra analyses.
+    pub analysis: AnalysisSpec,
+    /// `--quick` overrides.
+    pub quick: QuickSpec,
+}
+
+// ---------------------------------------------------------------------------
+// Strict table reading
+// ---------------------------------------------------------------------------
+
+fn check_keys(
+    table: &BTreeMap<String, Value>,
+    context: &str,
+    allowed: &[&str],
+) -> Result<(), ScenarioError> {
+    for key in table.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(ScenarioError::Schema(format!(
+                "unknown key `{key}` in {context} (allowed: {})",
+                allowed.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn get_table<'a>(
+    table: &'a BTreeMap<String, Value>,
+    key: &str,
+) -> Result<Option<&'a BTreeMap<String, Value>>, ScenarioError> {
+    match table.get(key) {
+        None => Ok(None),
+        Some(Value::Table(t)) => Ok(Some(t)),
+        Some(other) => {
+            Err(ScenarioError::Schema(format!("`{key}` must be a table, got {other:?}")))
+        }
+    }
+}
+
+fn get_str(
+    table: &BTreeMap<String, Value>,
+    key: &str,
+    context: &str,
+) -> Result<Option<String>, ScenarioError> {
+    match table.get(key) {
+        None => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s.clone())),
+        Some(other) => {
+            Err(ScenarioError::Schema(format!("`{context}.{key}` must be a string, got {other:?}")))
+        }
+    }
+}
+
+fn get_u64(
+    table: &BTreeMap<String, Value>,
+    key: &str,
+    context: &str,
+) -> Result<Option<u64>, ScenarioError> {
+    match table.get(key) {
+        None => Ok(None),
+        Some(Value::Int(i)) if *i >= 0 => Ok(Some(*i as u64)),
+        Some(other) => Err(ScenarioError::Schema(format!(
+            "`{context}.{key}` must be a non-negative integer, got {other:?}"
+        ))),
+    }
+}
+
+fn get_f64(
+    table: &BTreeMap<String, Value>,
+    key: &str,
+    context: &str,
+) -> Result<Option<f64>, ScenarioError> {
+    match table.get(key) {
+        None => Ok(None),
+        Some(Value::Float(x)) => Ok(Some(*x)),
+        Some(Value::Int(i)) => Ok(Some(*i as f64)),
+        Some(other) => {
+            Err(ScenarioError::Schema(format!("`{context}.{key}` must be a number, got {other:?}")))
+        }
+    }
+}
+
+fn get_bool(
+    table: &BTreeMap<String, Value>,
+    key: &str,
+    context: &str,
+) -> Result<Option<bool>, ScenarioError> {
+    match table.get(key) {
+        None => Ok(None),
+        Some(Value::Bool(b)) => Ok(Some(*b)),
+        Some(other) => Err(ScenarioError::Schema(format!(
+            "`{context}.{key}` must be a boolean, got {other:?}"
+        ))),
+    }
+}
+
+/// Reads a scalar-or-list axis of non-negative integers.
+fn get_u64_axis(
+    table: &BTreeMap<String, Value>,
+    key: &str,
+    context: &str,
+) -> Result<Option<Vec<u64>>, ScenarioError> {
+    let to_u64 = |v: &Value| -> Result<u64, ScenarioError> {
+        match v {
+            Value::Int(i) if *i >= 0 => Ok(*i as u64),
+            other => Err(ScenarioError::Schema(format!(
+                "`{context}.{key}` entries must be non-negative integers, got {other:?}"
+            ))),
+        }
+    };
+    match table.get(key) {
+        None => Ok(None),
+        Some(Value::Array(items)) => {
+            if items.is_empty() {
+                return Err(ScenarioError::Schema(format!("`{context}.{key}` must not be empty")));
+            }
+            Ok(Some(items.iter().map(to_u64).collect::<Result<_, _>>()?))
+        }
+        Some(v) => Ok(Some(vec![to_u64(v)?])),
+    }
+}
+
+fn get_str_axis(
+    table: &BTreeMap<String, Value>,
+    key: &str,
+    context: &str,
+) -> Result<Option<Vec<String>>, ScenarioError> {
+    match table.get(key) {
+        None => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(vec![s.clone()])),
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(|v| match v {
+                Value::Str(s) => Ok(s.clone()),
+                other => Err(ScenarioError::Schema(format!(
+                    "`{context}.{key}` entries must be strings, got {other:?}"
+                ))),
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map(Some),
+        Some(other) => Err(ScenarioError::Schema(format!(
+            "`{context}.{key}` must be a string or list of strings, got {other:?}"
+        ))),
+    }
+}
+
+fn axis_u64_value(xs: &[u64]) -> Value {
+    if xs.len() == 1 {
+        Value::Int(xs[0] as i64)
+    } else {
+        Value::Array(xs.iter().map(|x| Value::Int(*x as i64)).collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+impl ScenarioSpec {
+    /// Parses and validates scenario TOML text.
+    pub fn parse(text: &str) -> Result<Self, ScenarioError> {
+        Self::from_value(&toml::parse(text)?)
+    }
+
+    /// Builds a spec from an already-parsed TOML document (the hook
+    /// `hh-cli --set` uses to patch knobs before schema validation).
+    pub fn from_value(root_value: &Value) -> Result<Self, ScenarioError> {
+        let root = root_value
+            .as_table()
+            .ok_or_else(|| ScenarioError::Schema("scenario root must be a table".into()))?;
+        check_keys(
+            root,
+            "the scenario root",
+            &[
+                "name",
+                "description",
+                "figure",
+                "committee",
+                "load",
+                "run",
+                "network",
+                "systems",
+                "hammerhead",
+                "variant",
+                "faults",
+                "analysis",
+                "quick",
+            ],
+        )?;
+
+        let name = get_str(root, "name", "scenario")?
+            .ok_or_else(|| ScenarioError::Schema("missing required key `name`".into()))?;
+        let description = get_str(root, "description", "scenario")?.unwrap_or_default();
+        let figure = get_str(root, "figure", "scenario")?;
+
+        // [committee]
+        let committee = get_table(root, "committee")?;
+        let committee_sizes = match committee {
+            Some(t) => {
+                check_keys(t, "[committee]", &["size", "sizes"])?;
+                if t.contains_key("size") && t.contains_key("sizes") {
+                    return Err(ScenarioError::Schema(
+                        "set only one of committee.size / committee.sizes".into(),
+                    ));
+                }
+                let axis = get_u64_axis(t, "sizes", "committee")?.or(get_u64_axis(
+                    t,
+                    "size",
+                    "committee",
+                )?);
+                axis.map(|xs| xs.into_iter().map(|x| x as usize).collect())
+                    .unwrap_or_else(|| vec![10])
+            }
+            None => vec![10],
+        };
+
+        // [load]
+        let load_tps = match get_table(root, "load")? {
+            Some(t) => {
+                check_keys(t, "[load]", &["tps"])?;
+                get_u64_axis(t, "tps", "load")?.unwrap_or_else(|| vec![500])
+            }
+            None => vec![500],
+        };
+
+        // [run]
+        let (duration_secs, warmup_secs, seeds, gst_secs, client_window_secs) =
+            match get_table(root, "run")? {
+                Some(t) => {
+                    check_keys(
+                        t,
+                        "[run]",
+                        &[
+                            "duration_secs",
+                            "warmup_secs",
+                            "seed",
+                            "seeds",
+                            "gst_secs",
+                            "client_window_secs",
+                        ],
+                    )?;
+                    if t.contains_key("seed") && t.contains_key("seeds") {
+                        return Err(ScenarioError::Schema(
+                            "set only one of run.seed / run.seeds".into(),
+                        ));
+                    }
+                    (
+                        get_u64_axis(t, "duration_secs", "run")?.unwrap_or_else(|| vec![60]),
+                        get_u64(t, "warmup_secs", "run")?,
+                        get_u64_axis(t, "seeds", "run")?
+                            .or(get_u64_axis(t, "seed", "run")?)
+                            .unwrap_or_else(|| vec![42]),
+                        get_u64(t, "gst_secs", "run")?.unwrap_or(0),
+                        get_f64(t, "client_window_secs", "run")?.unwrap_or(2.0),
+                    )
+                }
+                None => (vec![60], None, vec![42], 0, 2.0),
+            };
+
+        // [network]
+        let network = match get_table(root, "network")? {
+            Some(t) => {
+                check_keys(t, "[network]", &["model", "flat_ms"])?;
+                let model = get_str(t, "model", "network")?.unwrap_or_else(|| "geo".into());
+                match model.as_str() {
+                    "geo" => {
+                        if t.contains_key("flat_ms") {
+                            return Err(ScenarioError::Schema(
+                                "`network.flat_ms` only applies to model = \"flat\"".into(),
+                            ));
+                        }
+                        NetworkSpec::Geo
+                    }
+                    "flat" => {
+                        NetworkSpec::Flat { ms: get_u64(t, "flat_ms", "network")?.unwrap_or(5) }
+                    }
+                    other => {
+                        return Err(ScenarioError::Schema(format!(
+                            "unknown network model `{other}` (expected geo or flat)"
+                        )))
+                    }
+                }
+            }
+            None => NetworkSpec::Geo,
+        };
+
+        // [systems]
+        let systems = match get_table(root, "systems")? {
+            Some(t) => {
+                check_keys(t, "[systems]", &["run"])?;
+                get_str_axis(t, "run", "systems")?
+                    .unwrap_or_else(|| vec!["hammerhead".into()])
+                    .iter()
+                    .map(|s| SystemSpec::parse(s))
+                    .collect::<Result<Vec<_>, _>>()?
+            }
+            None => vec![SystemSpec::Hammerhead],
+        };
+
+        // [hammerhead]
+        let (period_rounds, exclusion, scoring, schedule_seed) =
+            match get_table(root, "hammerhead")? {
+                Some(t) => {
+                    check_keys(
+                        t,
+                        "[hammerhead]",
+                        &[
+                            "period_rounds",
+                            "max_excluded_pct",
+                            "max_excluded_stake",
+                            "scoring",
+                            "schedule_seed",
+                        ],
+                    )?;
+                    let pct = get_u64_axis(t, "max_excluded_pct", "hammerhead")?;
+                    let stake = get_u64_axis(t, "max_excluded_stake", "hammerhead")?;
+                    if pct.is_some() && stake.is_some() {
+                        return Err(ScenarioError::Schema(
+                            "set only one of hammerhead.max_excluded_pct / max_excluded_stake"
+                                .into(),
+                        ));
+                    }
+                    let exclusion = match (pct, stake) {
+                        (Some(ps), _) => ps.into_iter().map(ExclusionSpec::Pct).collect(),
+                        (_, Some(ss)) => ss.into_iter().map(ExclusionSpec::Stake).collect(),
+                        _ => vec![ExclusionSpec::F],
+                    };
+                    let scoring = get_str_axis(t, "scoring", "hammerhead")?
+                        .unwrap_or_else(|| vec!["vote-based".into()])
+                        .iter()
+                        .map(|s| parse_scoring(s))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    (
+                        get_u64_axis(t, "period_rounds", "hammerhead")?.unwrap_or_else(|| vec![20]),
+                        exclusion,
+                        scoring,
+                        get_u64(t, "schedule_seed", "hammerhead")?.unwrap_or(0),
+                    )
+                }
+                None => (vec![20], vec![ExclusionSpec::F], vec![ScoringRule::VoteBased], 0),
+            };
+
+        // [[variant]]
+        let variants = match root.get("variant") {
+            None => Vec::new(),
+            Some(Value::Array(items)) => items
+                .iter()
+                .map(|item| {
+                    let t = item.as_table().ok_or_else(|| {
+                        ScenarioError::Schema("[[variant]] entries must be tables".into())
+                    })?;
+                    check_keys(
+                        t,
+                        "[[variant]]",
+                        &[
+                            "label",
+                            "system",
+                            "static_leader",
+                            "scoring",
+                            "period_rounds",
+                            "max_excluded_pct",
+                            "max_excluded_stake",
+                        ],
+                    )?;
+                    let label = get_str(t, "label", "variant")?.ok_or_else(|| {
+                        ScenarioError::Schema("[[variant]] requires a `label`".into())
+                    })?;
+                    let system = match get_str(t, "system", "variant")? {
+                        Some(s) => SystemSpec::parse(&s)?,
+                        None => SystemSpec::Hammerhead,
+                    };
+                    let pct = get_u64(t, "max_excluded_pct", "variant")?;
+                    let stake = get_u64(t, "max_excluded_stake", "variant")?;
+                    if pct.is_some() && stake.is_some() {
+                        return Err(ScenarioError::Schema(
+                            "variant sets both max_excluded_pct and max_excluded_stake".into(),
+                        ));
+                    }
+                    Ok(VariantSpec {
+                        label,
+                        system,
+                        static_leader: get_u64(t, "static_leader", "variant")?.unwrap_or(0) as u16,
+                        scoring: get_str(t, "scoring", "variant")?
+                            .map(|s| parse_scoring(&s))
+                            .transpose()?,
+                        period_rounds: get_u64(t, "period_rounds", "variant")?,
+                        exclusion: pct.map(ExclusionSpec::Pct).or(stake.map(ExclusionSpec::Stake)),
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(other) => {
+                return Err(ScenarioError::Schema(format!(
+                    "`variant` must be an array of tables ([[variant]]), got {other:?}"
+                )))
+            }
+        };
+
+        // [faults]
+        let faults = match get_table(root, "faults")? {
+            Some(t) => {
+                check_keys(t, "[faults]", &["crashed", "crash_last", "slowdown"])?;
+                let crashed = get_u64_axis(t, "crashed", "faults")?
+                    .unwrap_or_default()
+                    .into_iter()
+                    .map(|x| x as u16)
+                    .collect();
+                let crash_last = t.get("crash_last").map(CountExpr::parse).transpose()?;
+                let slowdowns = match t.get("slowdown") {
+                    None => Vec::new(),
+                    Some(Value::Array(items)) => items
+                        .iter()
+                        .map(|item| {
+                            let s = item.as_table().ok_or_else(|| {
+                                ScenarioError::Schema(
+                                    "[[faults.slowdown]] entries must be tables".into(),
+                                )
+                            })?;
+                            check_keys(
+                                s,
+                                "[[faults.slowdown]]",
+                                &["nodes", "first", "at_secs", "at_frac", "extra_ms"],
+                            )?;
+                            let nodes = match (s.get("nodes"), s.get("first")) {
+                                (Some(Value::Array(ids)), None) => NodeSel::Ids(
+                                    ids.iter()
+                                        .map(|v| match v {
+                                            Value::Int(i) if *i >= 0 => Ok(*i as u16),
+                                            other => Err(ScenarioError::Schema(format!(
+                                                "bad validator id {other:?} in slowdown.nodes"
+                                            ))),
+                                        })
+                                        .collect::<Result<_, _>>()?,
+                                ),
+                                (None, Some(v)) => NodeSel::First(CountExpr::parse(v)?),
+                                _ => {
+                                    return Err(ScenarioError::Schema(
+                                        "[[faults.slowdown]] needs exactly one of `nodes` \
+                                         (id list) or `first` (count)"
+                                            .into(),
+                                    ))
+                                }
+                            };
+                            let at = match (
+                                get_u64(s, "at_secs", "faults.slowdown")?,
+                                get_f64(s, "at_frac", "faults.slowdown")?,
+                            ) {
+                                (Some(secs), None) => WhenSpec::Secs(secs),
+                                (None, Some(frac)) => WhenSpec::Frac(frac),
+                                (None, None) => WhenSpec::Secs(0),
+                                _ => {
+                                    return Err(ScenarioError::Schema(
+                                        "[[faults.slowdown]] sets both at_secs and at_frac".into(),
+                                    ))
+                                }
+                            };
+                            let extra_ms =
+                                get_u64(s, "extra_ms", "faults.slowdown")?.ok_or_else(|| {
+                                    ScenarioError::Schema(
+                                        "[[faults.slowdown]] requires `extra_ms`".into(),
+                                    )
+                                })?;
+                            Ok(SlowdownEntry { nodes, at, extra_ms })
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    Some(other) => {
+                        return Err(ScenarioError::Schema(format!(
+                            "`faults.slowdown` must be an array of tables, got {other:?}"
+                        )))
+                    }
+                };
+                FaultsSpec { crashed, crash_last, slowdowns }
+            }
+            None => FaultsSpec::default(),
+        };
+
+        // [analysis]
+        let analysis = match get_table(root, "analysis")? {
+            Some(t) => {
+                check_keys(t, "[analysis]", &["skipped_rounds", "schedule_churn", "window"])?;
+                let windows = match t.get("window") {
+                    None => Vec::new(),
+                    Some(Value::Array(items)) => items
+                        .iter()
+                        .map(|item| {
+                            let w = item.as_table().ok_or_else(|| {
+                                ScenarioError::Schema(
+                                    "[[analysis.window]] entries must be tables".into(),
+                                )
+                            })?;
+                            check_keys(
+                                w,
+                                "[[analysis.window]]",
+                                &["name", "from_frac", "to_frac"],
+                            )?;
+                            Ok(WindowSpec {
+                                name: get_str(w, "name", "analysis.window")?.ok_or_else(|| {
+                                    ScenarioError::Schema(
+                                        "[[analysis.window]] requires `name`".into(),
+                                    )
+                                })?,
+                                from_frac: get_f64(w, "from_frac", "analysis.window")?
+                                    .unwrap_or(0.0),
+                                to_frac: get_f64(w, "to_frac", "analysis.window")?.unwrap_or(1.0),
+                            })
+                        })
+                        .collect::<Result<Vec<_>, ScenarioError>>()?,
+                    Some(other) => {
+                        return Err(ScenarioError::Schema(format!(
+                            "`analysis.window` must be an array of tables, got {other:?}"
+                        )))
+                    }
+                };
+                AnalysisSpec {
+                    windows,
+                    skipped_rounds: get_bool(t, "skipped_rounds", "analysis")?.unwrap_or(false),
+                    schedule_churn: get_bool(t, "schedule_churn", "analysis")?.unwrap_or(false),
+                }
+            }
+            None => AnalysisSpec::default(),
+        };
+
+        // [quick]
+        let quick = match get_table(root, "quick")? {
+            Some(t) => {
+                check_keys(
+                    t,
+                    "[quick]",
+                    &["sizes", "tps", "duration_secs", "seeds", "period_rounds"],
+                )?;
+                QuickSpec {
+                    sizes: get_u64_axis(t, "sizes", "quick")?
+                        .map(|xs| xs.into_iter().map(|x| x as usize).collect()),
+                    tps: get_u64_axis(t, "tps", "quick")?,
+                    duration_secs: get_u64_axis(t, "duration_secs", "quick")?,
+                    seeds: get_u64_axis(t, "seeds", "quick")?,
+                    period_rounds: get_u64_axis(t, "period_rounds", "quick")?,
+                }
+            }
+            None => QuickSpec::default(),
+        };
+
+        let spec = ScenarioSpec {
+            name,
+            description,
+            figure,
+            committee_sizes,
+            load_tps,
+            duration_secs,
+            warmup_secs,
+            seeds,
+            gst_secs,
+            client_window_secs,
+            network,
+            systems,
+            period_rounds,
+            exclusion,
+            scoring,
+            schedule_seed,
+            variants,
+            faults,
+            analysis,
+            quick,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Structural validation beyond per-key type checks; the per-committee
+    /// checks ([`HammerheadConfig::validate`], fault counts) run during
+    /// [`ScenarioSpec::plan`] where the committee size is known.
+    fn validate(&self) -> Result<(), ScenarioError> {
+        if self.committee_sizes.iter().any(|n| *n < 4) {
+            return Err(ScenarioError::Invalid(
+                "committee sizes below 4 cannot tolerate any fault (n = 3f + 1)".into(),
+            ));
+        }
+        if self.duration_secs.contains(&0) {
+            return Err(ScenarioError::Invalid("duration_secs must be positive".into()));
+        }
+        if let Some(w) = self.warmup_secs {
+            if let Some(short) = self.duration_secs.iter().find(|d| **d <= w) {
+                return Err(ScenarioError::Invalid(format!(
+                    "warmup_secs {w} does not leave a measurement window in a {short}s run"
+                )));
+            }
+        }
+        if self.client_window_secs <= 0.0 {
+            return Err(ScenarioError::Invalid("client_window_secs must be positive".into()));
+        }
+        let mut labels: Vec<&str> = self.variants.iter().map(|v| v.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        if labels.len() != self.variants.len() {
+            return Err(ScenarioError::Invalid("variant labels must be unique".into()));
+        }
+        for w in &self.analysis.windows {
+            if !(0.0..=1.0).contains(&w.from_frac)
+                || !(0.0..=1.0).contains(&w.to_frac)
+                || w.from_frac >= w.to_frac
+            {
+                return Err(ScenarioError::Invalid(format!(
+                    "analysis window `{}` must satisfy 0 <= from_frac < to_frac <= 1",
+                    w.name
+                )));
+            }
+        }
+        for s in &self.faults.slowdowns {
+            if s.extra_ms == 0 {
+                return Err(ScenarioError::Invalid("slowdown extra_ms must be positive".into()));
+            }
+            if let WhenSpec::Frac(frac) = s.at {
+                if !(0.0..=1.0).contains(&frac) {
+                    return Err(ScenarioError::Invalid(
+                        "slowdown at_frac must be within [0, 1]".into(),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the spec back to a TOML value (the canonical form used
+    /// by round-trip tests and `hh-cli validate --dump`).
+    pub fn to_value(&self) -> Value {
+        let mut root = BTreeMap::new();
+        root.insert("name".into(), Value::Str(self.name.clone()));
+        if !self.description.is_empty() {
+            root.insert("description".into(), Value::Str(self.description.clone()));
+        }
+        if let Some(figure) = &self.figure {
+            root.insert("figure".into(), Value::Str(figure.clone()));
+        }
+
+        let mut committee = BTreeMap::new();
+        committee.insert(
+            "sizes".into(),
+            axis_u64_value(&self.committee_sizes.iter().map(|n| *n as u64).collect::<Vec<_>>()),
+        );
+        root.insert("committee".into(), Value::Table(committee));
+
+        let mut load = BTreeMap::new();
+        load.insert("tps".into(), axis_u64_value(&self.load_tps));
+        root.insert("load".into(), Value::Table(load));
+
+        let mut run = BTreeMap::new();
+        run.insert("duration_secs".into(), axis_u64_value(&self.duration_secs));
+        if let Some(w) = self.warmup_secs {
+            run.insert("warmup_secs".into(), Value::Int(w as i64));
+        }
+        run.insert("seeds".into(), axis_u64_value(&self.seeds));
+        if self.gst_secs != 0 {
+            run.insert("gst_secs".into(), Value::Int(self.gst_secs as i64));
+        }
+        if self.client_window_secs != 2.0 {
+            run.insert("client_window_secs".into(), Value::Float(self.client_window_secs));
+        }
+        root.insert("run".into(), Value::Table(run));
+
+        let mut network = BTreeMap::new();
+        match self.network {
+            NetworkSpec::Geo => {
+                network.insert("model".into(), Value::Str("geo".into()));
+            }
+            NetworkSpec::Flat { ms } => {
+                network.insert("model".into(), Value::Str("flat".into()));
+                network.insert("flat_ms".into(), Value::Int(ms as i64));
+            }
+        }
+        root.insert("network".into(), Value::Table(network));
+
+        let mut systems = BTreeMap::new();
+        systems.insert(
+            "run".into(),
+            Value::Array(self.systems.iter().map(|s| Value::Str(s.label().to_string())).collect()),
+        );
+        root.insert("systems".into(), Value::Table(systems));
+
+        let mut hammerhead = BTreeMap::new();
+        hammerhead.insert("period_rounds".into(), axis_u64_value(&self.period_rounds));
+        match self.exclusion.as_slice() {
+            [ExclusionSpec::F] => {}
+            xs if xs.iter().all(|x| matches!(x, ExclusionSpec::Pct(_))) => {
+                let pcts: Vec<u64> = xs
+                    .iter()
+                    .map(|x| match x {
+                        ExclusionSpec::Pct(p) => *p,
+                        _ => unreachable!("checked by the guard"),
+                    })
+                    .collect();
+                hammerhead.insert("max_excluded_pct".into(), axis_u64_value(&pcts));
+            }
+            xs => {
+                let stakes: Vec<u64> = xs
+                    .iter()
+                    .map(|x| match x {
+                        ExclusionSpec::Stake(s) => *s,
+                        other => panic!("mixed exclusion axis {other:?}"),
+                    })
+                    .collect();
+                hammerhead.insert("max_excluded_stake".into(), axis_u64_value(&stakes));
+            }
+        }
+        if self.scoring != vec![ScoringRule::VoteBased] {
+            hammerhead.insert(
+                "scoring".into(),
+                Value::Array(self.scoring.iter().map(|s| Value::Str(scoring_name(*s))).collect()),
+            );
+        }
+        if self.schedule_seed != 0 {
+            hammerhead.insert("schedule_seed".into(), Value::Int(self.schedule_seed as i64));
+        }
+        root.insert("hammerhead".into(), Value::Table(hammerhead));
+
+        if !self.variants.is_empty() {
+            let items = self
+                .variants
+                .iter()
+                .map(|v| {
+                    let mut t = BTreeMap::new();
+                    t.insert("label".into(), Value::Str(v.label.clone()));
+                    t.insert("system".into(), Value::Str(v.system.label().to_string()));
+                    if v.system == SystemSpec::StaticLeader {
+                        t.insert("static_leader".into(), Value::Int(v.static_leader as i64));
+                    }
+                    if let Some(s) = v.scoring {
+                        t.insert("scoring".into(), Value::Str(scoring_name(s)));
+                    }
+                    if let Some(p) = v.period_rounds {
+                        t.insert("period_rounds".into(), Value::Int(p as i64));
+                    }
+                    match v.exclusion {
+                        Some(ExclusionSpec::Pct(p)) => {
+                            t.insert("max_excluded_pct".into(), Value::Int(p as i64));
+                        }
+                        Some(ExclusionSpec::Stake(s)) => {
+                            t.insert("max_excluded_stake".into(), Value::Int(s as i64));
+                        }
+                        Some(ExclusionSpec::F) | None => {}
+                    }
+                    Value::Table(t)
+                })
+                .collect();
+            root.insert("variant".into(), Value::Array(items));
+        }
+
+        let mut faults = BTreeMap::new();
+        if !self.faults.crashed.is_empty() {
+            faults.insert(
+                "crashed".into(),
+                Value::Array(self.faults.crashed.iter().map(|i| Value::Int(*i as i64)).collect()),
+            );
+        }
+        if let Some(c) = self.faults.crash_last {
+            faults.insert("crash_last".into(), c.to_value());
+        }
+        if !self.faults.slowdowns.is_empty() {
+            let items = self
+                .faults
+                .slowdowns
+                .iter()
+                .map(|s| {
+                    let mut t = BTreeMap::new();
+                    match &s.nodes {
+                        NodeSel::Ids(ids) => {
+                            t.insert(
+                                "nodes".into(),
+                                Value::Array(ids.iter().map(|i| Value::Int(*i as i64)).collect()),
+                            );
+                        }
+                        NodeSel::First(c) => {
+                            t.insert("first".into(), c.to_value());
+                        }
+                    }
+                    match s.at {
+                        WhenSpec::Secs(0) => {}
+                        WhenSpec::Secs(secs) => {
+                            t.insert("at_secs".into(), Value::Int(secs as i64));
+                        }
+                        WhenSpec::Frac(frac) => {
+                            t.insert("at_frac".into(), Value::Float(frac));
+                        }
+                    }
+                    t.insert("extra_ms".into(), Value::Int(s.extra_ms as i64));
+                    Value::Table(t)
+                })
+                .collect();
+            faults.insert("slowdown".into(), Value::Array(items));
+        }
+        if !faults.is_empty() {
+            root.insert("faults".into(), Value::Table(faults));
+        }
+
+        let mut analysis = BTreeMap::new();
+        if self.analysis.skipped_rounds {
+            analysis.insert("skipped_rounds".into(), Value::Bool(true));
+        }
+        if self.analysis.schedule_churn {
+            analysis.insert("schedule_churn".into(), Value::Bool(true));
+        }
+        if !self.analysis.windows.is_empty() {
+            let items = self
+                .analysis
+                .windows
+                .iter()
+                .map(|w| {
+                    let mut t = BTreeMap::new();
+                    t.insert("name".into(), Value::Str(w.name.clone()));
+                    t.insert("from_frac".into(), Value::Float(w.from_frac));
+                    t.insert("to_frac".into(), Value::Float(w.to_frac));
+                    Value::Table(t)
+                })
+                .collect();
+            analysis.insert("window".into(), Value::Array(items));
+        }
+        if !analysis.is_empty() {
+            root.insert("analysis".into(), Value::Table(analysis));
+        }
+
+        let mut quick = BTreeMap::new();
+        if let Some(xs) = &self.quick.sizes {
+            quick.insert(
+                "sizes".into(),
+                axis_u64_value(&xs.iter().map(|n| *n as u64).collect::<Vec<_>>()),
+            );
+        }
+        if let Some(xs) = &self.quick.tps {
+            quick.insert("tps".into(), axis_u64_value(xs));
+        }
+        if let Some(xs) = &self.quick.duration_secs {
+            quick.insert("duration_secs".into(), axis_u64_value(xs));
+        }
+        if let Some(xs) = &self.quick.seeds {
+            quick.insert("seeds".into(), axis_u64_value(xs));
+        }
+        if let Some(xs) = &self.quick.period_rounds {
+            quick.insert("period_rounds".into(), axis_u64_value(xs));
+        }
+        if !quick.is_empty() {
+            root.insert("quick".into(), Value::Table(quick));
+        }
+
+        Value::Table(root)
+    }
+
+    /// Serializes to canonical TOML text.
+    pub fn to_toml(&self) -> String {
+        toml::serialize(&self.to_value())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expansion into a run plan
+// ---------------------------------------------------------------------------
+
+/// Command-line-level adjustments applied while expanding a spec.
+#[derive(Clone, Debug, Default)]
+pub struct PlanOptions {
+    /// Apply the scenario's `[quick]` overrides.
+    pub quick: bool,
+    /// Replace the duration axis.
+    pub duration_override: Option<u64>,
+    /// Replace the seed axis.
+    pub seed_override: Option<u64>,
+}
+
+/// One fully resolved run: its output labels and simulator config.
+#[derive(Clone, Debug)]
+pub struct PlannedRun {
+    /// Variant label (system name when no explicit variants are defined).
+    pub variant: String,
+    /// System label (`bullshark` / `hammerhead` / `static-leader`).
+    pub system: String,
+    /// Ordered key/value labels identifying the run in reports.
+    pub labels: Vec<(String, String)>,
+    /// Number of crashed validators.
+    pub fault_count: usize,
+    /// The simulator configuration.
+    pub config: ExperimentConfig,
+}
+
+/// An expanded scenario: every concrete run, in a deterministic order.
+#[derive(Clone, Debug)]
+pub struct ScenarioPlan {
+    /// Scenario name.
+    pub name: String,
+    /// Scenario description.
+    pub description: String,
+    /// Paper figure, if declared.
+    pub figure: Option<String>,
+    /// The runs, ordered committee → variant → duration → load → seed.
+    pub runs: Vec<PlannedRun>,
+    /// Analyses to compute per run.
+    pub analysis: AnalysisSpec,
+}
+
+/// The variants in force after merging the axis defaults.
+fn effective_variants(spec: &ScenarioSpec, period_axis: &[u64]) -> Vec<VariantSpec> {
+    if !spec.variants.is_empty() {
+        return spec.variants.clone();
+    }
+    let mut out = Vec::new();
+    for system in &spec.systems {
+        match system {
+            SystemSpec::Bullshark | SystemSpec::StaticLeader => out.push(VariantSpec {
+                label: system.label().to_string(),
+                system: *system,
+                static_leader: 0,
+                scoring: None,
+                period_rounds: None,
+                exclusion: None,
+            }),
+            SystemSpec::Hammerhead => {
+                for &period in period_axis {
+                    for &exclusion in &spec.exclusion {
+                        for &scoring in &spec.scoring {
+                            let mut label = "hammerhead".to_string();
+                            if period_axis.len() > 1 {
+                                label.push_str(&format!("-T{period}"));
+                            }
+                            if spec.exclusion.len() > 1 {
+                                label.push_str(&format!("-ex{}", exclusion.label()));
+                            }
+                            if spec.scoring.len() > 1 {
+                                label.push_str(&format!("-{}", scoring_name(scoring)));
+                            }
+                            out.push(VariantSpec {
+                                label,
+                                system: SystemSpec::Hammerhead,
+                                static_leader: 0,
+                                scoring: Some(scoring),
+                                period_rounds: Some(period),
+                                exclusion: Some(exclusion),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+impl ScenarioSpec {
+    /// Expands the axes into concrete runs, validating every combination.
+    pub fn plan(&self, opts: &PlanOptions) -> Result<ScenarioPlan, ScenarioError> {
+        let sizes = match (opts.quick, &self.quick.sizes) {
+            (true, Some(s)) => s.clone(),
+            _ => self.committee_sizes.clone(),
+        };
+        let loads = match (opts.quick, &self.quick.tps) {
+            (true, Some(t)) => t.clone(),
+            _ => self.load_tps.clone(),
+        };
+        let mut durations = match (opts.quick, &self.quick.duration_secs) {
+            (true, Some(d)) => d.clone(),
+            _ => self.duration_secs.clone(),
+        };
+        if let Some(d) = opts.duration_override {
+            if d == 0 {
+                return Err(ScenarioError::Invalid("duration override must be positive".into()));
+            }
+            durations = vec![d];
+        }
+        let mut seeds = match (opts.quick, &self.quick.seeds) {
+            (true, Some(s)) => s.clone(),
+            _ => self.seeds.clone(),
+        };
+        if let Some(s) = opts.seed_override {
+            seeds = vec![s];
+        }
+        let period_axis = match (opts.quick, &self.quick.period_rounds) {
+            (true, Some(p)) => p.clone(),
+            _ => self.period_rounds.clone(),
+        };
+        // Quick/CLI overrides bypass parse-time validation, so the
+        // effective axes are re-checked here.
+        if let Some(&small) = sizes.iter().find(|n| **n < 4) {
+            return Err(ScenarioError::Invalid(format!(
+                "committee size {small} cannot tolerate any fault (n = 3f + 1)"
+            )));
+        }
+        if durations.contains(&0) {
+            return Err(ScenarioError::Invalid("duration_secs must be positive".into()));
+        }
+        if let Some(w) = self.warmup_secs {
+            if let Some(short) = durations.iter().find(|d| **d <= w) {
+                return Err(ScenarioError::Invalid(format!(
+                    "warmup_secs {w} does not leave a measurement window in a {short}s run"
+                )));
+            }
+        }
+        let variants = effective_variants(self, &period_axis);
+
+        let mut runs = Vec::new();
+        for &n in &sizes {
+            let committee = Committee::new_equal_stake(n);
+            let crashed = self.resolve_crashes(n)?;
+            for variant in &variants {
+                for &duration in &durations {
+                    for &load in &loads {
+                        for &seed in &seeds {
+                            let config = self.build_config(
+                                n, &committee, &crashed, variant, duration, load, seed,
+                            )?;
+                            let mut labels: Vec<(String, String)> = vec![
+                                ("variant".into(), variant.label.clone()),
+                                ("system".into(), variant.system.label().into()),
+                                ("committee".into(), n.to_string()),
+                                ("faults".into(), crashed.len().to_string()),
+                                ("load_tps".into(), load.to_string()),
+                                ("duration_secs".into(), duration.to_string()),
+                                ("seed".into(), seed.to_string()),
+                            ];
+                            if variant.system == SystemSpec::Hammerhead {
+                                labels.push((
+                                    "period_rounds".into(),
+                                    config.hammerhead.period_rounds.to_string(),
+                                ));
+                                labels.push((
+                                    "scoring".into(),
+                                    scoring_name(config.hammerhead.scoring_rule),
+                                ));
+                                labels.push((
+                                    "exclusion".into(),
+                                    variant.exclusion.unwrap_or(ExclusionSpec::F).label(),
+                                ));
+                            }
+                            runs.push(PlannedRun {
+                                variant: variant.label.clone(),
+                                system: variant.system.label().to_string(),
+                                labels,
+                                fault_count: crashed.len(),
+                                config,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(ScenarioPlan {
+            name: self.name.clone(),
+            description: self.description.clone(),
+            figure: self.figure.clone(),
+            runs,
+            analysis: self.analysis.clone(),
+        })
+    }
+
+    fn resolve_crashes(&self, n: usize) -> Result<Vec<u16>, ScenarioError> {
+        let mut crashed: Vec<u16> = self.faults.crashed.clone();
+        if let Some(expr) = self.faults.crash_last {
+            let count = expr.resolve(n);
+            if count >= n {
+                return Err(ScenarioError::Invalid(format!(
+                    "crash_last resolves to {count} of {n} validators — nobody left alive"
+                )));
+            }
+            crashed.extend(((n - count)..n).map(|i| i as u16));
+        }
+        crashed.sort_unstable();
+        crashed.dedup();
+        if let Some(&out_of_range) = crashed.iter().find(|i| **i as usize >= n) {
+            return Err(ScenarioError::Invalid(format!(
+                "crashed validator {out_of_range} is outside the committee of {n}"
+            )));
+        }
+        // Beyond f crashed validators the protocol cannot commit at all;
+        // running such a scenario measures nothing.
+        let f = (n - 1) / 3;
+        if crashed.len() > f {
+            return Err(ScenarioError::Invalid(format!(
+                "{} crashed validators exceeds f = {f} for a committee of {n}",
+                crashed.len()
+            )));
+        }
+        Ok(crashed)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_config(
+        &self,
+        n: usize,
+        committee: &Committee,
+        crashed: &[u16],
+        variant: &VariantSpec,
+        duration: u64,
+        load: u64,
+        seed: u64,
+    ) -> Result<ExperimentConfig, ScenarioError> {
+        let system = match variant.system {
+            SystemSpec::Hammerhead => SystemKind::Hammerhead,
+            SystemSpec::Bullshark | SystemSpec::StaticLeader => SystemKind::Bullshark,
+        };
+        let mut config = ExperimentConfig::paper(system, n, load);
+        config.duration_secs = duration;
+        config.warmup_secs = self.warmup_secs.unwrap_or((duration / 6).max(1));
+        config.seed = seed;
+        config.gst_secs = self.gst_secs;
+        config.client_window_secs = self.client_window_secs;
+        match self.network {
+            NetworkSpec::Geo => {
+                config.geo = true;
+            }
+            NetworkSpec::Flat { ms } => {
+                config.geo = false;
+                config.flat_latency_ms = ms;
+            }
+        }
+
+        if variant.system == SystemSpec::Hammerhead {
+            let hh = HammerheadConfig {
+                period_rounds: variant.period_rounds.unwrap_or(self.period_rounds[0]),
+                max_excluded_stake: variant
+                    .exclusion
+                    .unwrap_or(self.exclusion[0])
+                    .to_config(committee),
+                scoring_rule: variant.scoring.unwrap_or(self.scoring[0]),
+                schedule_seed: self.schedule_seed,
+            };
+            hh.validate(committee).map_err(|e| {
+                ScenarioError::Invalid(format!("variant `{}` on n = {n}: {e}", variant.label))
+            })?;
+            config.hammerhead = hh;
+        }
+        if variant.system == SystemSpec::StaticLeader {
+            let leader = variant.static_leader;
+            if leader as usize >= n {
+                return Err(ScenarioError::Invalid(format!(
+                    "static_leader {leader} is outside the committee of {n}"
+                )));
+            }
+            if crashed.contains(&leader) {
+                return Err(ScenarioError::Invalid(format!(
+                    "static_leader {leader} is crashed — the run would never commit"
+                )));
+            }
+            config.schedule_override = Some(ScheduleConfig::StaticLeader(ValidatorId(leader)));
+        }
+
+        let mut slowdowns = Vec::new();
+        for entry in &self.faults.slowdowns {
+            let from_us = match entry.at {
+                WhenSpec::Secs(secs) => secs * 1_000_000,
+                WhenSpec::Frac(frac) => (duration as f64 * frac * 1e6) as u64,
+            };
+            let nodes: Vec<u16> = match &entry.nodes {
+                NodeSel::Ids(ids) => {
+                    if let Some(&bad) = ids.iter().find(|i| **i as usize >= n) {
+                        return Err(ScenarioError::Invalid(format!(
+                            "slowdown validator {bad} is outside the committee of {n}"
+                        )));
+                    }
+                    ids.clone()
+                }
+                NodeSel::First(count) => {
+                    let k = count.resolve(n).min(n);
+                    (0..k as u16).collect()
+                }
+            };
+            for node in nodes {
+                slowdowns.push((node, from_us, entry.extra_ms * 1000));
+            }
+        }
+        config.faults = FaultSpec { crashed: crashed.to_vec(), slowdowns };
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = "name = \"mini\"\n";
+
+    #[test]
+    fn minimal_spec_uses_paper_defaults() {
+        let spec = ScenarioSpec::parse(MINIMAL).unwrap();
+        assert_eq!(spec.committee_sizes, vec![10]);
+        assert_eq!(spec.load_tps, vec![500]);
+        assert_eq!(spec.duration_secs, vec![60]);
+        assert_eq!(spec.seeds, vec![42]);
+        assert_eq!(spec.network, NetworkSpec::Geo);
+        assert_eq!(spec.systems, vec![SystemSpec::Hammerhead]);
+
+        let plan = spec.plan(&PlanOptions::default()).unwrap();
+        assert_eq!(plan.runs.len(), 1);
+        let config = &plan.runs[0].config;
+        assert_eq!(config.committee_size, 10);
+        assert_eq!(config.load_tps, 500);
+        assert_eq!(config.duration_secs, 60);
+        assert_eq!(config.warmup_secs, 10, "default warmup is duration/6");
+        assert!(config.geo);
+        assert_eq!(config.hammerhead.period_rounds, 20);
+    }
+
+    #[test]
+    fn axes_expand_to_cross_product_in_stable_order() {
+        let spec = ScenarioSpec::parse(
+            r#"
+name = "sweep"
+[committee]
+sizes = [10, 13]
+[load]
+tps = [100, 200]
+[systems]
+run = ["bullshark", "hammerhead"]
+"#,
+        )
+        .unwrap();
+        let plan = spec.plan(&PlanOptions::default()).unwrap();
+        assert_eq!(plan.runs.len(), 8);
+        // committee-major, then variant, then load.
+        assert_eq!(plan.runs[0].labels[2].1, "10");
+        assert_eq!(plan.runs[0].system, "bullshark");
+        assert_eq!(plan.runs[0].config.load_tps, 100);
+        assert_eq!(plan.runs[1].config.load_tps, 200);
+        assert_eq!(plan.runs[2].system, "hammerhead");
+        assert_eq!(plan.runs[4].labels[2].1, "13");
+    }
+
+    #[test]
+    fn unknown_keys_rejected_everywhere() {
+        for doc in [
+            "name = \"x\"\ntypo = 1\n",
+            "name = \"x\"\n[committee]\nsize = 10\nbad = 1\n",
+            "name = \"x\"\n[run]\nduration = 5\n",
+            "name = \"x\"\n[hammerhead]\nperiod = 3\n",
+        ] {
+            let err = ScenarioSpec::parse(doc).unwrap_err();
+            assert!(matches!(err, ScenarioError::Schema(_)), "doc {doc:?} gave {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_period_below_two() {
+        let err = ScenarioSpec::parse("name = \"x\"\n[hammerhead]\nperiod_rounds = 1\n")
+            .unwrap()
+            .plan(&PlanOptions::default())
+            .unwrap_err();
+        assert!(err.to_string().contains("period_rounds"), "{err}");
+    }
+
+    #[test]
+    fn rejects_excluded_stake_above_f() {
+        // f = 3 for n = 10; 40% of stake = 4 > f.
+        let err = ScenarioSpec::parse("name = \"x\"\n[hammerhead]\nmax_excluded_pct = 40\n")
+            .unwrap()
+            .plan(&PlanOptions::default())
+            .unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn rejects_more_crashes_than_f() {
+        let err = ScenarioSpec::parse("name = \"x\"\n[faults]\ncrash_last = 4\n")
+            .unwrap()
+            .plan(&PlanOptions::default())
+            .unwrap_err();
+        assert!(err.to_string().contains("exceeds f"), "{err}");
+    }
+
+    #[test]
+    fn crash_expressions_resolve_per_committee() {
+        let spec = ScenarioSpec::parse(
+            "name = \"x\"\n[committee]\nsizes = [10, 100]\n[faults]\ncrash_last = \"n/3\"\n",
+        )
+        .unwrap();
+        let plan = spec.plan(&PlanOptions::default()).unwrap();
+        assert_eq!(plan.runs[0].fault_count, 3);
+        assert_eq!(plan.runs[1].fault_count, 33);
+        // The last validators crash, not the first.
+        assert_eq!(plan.runs[0].config.faults.crashed, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn variants_replace_system_axes() {
+        let spec = ScenarioSpec::parse(
+            r#"
+name = "ablation"
+[[variant]]
+label = "vote-based"
+scoring = "vote-based"
+[[variant]]
+label = "static"
+system = "static-leader"
+static_leader = 2
+"#,
+        )
+        .unwrap();
+        let plan = spec.plan(&PlanOptions::default()).unwrap();
+        assert_eq!(plan.runs.len(), 2);
+        assert_eq!(plan.runs[0].variant, "vote-based");
+        assert!(matches!(
+            plan.runs[1].config.schedule_override,
+            Some(ScheduleConfig::StaticLeader(ValidatorId(2)))
+        ));
+    }
+
+    #[test]
+    fn static_leader_must_be_alive() {
+        let err = ScenarioSpec::parse(
+            r#"
+name = "x"
+[faults]
+crashed = [0]
+[[variant]]
+label = "static"
+system = "static-leader"
+static_leader = 0
+"#,
+        )
+        .unwrap()
+        .plan(&PlanOptions::default())
+        .unwrap_err();
+        assert!(err.to_string().contains("crashed"), "{err}");
+    }
+
+    #[test]
+    fn quick_overrides_apply_only_with_flag() {
+        let spec = ScenarioSpec::parse(
+            r#"
+name = "x"
+[committee]
+sizes = [10, 50]
+[quick]
+sizes = [10]
+duration_secs = 5
+"#,
+        )
+        .unwrap();
+        assert_eq!(spec.plan(&PlanOptions::default()).unwrap().runs.len(), 2);
+        let quick = spec.plan(&PlanOptions { quick: true, ..PlanOptions::default() }).unwrap();
+        assert_eq!(quick.runs.len(), 1);
+        assert_eq!(quick.runs[0].config.duration_secs, 5);
+    }
+
+    #[test]
+    fn slowdown_fractions_scale_with_duration() {
+        let spec = ScenarioSpec::parse(
+            r#"
+name = "incident"
+[run]
+duration_secs = 40
+[[faults.slowdown]]
+first = "n/10"
+at_frac = 0.5
+extra_ms = 800
+"#,
+        )
+        .unwrap();
+        let plan = spec.plan(&PlanOptions::default()).unwrap();
+        let config = &plan.runs[0].config;
+        // n = 10 → one degraded validator, onset at 20s, +800 ms.
+        assert_eq!(config.faults.slowdowns, vec![(0, 20_000_000, 800_000)]);
+    }
+
+    #[test]
+    fn spec_round_trips_through_toml() {
+        let doc = r#"
+name = "round"
+description = "exercise most knobs"
+figure = "Figure 9"
+[committee]
+sizes = [10, 50]
+[load]
+tps = [250, 500]
+[run]
+duration_secs = 30
+warmup_secs = 5
+seeds = [1, 2]
+[network]
+model = "flat"
+flat_ms = 7
+[systems]
+run = ["bullshark", "hammerhead"]
+[hammerhead]
+period_rounds = [4, 20]
+max_excluded_pct = [10, 20]
+scoring = ["vote-based", "vote-ema-30"]
+schedule_seed = 3
+[faults]
+crashed = [1]
+crash_last = "n/5"
+[[faults.slowdown]]
+first = 2
+at_frac = 0.5
+extra_ms = 100
+[analysis]
+skipped_rounds = true
+[[analysis.window]]
+name = "late"
+from_frac = 0.5
+to_frac = 1.0
+[quick]
+sizes = [10]
+tps = [250]
+"#;
+        let spec = ScenarioSpec::parse(doc).unwrap();
+        let text = spec.to_toml();
+        let again = ScenarioSpec::parse(&text).unwrap();
+        assert_eq!(spec, again, "canonical form:\n{text}");
+    }
+
+    #[test]
+    fn overridden_axes_are_revalidated() {
+        // --duration below the explicit warmup leaves no measurement window.
+        let spec = ScenarioSpec::parse("name = \"x\"\n[run]\nwarmup_secs = 6\n").unwrap();
+        let err = spec
+            .plan(&PlanOptions { duration_override: Some(5), ..PlanOptions::default() })
+            .unwrap_err();
+        assert!(err.to_string().contains("measurement window"), "{err}");
+
+        // [quick] committee sizes below the n = 3f + 1 minimum.
+        let spec = ScenarioSpec::parse("name = \"x\"\n[quick]\nsizes = 2\n").unwrap();
+        assert!(spec.plan(&PlanOptions::default()).is_ok(), "non-quick path is unaffected");
+        let err = spec.plan(&PlanOptions { quick: true, ..PlanOptions::default() }).unwrap_err();
+        assert!(err.to_string().contains("committee size 2"), "{err}");
+    }
+
+    #[test]
+    fn conflicting_scalar_and_plural_keys_rejected() {
+        for doc in [
+            "name = \"x\"\n[committee]\nsize = 50\nsizes = [10]\n",
+            "name = \"x\"\n[run]\nseed = 1\nseeds = [2, 3]\n",
+        ] {
+            let err = ScenarioSpec::parse(doc).unwrap_err();
+            assert!(err.to_string().contains("only one of"), "doc {doc:?} gave {err}");
+        }
+    }
+
+    #[test]
+    fn exclusion_pct_derives_from_total_stake() {
+        let spec =
+            ScenarioSpec::parse("name = \"x\"\n[hammerhead]\nmax_excluded_pct = 30\n").unwrap();
+        let plan = spec.plan(&PlanOptions::default()).unwrap();
+        // Equal-stake committee of 10: total stake 10, 30% → 3 = f.
+        assert_eq!(plan.runs[0].config.hammerhead.max_excluded_stake, Some(Stake(3)));
+    }
+
+    #[test]
+    fn duration_and_seed_overrides() {
+        let spec = ScenarioSpec::parse("name = \"x\"\n[run]\nseeds = [1, 2]\n").unwrap();
+        let plan = spec
+            .plan(&PlanOptions {
+                duration_override: Some(9),
+                seed_override: Some(77),
+                ..PlanOptions::default()
+            })
+            .unwrap();
+        assert_eq!(plan.runs.len(), 1);
+        assert_eq!(plan.runs[0].config.duration_secs, 9);
+        assert_eq!(plan.runs[0].config.seed, 77);
+        // Warmup follows the overridden duration.
+        assert_eq!(plan.runs[0].config.warmup_secs, 1);
+    }
+}

@@ -1,0 +1,75 @@
+//! Golden-file test pinning the shape of `hh-cli run` JSON output.
+//!
+//! Consumers (plot scripts, CI trend tracking) key on the report's
+//! structure. This test runs a tiny scenario exercising every optional
+//! section (windows, skipped rounds, churn), extracts the set of key
+//! paths from the JSON, and compares it to the checked-in golden file.
+//! Values are free to drift with the simulator; the *shape* is not —
+//! regenerate `tests/golden/report_shape.txt` deliberately when
+//! extending the format (instructions in the assertion message).
+
+use hh_scenario::{report_json, run_plan, Json, PlanOptions, RunLimit, ScenarioSpec};
+use std::collections::BTreeSet;
+
+const GOLDEN: &str = include_str!("golden/report_shape.txt");
+
+/// Collects `a.b[].c`-style key paths; array elements collapse into `[]`
+/// so run count does not affect the shape.
+fn shape(json: &Json, prefix: &str, out: &mut BTreeSet<String>) {
+    match json {
+        Json::Object(pairs) => {
+            for (key, value) in pairs {
+                let path = if prefix.is_empty() { key.clone() } else { format!("{prefix}.{key}") };
+                out.insert(path.clone());
+                shape(value, &path, out);
+            }
+        }
+        Json::Array(items) => {
+            for item in items {
+                shape(item, &format!("{prefix}[]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[test]
+fn report_json_shape_is_pinned() {
+    let spec = ScenarioSpec::parse(
+        r#"
+name = "golden"
+[committee]
+size = 4
+[load]
+tps = 200
+[run]
+duration_secs = 3
+warmup_secs = 1
+[network]
+model = "flat"
+[analysis]
+skipped_rounds = true
+schedule_churn = true
+[[analysis.window]]
+name = "whole"
+from_frac = 0.0
+to_frac = 1.0
+"#,
+    )
+    .expect("golden scenario parses");
+    let plan = spec.plan(&PlanOptions::default()).expect("plans");
+    let report = run_plan(&plan, RunLimit::Duration, false);
+    let json = report_json(&report);
+
+    let mut got = BTreeSet::new();
+    shape(&json, "", &mut got);
+    let got_text: String = got.iter().map(|p| format!("{p}\n")).collect();
+
+    assert_eq!(
+        got_text.trim(),
+        GOLDEN.trim(),
+        "hh-cli JSON report shape changed.\n\
+         If intentional, update crates/scenario/tests/golden/report_shape.txt \
+         with the shape printed above."
+    );
+}

@@ -267,9 +267,8 @@ mod tests {
         let mut sim = Simulator::new(actors, net, 7);
         sim.run_until(SimTime::from_secs(5));
 
-        let commit_counts: Vec<u64> = (0..4)
-            .map(|i| sim.node(NodeId(i)).as_validator().unwrap().commit_count())
-            .collect();
+        let commit_counts: Vec<u64> =
+            (0..4).map(|i| sim.node(NodeId(i)).as_validator().unwrap().commit_count()).collect();
         assert!(commit_counts.iter().all(|c| *c > 10), "commits: {commit_counts:?}");
 
         // Agreement: equal-length prefixes match.

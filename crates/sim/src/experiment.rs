@@ -72,8 +72,10 @@ pub struct ExperimentConfig {
     /// Fault injection.
     pub faults: FaultSpec,
     /// Use the 13-region AWS latency matrix (`true`, the paper's setting)
-    /// or a flat 5 ms network (`false`, fast unit tests).
+    /// or a flat network (`false`, fast unit tests).
     pub geo: bool,
+    /// One-way delay of every link when `geo` is `false`, in milliseconds.
+    pub flat_latency_ms: u64,
     /// Validator protocol parameters. `None` derives the paper-calibrated
     /// defaults (see [`ExperimentConfig::derive_validator_config`]).
     pub validator_config: Option<ValidatorConfig>,
@@ -107,6 +109,7 @@ impl ExperimentConfig {
             warmup_secs: 10,
             faults: FaultSpec::default(),
             geo: true,
+            flat_latency_ms: 5,
             validator_config: None,
             schedule_override: None,
             client_window_secs: 2.0,
@@ -127,6 +130,7 @@ impl ExperimentConfig {
             warmup_secs: 0,
             faults: FaultSpec::default(),
             geo: false,
+            flat_latency_ms: 5,
             validator_config: Some(ValidatorConfig {
                 min_round_delay_us: 20_000,
                 leader_timeout_us: 150_000,
@@ -211,10 +215,7 @@ impl SimHandle {
     ///
     /// Panics if node `i` is not a validator.
     pub fn validator(&self, i: usize) -> &Validator<hh_storage::MemBackend> {
-        self.sim
-            .node(NodeId(i))
-            .as_validator()
-            .expect("node is a validator")
+        self.sim.node(NodeId(i)).as_validator().expect("node is a validator")
     }
 }
 
@@ -224,9 +225,8 @@ pub fn build_sim(config: &ExperimentConfig) -> SimHandle {
     let committee = Committee::new_equal_stake(n);
     let validator_config = config.derive_validator_config();
 
-    let live: Vec<usize> = (0..n)
-        .filter(|i| !config.faults.crashed.contains(&(*i as u16)))
-        .collect();
+    let live: Vec<usize> =
+        (0..n).filter(|i| !config.faults.crashed.contains(&(*i as u16))).collect();
     assert!(!live.is_empty(), "at least one live validator required");
 
     // Validators at ids 0..n, one client per live validator above them.
@@ -261,7 +261,7 @@ pub fn build_sim(config: &ExperimentConfig) -> SimHandle {
         }
         LatencyModel::Geo(GeoLatency::with_assignment(assignment))
     } else {
-        LatencyModel::Constant(Duration::from_millis(5))
+        LatencyModel::Constant(Duration::from_millis(config.flat_latency_ms))
     };
 
     let mut faults = FaultPlan::new()
@@ -285,16 +285,71 @@ pub fn build_sim(config: &ExperimentConfig) -> SimHandle {
     SimHandle { sim, committee, n_validators: n }
 }
 
-/// Runs the experiment to completion and gathers the paper's metrics.
-pub fn run_experiment(config: &ExperimentConfig) -> RunResult {
-    let mut handle = build_sim(config);
-    let end = SimTime::from_secs(config.duration_secs);
-    handle.sim.run_until(end);
-    collect(config, &handle)
+/// When a run stops (see [`run_experiment_limited`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunLimit {
+    /// Run for the config's full `duration_secs` of simulated time — the
+    /// paper's measurement mode.
+    Duration,
+    /// Stop as soon as the most advanced live validator passes this DAG
+    /// round (or at `duration_secs`, whichever comes first). Smoke-test
+    /// mode: "give me 50 rounds of activity" without guessing a duration.
+    Rounds(u64),
 }
 
-fn collect(config: &ExperimentConfig, handle: &SimHandle) -> RunResult {
-    let end_us = config.duration_secs * 1_000_000;
+/// Runs the experiment to completion and gathers the paper's metrics.
+pub fn run_experiment(config: &ExperimentConfig) -> RunResult {
+    run_experiment_limited(config, RunLimit::Duration)
+}
+
+/// Runs the experiment until `limit` is hit and gathers the paper's
+/// metrics over the actually-elapsed window.
+///
+/// With [`RunLimit::Rounds`] the simulation advances in quarter-second
+/// slices so the stop is prompt; throughput and the measurement window
+/// are computed from the real stop time, keeping the metrics comparable
+/// across limit modes.
+pub fn run_experiment_limited(config: &ExperimentConfig, limit: RunLimit) -> RunResult {
+    let (handle, end_us) = run_sim_limited(config, limit);
+    collect_metrics(config, &handle, end_us)
+}
+
+/// Builds and drives the simulation until `limit`, returning the live
+/// handle (for custom post-run analyses) and the stop time in
+/// microseconds. Pass both to [`collect_metrics`] for the standard
+/// metrics.
+pub fn run_sim_limited(config: &ExperimentConfig, limit: RunLimit) -> (SimHandle, u64) {
+    let mut handle = build_sim(config);
+    let cap = SimTime::from_secs(config.duration_secs);
+    let end_us = match limit {
+        RunLimit::Duration => {
+            handle.sim.run_until(cap);
+            cap.as_micros()
+        }
+        RunLimit::Rounds(target) => {
+            let live: Vec<usize> = (0..handle.n_validators)
+                .filter(|i| !config.faults.crashed.contains(&(*i as u16)))
+                .collect();
+            let slice_us = 250_000u64;
+            let mut now_us = 0u64;
+            while now_us < cap.as_micros() {
+                now_us = (now_us + slice_us).min(cap.as_micros());
+                handle.sim.run_until(SimTime(now_us));
+                let best =
+                    live.iter().map(|i| handle.validator(*i).current_round().0).max().unwrap_or(0);
+                if best >= target {
+                    break;
+                }
+            }
+            now_us
+        }
+    };
+    (handle, end_us)
+}
+
+/// Gathers the paper's metrics from a finished run that stopped at
+/// `end_us` (as returned by [`run_sim_limited`]).
+pub fn collect_metrics(config: &ExperimentConfig, handle: &SimHandle, end_us: u64) -> RunResult {
     let warmup_us = config.warmup_secs * 1_000_000;
     let live: Vec<usize> = (0..handle.n_validators)
         .filter(|i| !config.faults.crashed.contains(&(*i as u16)))
@@ -360,7 +415,7 @@ fn collect(config: &ExperimentConfig, handle: &SimHandle) -> RunResult {
         .unwrap_or(Digest::ZERO);
 
     RunResult {
-        throughput_tps: executed as f64 / config.duration_secs.max(1) as f64,
+        throughput_tps: executed as f64 / (end_us as f64 / 1e6).max(1e-6),
         latency: LatencySummary::from_micros(latencies),
         commit_latency: LatencySummary::from_micros(commit_latencies),
         commits,
@@ -424,6 +479,20 @@ mod tests {
             bullshark.leader_timeouts
         );
         assert!(hammerhead.schedule_epochs >= 1);
+    }
+
+    #[test]
+    fn rounds_limit_stops_early_with_consistent_metrics() {
+        let mut config = ExperimentConfig::quick_test(SystemKind::Bullshark);
+        config.duration_secs = 30;
+        let r = run_experiment_limited(&config, RunLimit::Rounds(10));
+        assert!(r.agreement_ok);
+        assert!(r.commits > 0, "should have committed by round 10");
+        // A 10-round run at ~20ms/round finishes far before the 30s cap,
+        // so the full-duration run commits strictly more.
+        let full = run_experiment(&config);
+        assert!(full.commits > r.commits, "full {} vs limited {}", full.commits, r.commits);
+        assert!(r.throughput_tps > 0.0);
     }
 
     #[test]

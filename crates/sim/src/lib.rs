@@ -27,6 +27,8 @@
 //! assert!(result.commits > 0);
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 mod actor;
 mod experiment;
 mod metrics;
@@ -34,7 +36,8 @@ mod timeseries;
 
 pub use actor::{Actor, Client, NetMessage};
 pub use experiment::{
-    build_sim, run_experiment, ExperimentConfig, FaultSpec, RunResult, SimHandle, SystemKind,
+    build_sim, collect_metrics, run_experiment, run_experiment_limited, run_sim_limited,
+    ExperimentConfig, FaultSpec, RunLimit, RunResult, SimHandle, SystemKind,
 };
 pub use metrics::LatencySummary;
 pub use timeseries::{Bucket, TimeSeries};

@@ -110,11 +110,7 @@ impl FileBackend {
     /// Returns an I/O error if the file cannot be opened or created.
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .read(true)
-            .open(&path)?;
+        let file = OpenOptions::new().create(true).append(true).read(true).open(&path)?;
         Ok(FileBackend { path, file })
     }
 

@@ -133,11 +133,8 @@ impl<B: LogBackend> KvStore<B> {
     ///
     /// Returns [`WalError::Io`] if the rewrite fails.
     pub fn compact(&mut self) -> Result<(), WalError> {
-        let records: Vec<Vec<u8>> = self
-            .index
-            .iter()
-            .map(|(k, v)| Self::encode(TAG_PUT, k, v))
-            .collect();
+        let records: Vec<Vec<u8>> =
+            self.index.iter().map(|(k, v)| Self::encode(TAG_PUT, k, v)).collect();
         self.wal.compact_to(&records)?;
         self.mutations = 0;
         Ok(())

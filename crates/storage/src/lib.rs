@@ -30,6 +30,8 @@
 //! assert_eq!(recovered, vec![b"record-1".to_vec(), b"record-2".to_vec()]);
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 mod backend;
 mod kv;
 mod validator_store;

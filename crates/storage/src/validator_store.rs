@@ -91,11 +91,12 @@ impl<B: LogBackend> ValidatorStore<B> {
     /// # Errors
     ///
     /// Returns [`WalError::Io`] if the medium rejects the append.
-    pub fn persist_checkpoint(&mut self, commit_index: u64, chain_hash: Digest) -> Result<(), WalError> {
-        self.wal.append(&encode_to_vec(&StoreRecord::CommitCheckpoint {
-            commit_index,
-            chain_hash,
-        }))
+    pub fn persist_checkpoint(
+        &mut self,
+        commit_index: u64,
+        chain_hash: Digest,
+    ) -> Result<(), WalError> {
+        self.wal.append(&encode_to_vec(&StoreRecord::CommitCheckpoint { commit_index, chain_hash }))
     }
 
     /// Replays the log into a [`RecoveredState`].

@@ -379,7 +379,8 @@ mod tests {
 
     #[test]
     fn encoding_is_deterministic() {
-        let v: Vec<(ValidatorId, Stake)> = (0..50).map(|i| (ValidatorId(i), Stake(i as u64 + 1))).collect();
+        let v: Vec<(ValidatorId, Stake)> =
+            (0..50).map(|i| (ValidatorId(i), Stake(i as u64 + 1))).collect();
         assert_eq!(encode_to_vec(&v), encode_to_vec(&v.clone()));
     }
 }

@@ -149,7 +149,7 @@ impl Committee {
     /// Validity threshold: `⌈N/3⌉` stake (equals `f + 1` when `N = 3f + 1`).
     /// Any set with this much stake contains at least one honest validator.
     pub fn validity_threshold(&self) -> Stake {
-        Stake((self.total_stake.0 + 2) / 3)
+        Stake(self.total_stake.0.div_ceil(3))
     }
 
     /// Whether `id` is a member.
@@ -163,18 +163,13 @@ impl Committee {
     ///
     /// Returns [`TypeError::UnknownValidator`] if `id` is not a member.
     pub fn validator(&self, id: ValidatorId) -> Result<&ValidatorInfo, TypeError> {
-        self.validators
-            .get(id.index())
-            .ok_or(TypeError::UnknownValidator(id))
+        self.validators.get(id.index()).ok_or(TypeError::UnknownValidator(id))
     }
 
     /// The stake of `id`, or zero for foreign ids (convenient in hot paths
     /// where foreign ids have already been filtered out).
     pub fn stake_of(&self, id: ValidatorId) -> Stake {
-        self.validators
-            .get(id.index())
-            .map(|v| v.stake)
-            .unwrap_or(Stake(0))
+        self.validators.get(id.index()).map(|v| v.stake).unwrap_or(Stake(0))
     }
 
     /// Iterates over members in id order.
@@ -236,6 +231,7 @@ impl CommitteeBuilder {
 
     /// Adds a validator with the given stake; ids are assigned in call order.
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn add(mut self, stake: Stake) -> Self {
         self.stakes.push(stake);
         self
@@ -260,11 +256,7 @@ impl CommitteeBuilder {
             .enumerate()
             .map(|(i, &stake)| {
                 let id = ValidatorId(i as u16);
-                ValidatorInfo {
-                    id,
-                    stake,
-                    public_key: Keypair::from_seed(id.0 as u64).public(),
-                }
+                ValidatorInfo { id, stake, public_key: Keypair::from_seed(id.0 as u64).public() }
             })
             .collect();
         let total_stake: Stake = self.stakes.iter().copied().sum();
@@ -333,19 +325,12 @@ mod tests {
 
     #[test]
     fn empty_committee_rejected() {
-        assert!(matches!(
-            CommitteeBuilder::new().build(),
-            Err(TypeError::EmptyCommittee)
-        ));
+        assert!(matches!(CommitteeBuilder::new().build(), Err(TypeError::EmptyCommittee)));
     }
 
     #[test]
     fn zero_stake_rejected() {
-        let err = CommitteeBuilder::new()
-            .add(Stake(1))
-            .add(Stake(0))
-            .build()
-            .unwrap_err();
+        let err = CommitteeBuilder::new().add(Stake(1)).add(Stake(0)).build().unwrap_err();
         assert!(matches!(err, TypeError::ZeroStake(ValidatorId(1))));
     }
 

@@ -27,6 +27,8 @@
 //! assert!(committee.contains(ValidatorId(3)));
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod codec;
 mod committee;
 mod error;

@@ -22,7 +22,7 @@ pub struct Round(pub u64);
 impl Round {
     /// Whether this is an anchor (leader) round.
     pub fn is_even(self) -> bool {
-        self.0 % 2 == 0
+        self.0.is_multiple_of(2)
     }
 
     /// The next round.
@@ -178,17 +178,15 @@ impl Vertex {
     ) -> Self {
         let digest = Self::compute_digest(round, author, &block, &parents);
         let signature = keypair.sign(VERTEX_CONTEXT, digest.as_bytes());
-        Vertex {
-            round,
-            author,
-            block,
-            parents: std::sync::Arc::new(parents),
-            digest,
-            signature,
-        }
+        Vertex { round, author, block, parents: std::sync::Arc::new(parents), digest, signature }
     }
 
-    fn compute_digest(round: Round, author: ValidatorId, block: &Block, parents: &[Digest]) -> Digest {
+    fn compute_digest(
+        round: Round,
+        author: ValidatorId,
+        block: &Block,
+        parents: &[Digest],
+    ) -> Digest {
         let mut h = Sha256::new();
         h.update(&round.0.to_be_bytes());
         h.update(&author.0.to_be_bytes());
@@ -326,9 +324,17 @@ mod tests {
     fn digest_covers_all_fields() {
         let base = sample_vertex();
         let kp = keypair(1);
-        let other_round = Vertex::new(Round(4), base.author(), base.block().clone(), base.parents().to_vec(), &kp);
-        let other_parents = Vertex::new(base.round(), base.author(), base.block().clone(), vec![], &kp);
-        let other_block = Vertex::new(base.round(), base.author(), Block::empty(), base.parents().to_vec(), &kp);
+        let other_round = Vertex::new(
+            Round(4),
+            base.author(),
+            base.block().clone(),
+            base.parents().to_vec(),
+            &kp,
+        );
+        let other_parents =
+            Vertex::new(base.round(), base.author(), base.block().clone(), vec![], &kp);
+        let other_block =
+            Vertex::new(base.round(), base.author(), Block::empty(), base.parents().to_vec(), &kp);
         assert_ne!(base.digest(), other_round.digest());
         assert_ne!(base.digest(), other_parents.digest());
         assert_ne!(base.digest(), other_block.digest());

@@ -12,7 +12,9 @@
 //! ```
 
 use hammerhead_repro::hh_net::SimTime;
-use hammerhead_repro::hh_sim::{build_sim, ExperimentConfig, FaultSpec, LatencySummary, SystemKind};
+use hammerhead_repro::hh_sim::{
+    build_sim, ExperimentConfig, FaultSpec, LatencySummary, SystemKind,
+};
 
 fn window_summary(
     handle: &hammerhead_repro::hh_sim::SimHandle,

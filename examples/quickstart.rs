@@ -6,8 +6,8 @@
 //! ```
 
 use hammerhead_repro::hh_consensus::SchedulePolicy;
-use hammerhead_repro::hh_sim::{build_sim, ExperimentConfig, SystemKind};
 use hammerhead_repro::hh_net::SimTime;
+use hammerhead_repro::hh_sim::{build_sim, ExperimentConfig, SystemKind};
 
 fn main() {
     let mut config = ExperimentConfig::paper(SystemKind::Hammerhead, 7, 300);

@@ -17,10 +17,7 @@ fn main() {
     config.duration_secs = 40;
     config.warmup_secs = 2;
     // v7 crashed from the start; v6 slow (+500ms) from t=10s.
-    config.faults = FaultSpec {
-        crashed: vec![7],
-        slowdowns: vec![(6, 10_000_000, 500_000)],
-    };
+    config.faults = FaultSpec { crashed: vec![7], slowdowns: vec![(6, 10_000_000, 500_000)] };
 
     println!("8 validators: v7 crashed from t=0, v6 slowed (+500ms) from t=10s\n");
     let mut handle = build_sim(&config);
@@ -31,22 +28,15 @@ fn main() {
 
     println!("epoch history ({} switches):", policy.epoch());
     for summary in policy.epoch_history() {
-        let scores: Vec<String> = summary
-            .final_scores
-            .iter()
-            .enumerate()
-            .map(|(i, s)| format!("v{i}:{s}"))
-            .collect();
+        let scores: Vec<String> =
+            summary.final_scores.iter().enumerate().map(|(i, s)| format!("v{i}:{s}")).collect();
         println!(
             "  epoch {:>2} -> switch at round {:>4}: scores [{}]",
             summary.epoch,
             summary.new_initial_round.0,
             scores.join(" ")
         );
-        println!(
-            "           excluded {:?}  promoted {:?}",
-            summary.excluded, summary.promoted
-        );
+        println!("           excluded {:?}  promoted {:?}", summary.excluded, summary.promoted);
     }
 
     println!("\nfinal slot ownership:");
@@ -63,10 +53,6 @@ fn main() {
     }
 
     // The crashed validator must have been swapped out.
-    assert_eq!(
-        schedule.slot_count(ValidatorId(7)),
-        0,
-        "crashed validator still owns leader slots"
-    );
+    assert_eq!(schedule.slot_count(ValidatorId(7)), 0, "crashed validator still owns leader slots");
     println!("\ncrashed validator v7 owns no leader slots: reputation did its job");
 }

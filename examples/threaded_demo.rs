@@ -63,8 +63,5 @@ fn main() {
     println!("\ntotal-order audit across threads: OK ({shortest}+ commits each)");
 
     println!("\nprometheus gauges for v0:");
-    print!(
-        "{}",
-        monitor::prometheus_text(finished[0].as_validator().expect("validator"))
-    );
+    print!("{}", monitor::prometheus_text(finished[0].as_validator().expect("validator")));
 }

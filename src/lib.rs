@@ -20,6 +20,8 @@
 //! assert!(result.agreement_ok);
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub use hammerhead;
 pub use hh_consensus;
 pub use hh_crypto;

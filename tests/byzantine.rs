@@ -94,9 +94,7 @@ mod hh_crypto_ack {
     use hammerhead_repro::hh_crypto::Signature;
 
     pub fn sign_ack(committee: &Committee, id: u16, vertex: &Vertex) -> Signature {
-        committee
-            .keypair(ValidatorId(id))
-            .sign(b"hammerhead-ack-v1", vertex.digest().as_bytes())
+        committee.keypair(ValidatorId(id)).sign(b"hammerhead-ack-v1", vertex.digest().as_bytes())
     }
 }
 
@@ -152,16 +150,13 @@ fn vote_withholder_loses_leader_slots() {
             builder.extend_full_rounds(1);
             continue;
         }
-        builder.extend_round_custom(
-            &committee.ids().collect::<Vec<_>>(),
-            move |author| {
-                if author == ValidatorId(2) {
-                    Some(vec![leader])
-                } else {
-                    None
-                }
-            },
-        );
+        builder.extend_round_custom(&committee.ids().collect::<Vec<_>>(), move |author| {
+            if author == ValidatorId(2) {
+                Some(vec![leader])
+            } else {
+                None
+            }
+        });
     }
     let dag = builder.into_dag();
     for r in 0..=16u64 {

@@ -7,10 +7,7 @@ use std::collections::HashSet;
 fn skipped_leader_rounds(anchors: &[hammerhead_repro::hh_types::VertexRef]) -> u64 {
     let Some(last) = anchors.last() else { return 0 };
     let committed: HashSet<u64> = anchors.iter().map(|a| a.round.0).collect();
-    (0..=last.round.0)
-        .step_by(2)
-        .filter(|r| !committed.contains(r))
-        .count() as u64
+    (0..=last.round.0).step_by(2).filter(|r| !committed.contains(r)).count() as u64
 }
 
 #[test]
@@ -83,16 +80,10 @@ fn leader_utilization_bound_holds() {
     let bs_long = run(SystemKind::Bullshark, 18);
 
     // Baseline grows roughly linearly with duration.
-    assert!(
-        bs_long >= bs_short * 2,
-        "baseline skips should accumulate: {bs_short} -> {bs_long}"
-    );
+    assert!(bs_long >= bs_short * 2, "baseline skips should accumulate: {bs_short} -> {bs_long}");
     // HammerHead is bounded: tripling the run adds at most a small constant
     // (epoch-boundary effects), far below the baseline's growth.
-    assert!(
-        hh_long <= hh_short + 4,
-        "hammerhead skips must plateau: {hh_short} -> {hh_long}"
-    );
+    assert!(hh_long <= hh_short + 4, "hammerhead skips must plateau: {hh_short} -> {hh_long}");
     assert!(hh_long < bs_long, "hammerhead must skip fewer rounds overall");
 }
 
@@ -105,10 +96,8 @@ fn crashed_validators_leave_schedule_and_return_on_recovery_of_scores() {
     config.committee_size = 5;
     config.duration_secs = 8;
     config.faults = FaultSpec::crash_last(5, 1);
-    config.hammerhead = hammerhead_repro::hammerhead::HammerheadConfig {
-        period_rounds: 6,
-        ..Default::default()
-    };
+    config.hammerhead =
+        hammerhead_repro::hammerhead::HammerheadConfig { period_rounds: 6, ..Default::default() };
     let mut handle = build_sim(&config);
     handle.sim.run_until(SimTime::from_secs(8));
 
@@ -119,9 +108,8 @@ fn crashed_validators_leave_schedule_and_return_on_recovery_of_scores() {
         0,
         "crashed validator still scheduled"
     );
-    let total: usize = (0..5)
-        .map(|i| schedule.slot_count(hammerhead_repro::hh_types::ValidatorId(i)))
-        .sum();
+    let total: usize =
+        (0..5).map(|i| schedule.slot_count(hammerhead_repro::hh_types::ValidatorId(i))).sum();
     assert_eq!(total, 5, "slots must be conserved");
 }
 

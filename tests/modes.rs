@@ -65,10 +65,7 @@ fn certified_broadcast_mode_commits_end_to_end() {
     // The full Narwhal-style header → acks → certificate path on the DES:
     // one extra round-trip per vertex, but equivocation-proof.
     let committee = Committee::new_equal_stake(4);
-    let config = ValidatorConfig {
-        broadcast_mode: BroadcastMode::Certified,
-        ..fast_config()
-    };
+    let config = ValidatorConfig { broadcast_mode: BroadcastMode::Certified, ..fast_config() };
     let mut sim = build_network(&committee, &config, FaultPlan::new(), 5);
     sim.run_until(SimTime::from_secs(6));
     for i in 0..4 {
@@ -83,10 +80,7 @@ fn certified_broadcast_mode_commits_end_to_end() {
 #[test]
 fn certified_mode_survives_crash_faults() {
     let committee = Committee::new_equal_stake(4);
-    let config = ValidatorConfig {
-        broadcast_mode: BroadcastMode::Certified,
-        ..fast_config()
-    };
+    let config = ValidatorConfig { broadcast_mode: BroadcastMode::Certified, ..fast_config() };
     let faults = FaultPlan::new().crash(NodeId(3), SimTime::ZERO);
     let mut sim = build_network(&committee, &config, faults, 6);
     sim.run_until(SimTime::from_secs(8));
@@ -173,15 +167,15 @@ fn majority_partition_stalls_and_recovers_total_order() {
     sim.run_until(SimTime::from_secs(5));
     let during: Vec<u64> = (0..4).map(|i| commits(&sim, i)).collect();
     // No side can commit more than a round or two past the cut.
-    for i in 0..4 {
+    for (i, commits_during) in during.iter().enumerate() {
         assert!(
-            during[i] <= before[i] + 3,
+            *commits_during <= before[i] + 3,
             "validator {i} committed through a quorumless partition"
         );
     }
     sim.run_until(SimTime::from_secs(12));
-    for i in 0..4 {
-        assert!(commits(&sim, i) > during[i] + 10, "validator {i} did not resume");
+    for (i, commits_during) in during.iter().enumerate() {
+        assert!(commits(&sim, i) > commits_during + 10, "validator {i} did not resume");
     }
     assert_prefix_agreement(&sim, 4);
 }

@@ -41,11 +41,7 @@ impl Net {
 
     fn deliver_all_to(&mut self, target: usize) {
         loop {
-            let Some(pos) = self
-                .queue
-                .iter()
-                .position(|(_, to, _)| to.index() == target)
-            else {
+            let Some(pos) = self.queue.iter().position(|(_, to, _)| to.index() == target) else {
                 return;
             };
             let (from, to, msg) = self.queue.remove(pos).expect("in range");
@@ -81,7 +77,7 @@ impl Net {
         while let Some(index) = (!self.queue.is_empty()).then(|| pick(self.queue.len())) {
             let (from, to, msg) = self.queue.remove(index).expect("in range");
             processed += 1;
-            if duplicate_every != 0 && processed % duplicate_every == 0 {
+            if duplicate_every != 0 && processed.is_multiple_of(duplicate_every) {
                 // Duplicate delivery: Integrity must still hold.
                 let (rbc, dag) = &mut self.parties[to.index()];
                 let fx = rbc.handle(from, msg.clone(), dag);

@@ -23,10 +23,7 @@ fn fast_config() -> ValidatorConfig {
 
 /// Builds a 4-validator network with persistent backends, one client, and
 /// a crash/recovery window for validator 3.
-fn build(
-    crash_at: SimTime,
-    recover_at: SimTime,
-) -> (Simulator<Actor>, Vec<MemBackend>) {
+fn build(crash_at: SimTime, recover_at: SimTime) -> (Simulator<Actor>, Vec<MemBackend>) {
     let committee = Committee::new_equal_stake(4);
     let backends: Vec<MemBackend> = (0..4).map(|_| MemBackend::new()).collect();
     let mut actors: Vec<Actor> = (0..4)
@@ -43,9 +40,7 @@ fn build(
 
     let net = NetworkConfig {
         latency: LatencyModel::Constant(Duration::from_millis(5)),
-        faults: FaultPlan::new()
-            .crash(NodeId(3), crash_at)
-            .recover(NodeId(3), recover_at),
+        faults: FaultPlan::new().crash(NodeId(3), crash_at).recover(NodeId(3), recover_at),
         ..NetworkConfig::default()
     };
     (Simulator::new(actors, net, 17), backends)
@@ -77,10 +72,7 @@ fn validator_recovers_and_catches_up() {
     assert!(!v3.metrics().recovery_divergence, "checkpoint cross-check failed");
     let v0_commits = commits(&sim, 0);
     let v3_commits = commits(&sim, 3);
-    assert!(
-        v3_commits + 20 >= v0_commits,
-        "v3 failed to catch up: {v3_commits} vs {v0_commits}"
-    );
+    assert!(v3_commits + 20 >= v0_commits, "v3 failed to catch up: {v3_commits} vs {v0_commits}");
 
     // Safety: the recovered node's sequence is a prefix of the leader's.
     let reference = sim.node(NodeId(0)).as_validator().unwrap().committed_anchors();
@@ -96,21 +88,12 @@ fn recovery_preserves_pre_crash_prefix() {
     let (mut sim, _backends) = build(crash_at, recover_at);
 
     sim.run_until(SimTime::from_secs(3));
-    let pre_crash: Vec<_> = sim
-        .node(NodeId(3))
-        .as_validator()
-        .unwrap()
-        .committed_anchors()
-        .to_vec();
+    let pre_crash: Vec<_> =
+        sim.node(NodeId(3)).as_validator().unwrap().committed_anchors().to_vec();
     assert!(!pre_crash.is_empty());
 
     sim.run_until(SimTime::from_secs(10));
-    let post: Vec<_> = sim
-        .node(NodeId(3))
-        .as_validator()
-        .unwrap()
-        .committed_anchors()
-        .to_vec();
+    let post: Vec<_> = sim.node(NodeId(3)).as_validator().unwrap().committed_anchors().to_vec();
     assert!(
         post.len() >= pre_crash.len(),
         "recovery lost commits: {} -> {}",

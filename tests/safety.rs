@@ -12,9 +12,8 @@ use hammerhead_repro::hh_sim::{
 
 /// Prefix-checks anchors across all live validators of a finished run.
 fn assert_agreement(handle: &hammerhead_repro::hh_sim::SimHandle, crashed: &[u16]) {
-    let live: Vec<usize> = (0..handle.n_validators)
-        .filter(|i| !crashed.contains(&(*i as u16)))
-        .collect();
+    let live: Vec<usize> =
+        (0..handle.n_validators).filter(|i| !crashed.contains(&(*i as u16))).collect();
     let longest = live
         .iter()
         .map(|i| handle.validator(*i).committed_anchors().to_vec())
@@ -113,6 +112,7 @@ fn hammerhead_schedule_agreement_across_validators() {
         .collect();
     let min_epochs = histories.iter().map(|h| h.len()).min().unwrap();
     assert!(min_epochs >= 1, "every validator switched at least once");
+    #[allow(clippy::needless_range_loop)]
     for epoch in 0..min_epochs {
         for v in 1..5 {
             assert_eq!(

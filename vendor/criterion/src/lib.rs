@@ -1,0 +1,201 @@
+//! Offline stand-in for `criterion` (the subset `hh-bench` uses).
+//!
+//! Implements benchmark groups, [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! throughput annotation and the [`criterion_group!`] / [`criterion_main!`]
+//! macros with a simple calibrated wall-clock loop: each benchmark is
+//! warmed up, then timed for a fixed budget and reported as ns/iter (plus
+//! derived MB/s or Melem/s when a [`Throughput`] is set). No statistics,
+//! plots or baselines — good enough to spot order-of-magnitude
+//! regressions offline.
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget spent measuring each benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+/// How a benchmark's work scales per iteration, for derived rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (accepted for API
+/// compatibility; batches are always one input per call here).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// Re-run setup for every routine call.
+    PerIteration,
+}
+
+/// The per-benchmark measurement driver.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` back-to-back until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup + calibration: find an iteration count that fills the budget.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let target =
+            (MEASURE_BUDGET.as_nanos() / once.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = target;
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let target = (MEASURE_BUDGET.as_nanos() / once.as_nanos().max(1)).clamp(1, 100_000) as u64;
+
+        let mut total = Duration::ZERO;
+        for _ in 0..target {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+        self.iters = target;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to derive rates for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark and prints its result.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { iters: 0, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        let ns_per_iter = if bencher.iters == 0 {
+            0.0
+        } else {
+            bencher.elapsed.as_nanos() as f64 / bencher.iters as f64
+        };
+        let rate = match (self.throughput, ns_per_iter > 0.0) {
+            (Some(Throughput::Bytes(b)), true) => {
+                format!("  {:10.1} MB/s", b as f64 / ns_per_iter * 1e9 / 1e6)
+            }
+            (Some(Throughput::Elements(e)), true) => {
+                format!("  {:10.2} Melem/s", e as f64 / ns_per_iter * 1e9 / 1e6)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{:<28} {:14.1} ns/iter  ({} iters){}",
+            self.name, id, ns_per_iter, bencher.iters, rate
+        );
+        self
+    }
+
+    /// Ends the group (marker for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _criterion: self }
+    }
+}
+
+/// Bundles benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut b = Bencher { iters: 0, elapsed: Duration::ZERO };
+        b.iter(|| 1 + 1);
+        assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_call() {
+        let mut b = Bencher { iters: 0, elapsed: Duration::ZERO };
+        let mut setups = 0u64;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![0u8; 16]
+            },
+            |v| v.len(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, b.iters + 1, "one calibration + one per iter");
+    }
+
+    #[test]
+    fn group_prints_and_finishes() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.throughput(Throughput::Bytes(64));
+        g.bench_function("noop", |b| b.iter(|| ()));
+        g.finish();
+    }
+}

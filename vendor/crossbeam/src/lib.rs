@@ -1,0 +1,47 @@
+//! Offline stand-in for `crossbeam` (the `channel` subset the workspace
+//! uses).
+//!
+//! Re-exports [`std::sync::mpsc`] under crossbeam's module layout. The
+//! workspace only needs unbounded MPSC channels with `recv_timeout`,
+//! which std provides with an identical surface; crossbeam's extras
+//! (select, bounded channels, MPMC receivers) are not implemented.
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+/// Multi-producer channels (mirrors `crossbeam::channel`).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, SendError, Sender};
+
+    /// Creates an unbounded channel (crossbeam's `unbounded()`, backed by
+    /// [`std::sync::mpsc::channel`]).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_and_timeout() {
+        let (tx, rx) = unbounded();
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Timeout));
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Disconnected));
+    }
+
+    #[test]
+    fn senders_clone() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(1).unwrap()).join().unwrap();
+        tx.send(2).unwrap();
+        let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort();
+        assert_eq!(got, vec![1, 2]);
+    }
+}
