@@ -4,8 +4,10 @@
 # Usage: ./ci.sh
 #
 # Runs, in order: format check, clippy (warnings are errors), release
-# build, the full workspace test suite, doc tests, and an hh-cli smoke
-# run of the Figure 1 scenario capped at 50 DAG rounds.
+# build, the full workspace test suite, doc tests, an hh-cli smoke run
+# of the Figure 1 scenario capped at 50 DAG rounds, a parallel matrix
+# smoke run, and a determinism gate checking that --jobs 1 and --jobs 4
+# emit byte-identical JSON for a fixed seed.
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -29,5 +31,16 @@ cargo test --workspace --doc -q
 
 step "hh-cli smoke run (fig1, 50 rounds)"
 ./target/release/hh-cli run scenarios/fig1_faultless.toml --quick --rounds 50
+
+step "hh-cli parallel matrix smoke (--jobs 2)"
+./target/release/hh-cli matrix scenarios/fig1_faultless.toml \
+    --set load.tps=100,200 --quick --rounds 40 --jobs 2
+
+step "determinism: --jobs 1 and --jobs 4 emit identical JSON"
+./target/release/hh-cli run scenarios/fig2_faults.toml \
+    --quick --seed 7 --json --jobs 1 > target/ci-jobs1.json
+./target/release/hh-cli run scenarios/fig2_faults.toml \
+    --quick --seed 7 --json --jobs 4 > target/ci-jobs4.json
+cmp target/ci-jobs1.json target/ci-jobs4.json
 
 step "all green"

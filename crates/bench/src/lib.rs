@@ -11,12 +11,15 @@
 //!   committees, short runs); useful for smoke-testing the harness;
 //! * `--duration <secs>` — override the duration axis;
 //! * `--seed <n>` — override the seed axis;
+//! * `--jobs <n>` — run up to `n` runs in parallel (default: available
+//!   parallelism); rows and JSON are byte-identical for any `n`;
 //! * `--out <file>` — also write the JSON report.
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
 use hh_scenario::{
-    load_scenario, render_header, repo_scenarios_dir, report_json, run_plan, PlanOptions, RunLimit,
+    load_scenario, render_header, repo_scenarios_dir, report_json, run_plan_with, ExecOptions,
+    PlanOptions, RunLimit,
 };
 
 /// Runs the named scenario file from the repository's `scenarios/`
@@ -31,13 +34,24 @@ pub fn run_repo_scenario(file: &str) {
         duration_override: flag_value(&args, "--duration"),
         seed_override: flag_value(&args, "--seed"),
     };
+    let jobs = match args.iter().position(|a| a == "--jobs") {
+        None => ExecOptions::default_jobs(),
+        Some(i) => {
+            let value = args.get(i + 1).unwrap_or_else(|| die("--jobs requires a number"));
+            match value.parse::<usize>() {
+                Ok(0) => die("--jobs must be at least 1"),
+                Ok(n) => n,
+                Err(e) => die(&format!("--jobs: {e}")),
+            }
+        }
+    };
     let out = args.iter().position(|a| a == "--out").and_then(|i| args.get(i + 1)).cloned();
 
     let path = repo_scenarios_dir().join(file);
     let spec = load_scenario(&path).unwrap_or_else(|e| die(&e.to_string()));
     let plan = spec.plan(&opts).unwrap_or_else(|e| die(&e.to_string()));
     println!("# scenario {} — {} run(s)", plan.name, plan.runs.len());
-    let report = run_plan(&plan, RunLimit::Duration, true);
+    let report = run_plan_with(&plan, RunLimit::Duration, &ExecOptions { jobs, verbose: true });
     println!("{}", render_header(&report));
     if let Some(out) = out {
         let json = report_json(&report).render();

@@ -261,6 +261,16 @@ impl<B: LogBackend> Validator<B> {
         &self.metrics
     }
 
+    /// Takes the latency records accumulated since the last call,
+    /// leaving the buffer empty.
+    ///
+    /// Streaming harnesses drain this periodically so per-transaction
+    /// state never accumulates for a whole run; the other counters in
+    /// [`ValidatorMetrics`] are untouched.
+    pub fn take_exec_records(&mut self) -> Vec<ExecRecord> {
+        std::mem::take(&mut self.metrics.exec_records)
+    }
+
     /// The local DAG (inspection).
     pub fn dag(&self) -> &Dag {
         &self.dag

@@ -15,8 +15,8 @@
 //! without running.
 
 use hh_scenario::{
-    load_scenario, render_header, report_json, run_plan, toml, PlanOptions, RunLimit,
-    ScenarioError, ScenarioSpec,
+    load_scenario, render_header, report_json, run_plan_with, toml, ExecOptions, PlanOptions,
+    RunLimit, ScenarioError, ScenarioSpec,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -36,6 +36,9 @@ OPTIONS (run / matrix):
     --duration <s>    override the duration axis (simulated seconds)
     --seed <n>        override the seed axis
     --rounds <n>      stop each run once the DAG passes round <n>
+    --jobs <n>        run up to <n> runs in parallel (default: the
+                      host's available parallelism); output is
+                      byte-identical for every <n>
     --set <k=v,..>    patch a scenario key before validation; list values
                       become sweep axes (repeatable)
     --out <file>      write the JSON report to <file>
@@ -70,6 +73,7 @@ struct RunArgs {
     duration: Option<u64>,
     seed: Option<u64>,
     rounds: Option<u64>,
+    jobs: usize,
     sets: Vec<(Vec<String>, toml::Value)>,
     out: Option<PathBuf>,
     json: bool,
@@ -82,6 +86,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         duration: None,
         seed: None,
         rounds: None,
+        jobs: ExecOptions::default_jobs(),
         sets: Vec::new(),
         out: None,
         json: false,
@@ -95,6 +100,13 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             "--duration" => parsed.duration = Some(flag_u64(&mut it, "--duration")?),
             "--seed" => parsed.seed = Some(flag_u64(&mut it, "--seed")?),
             "--rounds" => parsed.rounds = Some(flag_u64(&mut it, "--rounds")?),
+            "--jobs" => {
+                let jobs = flag_u64(&mut it, "--jobs")?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                parsed.jobs = jobs as usize;
+            }
             "--out" => {
                 parsed.out = Some(PathBuf::from(it.next().ok_or("--out requires a file path")?))
             }
@@ -200,6 +212,8 @@ fn cmd_run(args: &[String], require_set: bool) -> Result<(), String> {
         None => RunLimit::Duration,
     };
 
+    // Note: the worker count is deliberately absent from the output —
+    // rows, progress lines, and JSON are byte-identical for any --jobs.
     if !args.json {
         println!(
             "# scenario {} — {} run(s){}",
@@ -208,7 +222,8 @@ fn cmd_run(args: &[String], require_set: bool) -> Result<(), String> {
             if args.quick { " [quick]" } else { "" }
         );
     }
-    let report = run_plan(&plan, limit, !args.json);
+    let opts = ExecOptions { jobs: args.jobs, verbose: !args.json };
+    let report = run_plan_with(&plan, limit, &opts);
     if !args.json {
         println!("{}", render_header(&report));
     }

@@ -1,14 +1,21 @@
-//! Runs an expanded [`ScenarioPlan`] and renders the results.
+//! The report layer: assembles executed runs into a [`ScenarioReport`]
+//! and renders it.
 //!
 //! One [`RunRow`] per planned run: the standard paper metrics
 //! ([`hh_sim::RunResult`]) plus whatever extra analyses the scenario
 //! declared (windowed latency percentiles, skipped leader rounds, B/G
 //! schedule churn). Reports render as an aligned text table for humans
 //! and as deterministic JSON for `BENCH_*.json`-style artifacts.
+//!
+//! Execution itself lives in [`crate::executor`]; this module owns all
+//! output. Progress rows are printed here, from the ordered emission
+//! the executor contract guarantees, so worker threads never write to
+//! stdout and verbose/quiet runs build the same report.
 
+use crate::executor::{Executor, PooledExecutor, SerialExecutor};
 use crate::json::Json;
-use crate::spec::{AnalysisSpec, PlannedRun, ScenarioPlan};
-use hh_sim::{collect_metrics, run_sim_limited, LatencySummary, RunLimit, RunResult, SimHandle};
+use crate::spec::{PlannedRun, ScenarioPlan};
+use hh_sim::{LatencySummary, RunLimit, RunResult};
 use std::fmt::Write as _;
 
 /// Latency summary for one named submission-time window.
@@ -61,32 +68,78 @@ pub struct ScenarioReport {
     pub rows: Vec<RunRow>,
 }
 
-/// Executes every run of the plan, printing progress rows to stdout as
-/// they finish when `verbose`.
+/// How a plan executes: worker count and progress verbosity.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecOptions {
+    /// Worker threads; 1 runs serially on the calling thread.
+    pub jobs: usize,
+    /// Print one progress row per finished run (always in plan order).
+    pub verbose: bool,
+}
+
+impl ExecOptions {
+    /// The `--jobs` default: every core the host offers (1 when the
+    /// parallelism cannot be determined).
+    pub fn default_jobs() -> usize {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { jobs: 1, verbose: false }
+    }
+}
+
+/// Executes every run of the plan serially, printing progress rows to
+/// stdout as they finish when `verbose`.
+///
+/// Shorthand for [`run_plan_with`] at `jobs = 1`; sweeps wanting the
+/// worker pool pass an explicit [`ExecOptions`].
 ///
 /// # Panics
 ///
 /// Panics if a run violates the Total Order audit — a safety violation
 /// is never something to report as a data point.
 pub fn run_plan(plan: &ScenarioPlan, limit: RunLimit, verbose: bool) -> ScenarioReport {
-    let mut rows = Vec::with_capacity(plan.runs.len());
-    for (i, run) in plan.runs.iter().enumerate() {
-        let (handle, end_us) = run_sim_limited(&run.config, limit);
-        let result = collect_metrics(&run.config, &handle, end_us);
-        assert!(
-            result.agreement_ok,
-            "TOTAL ORDER VIOLATION in scenario `{}`, run {} ({})",
-            plan.name,
-            i,
-            describe(run)
-        );
-        let analysis = analyze(&plan.analysis, run, &handle, end_us);
-        let row = RunRow { run: run.clone(), result, analysis };
-        if verbose {
-            println!("{}", render_row(&row));
-        }
-        rows.push(row);
+    run_plan_with(plan, limit, &ExecOptions { jobs: 1, verbose })
+}
+
+/// Executes every run of the plan on `opts.jobs` workers and assembles
+/// the report.
+///
+/// The report — rows, progress lines, JSON bytes — is identical for
+/// every worker count: runs are dispatched by index, each row is a pure
+/// function of its plan entry, and rows are emitted and assembled in
+/// plan order.
+///
+/// # Panics
+///
+/// Panics if a run violates the Total Order audit, with the failing
+/// run's labels in the message regardless of which worker hit it.
+pub fn run_plan_with(plan: &ScenarioPlan, limit: RunLimit, opts: &ExecOptions) -> ScenarioReport {
+    if opts.jobs > 1 {
+        build_report(plan, limit, &PooledExecutor::new(opts.jobs), opts.verbose)
+    } else {
+        build_report(plan, limit, &SerialExecutor, opts.verbose)
     }
+}
+
+/// Assembles the [`ScenarioReport`] from whatever executor ran the
+/// plan. All stdout happens here, on the calling thread, from the
+/// executor's ordered emission.
+fn build_report(
+    plan: &ScenarioPlan,
+    limit: RunLimit,
+    executor: &dyn Executor,
+    verbose: bool,
+) -> ScenarioReport {
+    let mut emit = |row: &RunRow| {
+        if verbose {
+            println!("{}", render_row(row));
+        }
+    };
+    let rows = executor.execute(plan, limit, &mut emit);
     ScenarioReport {
         name: plan.name.clone(),
         description: plan.description.clone(),
@@ -94,68 +147,6 @@ pub fn run_plan(plan: &ScenarioPlan, limit: RunLimit, verbose: bool) -> Scenario
         limit,
         rows,
     }
-}
-
-fn describe(run: &PlannedRun) -> String {
-    run.labels.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join(" ")
-}
-
-fn analyze(spec: &AnalysisSpec, run: &PlannedRun, handle: &SimHandle, end_us: u64) -> AnalysisRow {
-    let mut analysis = AnalysisRow::default();
-    let config = &run.config;
-    let live: Vec<usize> = (0..handle.n_validators)
-        .filter(|i| !config.faults.crashed.contains(&(*i as u16)))
-        .collect();
-    let duration_us = config.duration_secs * 1_000_000;
-    let warmup_us = config.warmup_secs * 1_000_000;
-
-    for window in &spec.windows {
-        let from_us = (duration_us as f64 * window.from_frac) as u64;
-        let to_us = (duration_us as f64 * window.to_frac) as u64;
-        let mut latencies = Vec::new();
-        for &i in &live {
-            for rec in &handle.validator(i).metrics().exec_records {
-                if rec.executed_at > end_us || rec.submitted_at < warmup_us {
-                    continue;
-                }
-                if rec.submitted_at >= from_us && rec.submitted_at < to_us {
-                    latencies.push(rec.executed_at - rec.submitted_at);
-                }
-            }
-        }
-        analysis.windows.push(WindowRow {
-            name: window.name.clone(),
-            latency: LatencySummary::from_micros(latencies),
-        });
-    }
-
-    if spec.skipped_rounds {
-        // Lemma 6: count even (anchor) rounds at or below the last
-        // committed anchor that never committed, in the most advanced
-        // live validator's view.
-        let anchors = live
-            .iter()
-            .map(|i| handle.validator(*i).committed_anchors().to_vec())
-            .max_by_key(|a| a.len())
-            .unwrap_or_default();
-        let last = anchors.last().map(|a| a.round.0).unwrap_or(0);
-        let committed: std::collections::HashSet<u64> = anchors.iter().map(|a| a.round.0).collect();
-        let skipped = (0..=last).step_by(2).filter(|r| !committed.contains(r)).count() as u64;
-        analysis.skipped_rounds = Some(skipped);
-        analysis.last_anchor_round = Some(last);
-    }
-
-    if spec.schedule_churn {
-        let churn = live
-            .iter()
-            .filter_map(|i| handle.validator(*i).hammerhead_policy())
-            .map(|p| p.epoch_history().iter().map(|e| e.excluded.len() as u64).sum::<u64>())
-            .max()
-            .unwrap_or(0);
-        analysis.bg_churn = Some(churn);
-    }
-
-    analysis
 }
 
 // ---------------------------------------------------------------------------
@@ -408,5 +399,64 @@ period_rounds = 120
         let a = report_json(&run_plan(&plan, RunLimit::Duration, false)).render();
         let b = report_json(&run_plan(&plan, RunLimit::Duration, false)).render();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn verbose_and_quiet_runs_build_the_same_report() {
+        // Progress printing lives in the report layer, outside the
+        // execution path — toggling it must not change a byte of the
+        // report.
+        let extra = r#"
+[analysis]
+skipped_rounds = true
+[[analysis.window]]
+name = "whole"
+from_frac = 0.0
+to_frac = 1.0
+"#;
+        let plan = tiny_spec(extra).plan(&PlanOptions::default()).unwrap();
+        let quiet = report_json(&run_plan(&plan, RunLimit::Duration, false)).render();
+        let verbose = report_json(&run_plan(&plan, RunLimit::Duration, true)).render();
+        assert_eq!(quiet, verbose);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_json() {
+        let spec = ScenarioSpec::parse(
+            r#"
+name = "jobs-test"
+[committee]
+size = 4
+[load]
+tps = [100, 200]
+[run]
+duration_secs = 2
+warmup_secs = 1
+seeds = [1, 2]
+[network]
+model = "flat"
+[analysis]
+skipped_rounds = true
+[[analysis.window]]
+name = "late"
+from_frac = 0.5
+to_frac = 1.0
+"#,
+        )
+        .unwrap();
+        let plan = spec.plan(&PlanOptions::default()).unwrap();
+        let serial = report_json(&run_plan_with(
+            &plan,
+            RunLimit::Duration,
+            &ExecOptions { jobs: 1, verbose: false },
+        ))
+        .render();
+        let pooled = report_json(&run_plan_with(
+            &plan,
+            RunLimit::Duration,
+            &ExecOptions { jobs: 4, verbose: false },
+        ))
+        .render();
+        assert_eq!(serial, pooled, "--jobs must never change report bytes");
     }
 }

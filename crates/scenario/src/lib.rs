@@ -10,11 +10,14 @@
 //! * axis expansion ([`ScenarioSpec::plan`]): list-valued knobs
 //!   (committee sizes, loads, seeds, periods…) expand into the cross
 //!   product of concrete [`hh_sim::ExperimentConfig`]s;
-//! * an execution engine ([`run_plan`]) producing a [`ScenarioReport`]
+//! * a `plan → executor → report` pipeline: an [`Executor`] (serial or
+//!   a scoped worker pool, [`run_plan_with`] + [`ExecOptions`]) turns
+//!   every planned run into a row via the streaming bounded-memory
+//!   metrics sink, and the report layer assembles a [`ScenarioReport`]
 //!   with the paper's metrics plus declared analyses (latency windows,
 //!   skipped leader rounds, B/G churn);
 //! * deterministic JSON output ([`report_json`]) — same seeds, same
-//!   bytes;
+//!   bytes, for any `--jobs` worker count;
 //! * the `hh-cli` binary: `hh-cli run scenarios/fig1_faultless.toml`,
 //!   `hh-cli list`, `hh-cli matrix`, `hh-cli validate`.
 //!
@@ -45,14 +48,16 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 mod engine;
+mod executor;
 mod json;
 mod spec;
 pub mod toml;
 
 pub use engine::{
-    render_header, render_row, report_json, run_plan, AnalysisRow, RunRow, ScenarioReport,
-    WindowRow,
+    render_header, render_row, report_json, run_plan, run_plan_with, AnalysisRow, ExecOptions,
+    RunRow, ScenarioReport, WindowRow,
 };
+pub use executor::{Executor, PooledExecutor, SerialExecutor};
 pub use hh_sim::RunLimit;
 pub use json::Json;
 pub use spec::{

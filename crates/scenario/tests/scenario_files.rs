@@ -68,7 +68,7 @@ fn fig2_scenario_matches_legacy_binary_config() {
     legacy.duration_secs = 15;
     legacy.warmup_secs = 2;
     legacy.seed = 42;
-    legacy.faults = FaultSpec::crash_last(committee, committee / 3);
+    legacy.faults = FaultSpec::crash_last(committee, committee / 3).expect("f < n");
 
     assert_eq!(run.config.committee_size, legacy.committee_size);
     assert_eq!(run.config.duration_secs, legacy.duration_secs);

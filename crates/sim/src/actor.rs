@@ -138,6 +138,15 @@ impl Actor {
         }
     }
 
+    /// Mutable access to the validator inside, if this actor is one
+    /// (streaming harnesses draining latency records mid-run).
+    pub fn as_validator_mut(&mut self) -> Option<&mut Validator<MemBackend>> {
+        match self {
+            Actor::Validator(v) => Some(v),
+            Actor::Client(_) => None,
+        }
+    }
+
     /// The client inside, if this actor is one.
     pub fn as_client(&self) -> Option<&Client> {
         match self {

@@ -3,6 +3,7 @@
 
 use crate::actor::{Actor, Client};
 use crate::metrics::LatencySummary;
+use crate::sink::MetricsSink;
 use hammerhead::{HammerheadConfig, ScheduleConfig, Validator, ValidatorConfig};
 use hh_consensus::SchedulePolicy;
 use hh_crypto::Digest;
@@ -31,6 +32,19 @@ impl SystemKind {
     }
 }
 
+/// An unrunnable fault specification (e.g. more crashes than
+/// validators).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultSpecError(String);
+
+impl std::fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
 /// Faults injected into a run.
 #[derive(Clone, Debug, Default)]
 pub struct FaultSpec {
@@ -44,12 +58,21 @@ pub struct FaultSpec {
 impl FaultSpec {
     /// Crash the *last* `count` validators from t=0 (keeps leader slots of
     /// early ids intact, matching "maximum tolerable faults" benchmarks).
-    pub fn crash_last(committee_size: usize, count: usize) -> Self {
+    ///
+    /// Fails when `count >= committee_size`: crashing everyone (or more
+    /// validators than exist) leaves nothing to measure.
+    pub fn crash_last(committee_size: usize, count: usize) -> Result<Self, FaultSpecError> {
+        if count >= committee_size {
+            return Err(FaultSpecError(format!(
+                "crash_last: crashing the last {count} of {committee_size} validators leaves \
+                 no live validator"
+            )));
+        }
         let first = committee_size - count;
-        FaultSpec {
+        Ok(FaultSpec {
             crashed: (first..committee_size).map(|i| i as u16).collect(),
             slowdowns: Vec::new(),
-        }
+        })
     }
 }
 
@@ -314,10 +337,18 @@ pub fn run_experiment_limited(config: &ExperimentConfig, limit: RunLimit) -> Run
     collect_metrics(config, &handle, end_us)
 }
 
+/// The non-crashed validator indices of a run.
+fn live_validators(config: &ExperimentConfig, n_validators: usize) -> Vec<usize> {
+    (0..n_validators).filter(|i| !config.faults.crashed.contains(&(*i as u16))).collect()
+}
+
 /// Builds and drives the simulation until `limit`, returning the live
 /// handle (for custom post-run analyses) and the stop time in
 /// microseconds. Pass both to [`collect_metrics`] for the standard
 /// metrics.
+///
+/// Latency records stay buffered on the validators; for the
+/// bounded-memory streaming path use [`run_sim_streaming`].
 pub fn run_sim_limited(config: &ExperimentConfig, limit: RunLimit) -> (SimHandle, u64) {
     let mut handle = build_sim(config);
     let cap = SimTime::from_secs(config.duration_secs);
@@ -327,9 +358,7 @@ pub fn run_sim_limited(config: &ExperimentConfig, limit: RunLimit) -> (SimHandle
             cap.as_micros()
         }
         RunLimit::Rounds(target) => {
-            let live: Vec<usize> = (0..handle.n_validators)
-                .filter(|i| !config.faults.crashed.contains(&(*i as u16)))
-                .collect();
+            let live = live_validators(config, handle.n_validators);
             let slice_us = 250_000u64;
             let mut now_us = 0u64;
             while now_us < cap.as_micros() {
@@ -347,17 +376,71 @@ pub fn run_sim_limited(config: &ExperimentConfig, limit: RunLimit) -> (SimHandle
     (handle, end_us)
 }
 
-/// Gathers the paper's metrics from a finished run that stopped at
-/// `end_us` (as returned by [`run_sim_limited`]).
-pub fn collect_metrics(config: &ExperimentConfig, handle: &SimHandle, end_us: u64) -> RunResult {
-    let warmup_us = config.warmup_secs * 1_000_000;
-    let live: Vec<usize> = (0..handle.n_validators)
-        .filter(|i| !config.faults.crashed.contains(&(*i as u16)))
-        .collect();
+/// Builds and drives the simulation until `limit`, draining every live
+/// validator's latency records into `sink` as they are produced.
+///
+/// The simulation advances in quarter-second slices; after each slice
+/// the freshly produced [`hammerhead::ExecRecord`]s are taken off the
+/// validators and fed to the sink, so per-run memory stays bounded by
+/// the sink's fixed histograms (plus the small execution backlog)
+/// instead of growing with run length × load. Event processing is
+/// identical to the single-shot drive — the simulator's event queue is
+/// ordered by `(time, seq)` and slicing `run_until` does not reorder it
+/// — so results match [`run_sim_limited`] bit for bit.
+///
+/// Finish with [`collect_streamed_metrics`] to finalize the sink and
+/// gather the standard [`RunResult`].
+pub fn run_sim_streaming(
+    config: &ExperimentConfig,
+    limit: RunLimit,
+    sink: &mut MetricsSink,
+) -> (SimHandle, u64) {
+    let mut handle = build_sim(config);
+    let cap = SimTime::from_secs(config.duration_secs);
+    let live = live_validators(config, handle.n_validators);
+    let round_target = match limit {
+        RunLimit::Duration => None,
+        RunLimit::Rounds(target) => Some(target),
+    };
+    let slice_us = 250_000u64;
+    let mut now_us = 0u64;
+    while now_us < cap.as_micros() {
+        now_us = (now_us + slice_us).min(cap.as_micros());
+        handle.sim.run_until(SimTime(now_us));
+        for &i in &live {
+            let records = handle
+                .sim
+                .node_mut(NodeId(i))
+                .as_validator_mut()
+                .expect("node is a validator")
+                .take_exec_records();
+            for rec in &records {
+                sink.observe(rec, now_us);
+            }
+        }
+        if let Some(target) = round_target {
+            let best =
+                live.iter().map(|i| handle.validator(*i).current_round().0).max().unwrap_or(0);
+            if best >= target {
+                break;
+            }
+        }
+    }
+    (handle, now_us)
+}
 
-    let mut executed = 0u64;
-    let mut latencies = Vec::new();
-    let mut commit_latencies = Vec::new();
+/// Finalizes a sink fed by [`run_sim_streaming`] and gathers the paper's
+/// metrics: the record-derived statistics come from the sink, the run
+/// counters and the Total Order audit from the live handle.
+pub fn collect_streamed_metrics(
+    config: &ExperimentConfig,
+    handle: &SimHandle,
+    end_us: u64,
+    sink: &mut MetricsSink,
+) -> RunResult {
+    sink.finalize(end_us);
+    let live = live_validators(config, handle.n_validators);
+
     let mut commits = 0u64;
     let mut leader_timeouts = 0u64;
     let mut shed = 0u64;
@@ -370,15 +453,6 @@ pub fn collect_metrics(config: &ExperimentConfig, handle: &SimHandle, end_us: u6
         commits = commits.max(v.commit_count());
         if let Some(p) = v.hammerhead_policy() {
             epochs = epochs.max(p.epoch());
-        }
-        for rec in &m.exec_records {
-            if rec.executed_at <= end_us {
-                executed += 1;
-                if rec.submitted_at >= warmup_us {
-                    latencies.push(rec.executed_at - rec.submitted_at);
-                    commit_latencies.push(rec.committed_at - rec.submitted_at);
-                }
-            }
         }
     }
 
@@ -415,9 +489,9 @@ pub fn collect_metrics(config: &ExperimentConfig, handle: &SimHandle, end_us: u6
         .unwrap_or(Digest::ZERO);
 
     RunResult {
-        throughput_tps: executed as f64 / (end_us as f64 / 1e6).max(1e-6),
-        latency: LatencySummary::from_micros(latencies),
-        commit_latency: LatencySummary::from_micros(commit_latencies),
+        throughput_tps: sink.executed() as f64 / (end_us as f64 / 1e6).max(1e-6),
+        latency: sink.latency_summary(),
+        commit_latency: sink.commit_latency_summary(),
         commits,
         leader_timeouts,
         submitted,
@@ -427,6 +501,24 @@ pub fn collect_metrics(config: &ExperimentConfig, handle: &SimHandle, end_us: u6
         agreement_ok,
         chain_hash,
     }
+}
+
+/// Gathers the paper's metrics from a finished run that stopped at
+/// `end_us` (as returned by [`run_sim_limited`]).
+///
+/// This is the post-run convenience over the incremental path: it feeds
+/// the records still buffered on the validators through a fresh
+/// [`MetricsSink`]. The sink's accumulators are order-independent
+/// integers, so the result is identical to streaming the same records
+/// during the run.
+pub fn collect_metrics(config: &ExperimentConfig, handle: &SimHandle, end_us: u64) -> RunResult {
+    let mut sink = MetricsSink::new(config.warmup_secs * 1_000_000);
+    for &i in &live_validators(config, handle.n_validators) {
+        for rec in &handle.validator(i).metrics().exec_records {
+            sink.observe(rec, end_us);
+        }
+    }
+    collect_streamed_metrics(config, handle, end_us, &mut sink)
 }
 
 #[cfg(test)]
@@ -459,7 +551,7 @@ mod tests {
         let mut base = ExperimentConfig::quick_test(SystemKind::Bullshark);
         base.committee_size = 4;
         base.duration_secs = 8;
-        base.faults = FaultSpec::crash_last(4, 1);
+        base.faults = FaultSpec::crash_last(4, 1).expect("1 of 4 is a valid crash spec");
 
         let bullshark = run_experiment(&base);
 
@@ -493,6 +585,40 @@ mod tests {
         let full = run_experiment(&config);
         assert!(full.commits > r.commits, "full {} vs limited {}", full.commits, r.commits);
         assert!(r.throughput_tps > 0.0);
+    }
+
+    #[test]
+    fn crash_last_rejects_oversized_counts_instead_of_panicking() {
+        // Regression: `count > committee_size` used to underflow
+        // `committee_size - count` and panic in release-unfriendly ways.
+        assert!(FaultSpec::crash_last(4, 5).is_err());
+        assert!(FaultSpec::crash_last(4, 4).is_err(), "crashing everyone is unrunnable too");
+        assert!(FaultSpec::crash_last(0, 0).is_err());
+        let ok = FaultSpec::crash_last(4, 1).expect("valid spec");
+        assert_eq!(ok.crashed, vec![3]);
+    }
+
+    #[test]
+    fn streaming_run_matches_buffered_collection() {
+        // The incremental sink fed in 250 ms slices and the post-run
+        // buffered path must agree on every metric, bit for bit.
+        let config = ExperimentConfig::quick_test(SystemKind::Hammerhead);
+        let (handle, end_us) = run_sim_limited(&config, RunLimit::Duration);
+        let buffered = collect_metrics(&config, &handle, end_us);
+
+        let mut sink = crate::MetricsSink::new(config.warmup_secs * 1_000_000);
+        let (handle, end_us) = run_sim_streaming(&config, RunLimit::Duration, &mut sink);
+        let streamed = collect_streamed_metrics(&config, &handle, end_us, &mut sink);
+
+        assert_eq!(buffered.chain_hash, streamed.chain_hash);
+        assert_eq!(buffered.commits, streamed.commits);
+        assert_eq!(buffered.throughput_tps, streamed.throughput_tps);
+        assert_eq!(buffered.latency, streamed.latency);
+        assert_eq!(buffered.commit_latency, streamed.commit_latency);
+        assert_eq!(buffered.submitted, streamed.submitted);
+        // And the streaming run leaves no records buffered on live
+        // validators — the bounded-memory property.
+        assert!(handle.validator(0).metrics().exec_records.is_empty());
     }
 
     #[test]

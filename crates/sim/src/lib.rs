@@ -32,12 +32,15 @@
 mod actor;
 mod experiment;
 mod metrics;
+mod sink;
 mod timeseries;
 
 pub use actor::{Actor, Client, NetMessage};
 pub use experiment::{
-    build_sim, collect_metrics, run_experiment, run_experiment_limited, run_sim_limited,
-    ExperimentConfig, FaultSpec, RunLimit, RunResult, SimHandle, SystemKind,
+    build_sim, collect_metrics, collect_streamed_metrics, run_experiment, run_experiment_limited,
+    run_sim_limited, run_sim_streaming, ExperimentConfig, FaultSpec, FaultSpecError, RunLimit,
+    RunResult, SimHandle, SystemKind,
 };
 pub use metrics::LatencySummary;
+pub use sink::{MetricsSink, StreamingHistogram};
 pub use timeseries::{Bucket, TimeSeries};

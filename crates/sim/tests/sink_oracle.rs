@@ -1,0 +1,87 @@
+//! Property tests pinning the streaming histogram to the exact oracle.
+//!
+//! [`LatencySummary::from_micros`] buffers and sorts every sample — the
+//! path the paper's numbers were originally computed with — and stays in
+//! the tree exactly so the bounded-memory [`StreamingHistogram`] can be
+//! checked against it: mean/stddev/max/count must match to floating
+//! rounding, and the histogram percentiles must sit within one
+//! sub-bucket (1/32 relative) above the exact nearest-rank value.
+
+use hh_sim::{LatencySummary, StreamingHistogram};
+use proptest::prelude::*;
+
+/// One sub-bucket of relative slack: the histogram reports the bucket's
+/// upper bound, at most `1/32` above the exact sample.
+const BUCKET_EPS: f64 = 1.0 / 32.0;
+
+fn check_against_oracle(samples: Vec<u64>) {
+    let mut hist = StreamingHistogram::new();
+    for &s in &samples {
+        hist.record(s);
+    }
+    let got = hist.summary();
+    let exact = LatencySummary::from_micros(samples);
+
+    assert_eq!(got.count, exact.count);
+    assert!((got.mean - exact.mean).abs() < 1e-6, "mean {} vs exact {}", got.mean, exact.mean);
+    assert!(
+        (got.stddev - exact.stddev).abs() < 1e-6,
+        "stddev {} vs exact {}",
+        got.stddev,
+        exact.stddev
+    );
+    assert!((got.max - exact.max).abs() < 1e-9, "max {} vs exact {}", got.max, exact.max);
+    for (name, estimate, oracle) in [("p50", got.p50, exact.p50), ("p95", got.p95, exact.p95)] {
+        assert!(estimate + 1e-9 >= oracle, "{name} estimate {estimate} below exact {oracle}");
+        assert!(
+            estimate <= oracle * (1.0 + BUCKET_EPS) + 1e-9,
+            "{name} estimate {estimate} more than one bucket above exact {oracle}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary sample sets up to 100 simulated seconds of latency,
+    /// including the empty and single-sample cases (length range starts
+    /// at 0).
+    fn histogram_tracks_oracle(samples in proptest::collection::vec(0u64..100_000_000, 0..300)) {
+        check_against_oracle(samples);
+    }
+
+    /// Heavy-tailed inputs: mostly small values with occasional huge
+    /// outliers stress the log-scale bucketing across many octaves.
+    fn histogram_tracks_oracle_heavy_tail(
+        small in proptest::collection::vec(0u64..1_000, 1..100),
+        spikes in proptest::collection::vec(1_000_000u64..=10_000_000_000, 0..8),
+    ) {
+        let mut samples = small;
+        samples.extend(spikes);
+        check_against_oracle(samples);
+    }
+}
+
+#[test]
+fn empty_input_matches_oracle_exactly() {
+    check_against_oracle(Vec::new());
+    assert_eq!(StreamingHistogram::new().summary(), LatencySummary::default());
+}
+
+#[test]
+fn single_sample_percentiles_are_exact() {
+    // With one sample every percentile is that sample; the max clamp
+    // makes the histogram exact here, not just within a bucket.
+    for v in [0u64, 1, 31, 32, 500_000, 99_999_999] {
+        let mut hist = StreamingHistogram::new();
+        hist.record(v);
+        let got = hist.summary();
+        let exact = LatencySummary::from_micros(vec![v]);
+        assert_eq!(got.count, 1);
+        assert!((got.p50 - exact.p50).abs() < 1e-12, "p50 for {v}");
+        assert!((got.p95 - exact.p95).abs() < 1e-12, "p95 for {v}");
+        assert!((got.max - exact.max).abs() < 1e-12, "max for {v}");
+        assert!((got.mean - exact.mean).abs() < 1e-12, "mean for {v}");
+        assert!(got.stddev.abs() < 1e-12, "stddev for {v}");
+    }
+}
