@@ -6,8 +6,10 @@
 # Runs, in order: format check, clippy (warnings are errors), release
 # build, the full workspace test suite, doc tests, an hh-cli smoke run
 # of the Figure 1 scenario capped at 50 DAG rounds, a parallel matrix
-# smoke run, and a determinism gate checking that --jobs 1 and --jobs 4
-# emit byte-identical JSON for a fixed seed.
+# smoke run, a determinism gate checking that --jobs 1 and --jobs 4
+# emit byte-identical JSON for a fixed seed, a hotpath bench smoke
+# refreshing BENCH_hotpath.json, and a gate checking that --profile
+# leaves the JSON report byte-identical.
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -42,5 +44,13 @@ step "determinism: --jobs 1 and --jobs 4 emit identical JSON"
 ./target/release/hh-cli run scenarios/fig2_faults.toml \
     --quick --seed 7 --json --jobs 4 > target/ci-jobs4.json
 cmp target/ci-jobs1.json target/ci-jobs4.json
+
+step "hotpath bench smoke (BENCH_hotpath.json, commit-walk regression floor)"
+./target/release/hotpath_smoke --out BENCH_hotpath.json --min-speedup 2
+
+step "determinism: --profile leaves the JSON report byte-identical"
+./target/release/hh-cli run scenarios/fig2_faults.toml \
+    --quick --seed 7 --json --profile > target/ci-profile.json 2> /dev/null
+cmp target/ci-jobs1.json target/ci-profile.json
 
 step "all green"

@@ -95,6 +95,82 @@ fn bench_dag(c: &mut Criterion) {
     group.finish();
 }
 
+/// The commit rule's `path(v, u)` shapes on a 40-round DAG: the depth-2
+/// anchor-to-anchor probe (bitset fast path) and a depth-39 descent
+/// (still within the default window).
+fn bench_reachable(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reachable");
+    for n in [50usize, 100] {
+        let dag = full_dag(n, 40);
+        let anchor = dag.vertex_by_author(Round(10), ValidatorId(0)).unwrap().clone();
+        let prev = dag.vertex_by_author(Round(8), ValidatorId(1)).unwrap().clone();
+        group.bench_function(format!("anchor_depth2_n{n}"), |b| {
+            b.iter(|| assert!(dag.reachable(&anchor, &prev)))
+        });
+        let top = dag.vertex_by_author(Round(39), ValidatorId(0)).unwrap().clone();
+        let bottom = dag.vertex_by_author(Round(0), ValidatorId((n - 1) as u16)).unwrap().clone();
+        group.bench_function(format!("deep_depth39_n{n}"), |b| {
+            b.iter(|| assert!(dag.reachable(&top, &bottom)))
+        });
+    }
+    group.finish();
+}
+
+/// Sub-DAG delivery from a fresh anchor: the per-commit shape (two
+/// unordered rounds above an ordered prefix) via a reused scratch.
+fn bench_causal_sub_dag(c: &mut Criterion) {
+    let mut group = c.benchmark_group("causal_sub_dag");
+    for n in [50usize, 100] {
+        let dag = full_dag(n, 12);
+        let anchor = dag.vertex_by_author(Round(10), ValidatorId(0)).unwrap().clone();
+        let ordered: std::collections::HashSet<_> =
+            (0..8u64).flat_map(|r| dag.round_vertices(Round(r)).map(|v| v.digest())).collect();
+        let mut scratch = hh_dag::SubDagScratch::new();
+        group.throughput(Throughput::Elements(2 * n as u64));
+        group.bench_function(format!("two_rounds_n{n}"), |b| {
+            b.iter(|| {
+                let sub = dag.causal_sub_dag_with(&anchor, |d| ordered.contains(d), &mut scratch);
+                assert_eq!(sub.len(), 2 * n + 1);
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The full commit walk: every vertex of a 100-round DAG through
+/// `process_vertex` on a fresh engine — the ordering hot path end to
+/// end (trigger checks, anchor walk, sub-DAG delivery).
+fn bench_process_vertex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("process_vertex");
+    for n in [50usize, 100] {
+        let committee = Committee::new_equal_stake(n);
+        let rounds = 100u64;
+        let dag = full_dag(n, rounds as usize);
+        group.throughput(Throughput::Elements(rounds * n as u64));
+        group.bench_function(format!("full_dag_r100_n{n}"), |b| {
+            b.iter_batched(
+                || {
+                    Bullshark::new(
+                        committee.clone(),
+                        RoundRobinPolicy::new(SlotSchedule::round_robin(&committee)),
+                    )
+                },
+                |mut engine| {
+                    let mut commits = 0usize;
+                    for r in 0..rounds {
+                        for v in dag.round_vertices(Round(r)) {
+                            commits += engine.process_vertex(v, &dag).len();
+                        }
+                    }
+                    assert!(commits >= 48);
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
 fn bench_consensus(c: &mut Criterion) {
     let mut group = c.benchmark_group("consensus");
     for n in [10usize, 50] {
@@ -171,6 +247,9 @@ criterion_group!(
     bench_sha256,
     bench_wal,
     bench_dag,
+    bench_reachable,
+    bench_causal_sub_dag,
+    bench_process_vertex,
     bench_consensus,
     bench_schedule,
     bench_codec

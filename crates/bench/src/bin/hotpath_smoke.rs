@@ -1,0 +1,187 @@
+//! `hotpath_smoke` — a fast, JSON-emitting smoke benchmark of the
+//! ordering hot path, run by `ci.sh` to seed the perf trajectory.
+//!
+//! Unlike the criterion microbenches (statistical, minutes), this runs
+//! each probe a handful of times and reports the best observed wall
+//! clock — coarse, but stable enough that `--min-speedup` can gate CI
+//! against an order-of-magnitude hot-path regression. Probes:
+//!
+//! * `commit_walk_ns` — `Bullshark::process_vertex` fed every vertex of
+//!   a full 50-validator, 100-round DAG, reported per vertex;
+//! * `reachable_ns` — one anchor-to-anchor `Dag::reachable` query
+//!   (depth 2, the commit rule's shape) on the same DAG;
+//! * `causal_sub_dag_ns` — one full-history `Dag::causal_sub_dag` from
+//!   a top vertex;
+//! * `sim_events_per_sec` — a quick 4-validator scenario driven to
+//!   round 60, simulator events over wall clock.
+//!
+//! The emitted JSON carries a `baseline` object alongside `current`:
+//! the pre-indexing numbers (digest-keyed BFS walk) measured on this
+//! machine class before the slot-index rework, so every later run can
+//! report its speedup against the same anchor. `--min-speedup <x>`
+//! exits non-zero when the commit-walk speedup drops below `x` — the
+//! CI floor is set well under the observed ~10× so slower machine
+//! classes pass while a reverted/regressed index (≈1×) fails.
+//!
+//! Usage: `hotpath_smoke [--out BENCH_hotpath.json] [--min-speedup X]`
+
+use hh_consensus::{Bullshark, RoundRobinPolicy, SlotSchedule};
+use hh_dag::testkit::DagBuilder;
+use hh_dag::Dag;
+use hh_scenario::Json;
+use hh_sim::{run_sim_limited, ExperimentConfig, RunLimit, SystemKind};
+use hh_types::{Committee, Round, ValidatorId};
+use std::time::Instant;
+
+/// Pre-indexing numbers (PR 2 tree: per-query BFS with digest
+/// hashing), measured with this same binary before the slot-index
+/// rework. Kept as the fixed anchor the acceptance gate compares
+/// against.
+const BASELINE_COMMIT_WALK_NS: f64 = 3355.0;
+const BASELINE_REACHABLE_NS: f64 = 122230.0;
+const BASELINE_CAUSAL_SUB_DAG_NS: f64 = 12608096.0;
+const BASELINE_SIM_EVENTS_PER_SEC: f64 = 554203.0;
+
+const COMMITTEE: usize = 50;
+const ROUNDS: usize = 100;
+
+fn full_dag(n: usize, rounds: usize) -> Dag {
+    let mut b = DagBuilder::new(Committee::new_equal_stake(n));
+    b.extend_full_rounds(rounds);
+    b.into_dag()
+}
+
+/// Best-of-`iters` wall clock of `f`, in nanoseconds.
+fn best_ns(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+fn main() {
+    let mut out_path: Option<String> = None;
+    let mut min_speedup: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = Some(args.next().expect("--out requires a path")),
+            "--min-speedup" => {
+                let value = args.next().expect("--min-speedup requires a number");
+                min_speedup = Some(value.parse().expect("--min-speedup requires a number"));
+            }
+            other => {
+                eprintln!(
+                    "unknown argument `{other}`\n\
+                     usage: hotpath_smoke [--out FILE] [--min-speedup X]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let committee = Committee::new_equal_stake(COMMITTEE);
+    let dag = full_dag(COMMITTEE, ROUNDS);
+    let vertex_count = dag.len() as f64;
+
+    // The commit walk: every vertex of the DAG through a fresh engine.
+    let commit_walk_total_ns = best_ns(5, || {
+        let mut engine = Bullshark::new(
+            committee.clone(),
+            RoundRobinPolicy::new(SlotSchedule::round_robin(&committee)),
+        );
+        let mut commits = 0usize;
+        for r in 0..ROUNDS as u64 {
+            for v in dag.round_vertices(Round(r)) {
+                commits += engine.process_vertex(v, &dag).len();
+            }
+        }
+        assert!(commits >= ROUNDS / 2 - 2, "commit walk under-committed: {commits}");
+    });
+    let commit_walk_ns = commit_walk_total_ns / vertex_count;
+
+    // Anchor-to-anchor reachability (depth 2, the orderAnchors shape).
+    let from = dag.vertex_by_author(Round(10), ValidatorId(0)).unwrap().clone();
+    let to = dag.vertex_by_author(Round(8), ValidatorId(1)).unwrap().clone();
+    let reachable_ns = best_ns(7, || {
+        for _ in 0..1000 {
+            assert!(dag.reachable(&from, &to));
+        }
+    }) / 1000.0;
+
+    // Full-history delivery from a top vertex.
+    let top = dag.vertex_by_author(Round(ROUNDS as u64 - 1), ValidatorId(0)).unwrap().clone();
+    let causal_sub_dag_ns = best_ns(5, || {
+        assert!(dag.causal_history(&top).len() > COMMITTEE * (ROUNDS - 2));
+    });
+
+    // Whole-system events/sec on a quick deterministic scenario.
+    let config = ExperimentConfig::quick_test(SystemKind::Hammerhead);
+    let t = Instant::now();
+    let (handle, _end_us) = run_sim_limited(&config, RunLimit::Rounds(60));
+    let sim_wall_s = t.elapsed().as_secs_f64();
+    let sim_events = handle.sim.stats().events;
+    let sim_events_per_sec = sim_events as f64 / sim_wall_s.max(1e-9);
+
+    let probe = |walk: f64, reach: f64, sub: f64, eps: f64| {
+        Json::object()
+            .with("commit_walk_ns_per_vertex", Json::Float(walk))
+            .with("reachable_ns", Json::Float(reach))
+            .with("causal_sub_dag_ns", Json::Float(sub))
+            .with("sim_events_per_sec", Json::Float(eps))
+    };
+    let report = Json::object()
+        .with("bench", Json::Str("hotpath".into()))
+        .with(
+            "setup",
+            Json::object()
+                .with("committee", Json::Int(COMMITTEE as i64))
+                .with("rounds", Json::Int(ROUNDS as i64)),
+        )
+        .with(
+            "baseline",
+            probe(
+                BASELINE_COMMIT_WALK_NS,
+                BASELINE_REACHABLE_NS,
+                BASELINE_CAUSAL_SUB_DAG_NS,
+                BASELINE_SIM_EVENTS_PER_SEC,
+            ),
+        )
+        .with(
+            "current",
+            probe(commit_walk_ns, reachable_ns, causal_sub_dag_ns, sim_events_per_sec),
+        );
+    let rendered = report.render();
+
+    println!(
+        "hotpath: commit walk {:.0} ns/vertex | reachable {:.0} ns | causal_sub_dag {:.0} ns | \
+         {:.0} sim events/s",
+        commit_walk_ns, reachable_ns, causal_sub_dag_ns, sim_events_per_sec
+    );
+    if BASELINE_COMMIT_WALK_NS > 0.0 {
+        println!(
+            "         vs baseline: commit walk {:.1}x | reachable {:.1}x | causal_sub_dag {:.1}x",
+            BASELINE_COMMIT_WALK_NS / commit_walk_ns,
+            BASELINE_REACHABLE_NS / reachable_ns,
+            BASELINE_CAUSAL_SUB_DAG_NS / causal_sub_dag_ns
+        );
+    }
+    if let Some(path) = out_path {
+        std::fs::write(&path, &rendered).expect("write report");
+        println!("wrote {path}");
+    }
+    if let Some(floor) = min_speedup {
+        let speedup = BASELINE_COMMIT_WALK_NS / commit_walk_ns;
+        if speedup < floor {
+            eprintln!(
+                "FAIL: commit walk speedup {speedup:.1}x below the --min-speedup {floor}x floor \
+                 ({commit_walk_ns:.0} ns/vertex vs baseline {BASELINE_COMMIT_WALK_NS:.0})"
+            );
+            std::process::exit(1);
+        }
+        println!("commit walk speedup {speedup:.1}x >= {floor}x floor: ok");
+    }
+}

@@ -51,7 +51,11 @@ pub fn run_repo_scenario(file: &str) {
     let spec = load_scenario(&path).unwrap_or_else(|e| die(&e.to_string()));
     let plan = spec.plan(&opts).unwrap_or_else(|e| die(&e.to_string()));
     println!("# scenario {} — {} run(s)", plan.name, plan.runs.len());
-    let report = run_plan_with(&plan, RunLimit::Duration, &ExecOptions { jobs, verbose: true });
+    let report = run_plan_with(
+        &plan,
+        RunLimit::Duration,
+        &ExecOptions { jobs, verbose: true, profile: false },
+    );
     println!("{}", render_header(&report));
     if let Some(out) = out {
         let json = report_json(&report).render();

@@ -3,9 +3,8 @@
 
 use crate::policy::{ScheduleDecision, SchedulePolicy};
 use hh_crypto::{Digest, Sha256};
-use hh_dag::Dag;
-use hh_types::{Committee, Round, ValidatorId, Vertex, VertexRef};
-use std::collections::HashSet;
+use hh_dag::{Dag, SubDagScratch};
+use hh_types::{Committee, DigestSet, Round, ValidatorId, Vertex, VertexRef};
 use std::sync::Arc;
 
 /// One committed anchor and the sub-DAG it orders.
@@ -39,8 +38,8 @@ impl CommittedSubDag {
 pub struct Bullshark<P: SchedulePolicy> {
     committee: Committee,
     policy: P,
-    /// Digests of ordered (delivered) vertices.
-    ordered: HashSet<Digest>,
+    /// Digests of ordered (delivered) vertices (pass-through hashed).
+    ordered: DigestSet,
     /// Round of the last *ordered* anchor (the paper's `lastOrderedRound`;
     /// see DESIGN.md §4 on why it only advances when ordering happens).
     last_ordered_anchor_round: Option<Round>,
@@ -49,6 +48,11 @@ pub struct Bullshark<P: SchedulePolicy> {
     chain_hash: Digest,
     /// Full anchor sequence, kept for agreement assertions and monitoring.
     committed_anchors: Vec<VertexRef>,
+    /// Reusable state for the indexed sub-DAG walk (no per-commit
+    /// allocations beyond the delivered vertex list).
+    scratch: SubDagScratch,
+    /// Reusable `orderAnchors` stack.
+    anchor_stack: Vec<Arc<Vertex>>,
 }
 
 impl<P: SchedulePolicy> Bullshark<P> {
@@ -57,11 +61,13 @@ impl<P: SchedulePolicy> Bullshark<P> {
         Bullshark {
             committee,
             policy,
-            ordered: HashSet::new(),
+            ordered: DigestSet::default(),
             last_ordered_anchor_round: None,
             commit_index: 0,
             chain_hash: Digest::ZERO,
             committed_anchors: Vec::new(),
+            scratch: SubDagScratch::new(),
+            anchor_stack: Vec::new(),
         }
     }
 
@@ -144,7 +150,10 @@ impl<P: SchedulePolicy> Bullshark<P> {
 
             // Lines 15-24 (`orderAnchors`): walk back to the last ordered
             // anchor, keeping earlier anchors reachable from later ones.
-            let mut stack: Vec<Arc<Vertex>> = vec![anchor.clone()];
+            // Each `reachable` is a bitset probe against the DAG's slot
+            // index; the stack buffer is reused across calls.
+            self.anchor_stack.clear();
+            self.anchor_stack.push(anchor.clone());
             let mut cur = anchor;
             let mut r = anchor_round;
             while r.0 >= 2 {
@@ -155,7 +164,7 @@ impl<P: SchedulePolicy> Bullshark<P> {
                 let prev_leader = self.policy.leader_at(r);
                 if let Some(prev) = dag.vertex_by_author(r, prev_leader) {
                     if !self.ordered.contains(&prev.digest()) && dag.reachable(&cur, prev) {
-                        stack.push(prev.clone());
+                        self.anchor_stack.push(prev.clone());
                         cur = prev.clone();
                     }
                 }
@@ -163,7 +172,7 @@ impl<P: SchedulePolicy> Bullshark<P> {
 
             // Lines 27-37 (`orderHistory`): oldest anchor first.
             let mut switched = false;
-            while let Some(a) = stack.pop() {
+            while let Some(a) = self.anchor_stack.pop() {
                 match self.policy.before_order_anchor(&a, dag, &self.ordered) {
                     ScheduleDecision::Switched => {
                         // Lines 30-33: the rest of the stack was derived
@@ -185,9 +194,10 @@ impl<P: SchedulePolicy> Bullshark<P> {
     /// Orders the anchor's not-yet-ordered causal history deterministically
     /// (lines 34-37) and advances the commit bookkeeping.
     fn order_sub_dag(&mut self, anchor: &Arc<Vertex>, dag: &Dag) -> CommittedSubDag {
-        let mut vertices = dag.causal_sub_dag(anchor, |d| self.ordered.contains(d));
-        // "in some deterministic order": ascending (round, author).
-        vertices.sort_by_key(|v| (v.round(), v.author()));
+        // "in some deterministic order": the indexed walk already emits
+        // ascending (round, author).
+        let ordered = &self.ordered;
+        let vertices = dag.causal_sub_dag_with(anchor, |d| ordered.contains(d), &mut self.scratch);
         for v in &vertices {
             self.ordered.insert(v.digest());
             self.policy.on_vertex_ordered(v, dag);
@@ -218,6 +228,7 @@ mod tests {
     use crate::policy::{RoundRobinPolicy, SlotSchedule};
     use hh_dag::testkit::DagBuilder;
     use hh_types::Committee;
+    use std::collections::HashSet;
 
     fn committee4() -> Committee {
         Committee::new_equal_stake(4)

@@ -7,10 +7,8 @@
 //! schedules; [`StaticLeaderPolicy`] is the PBFT-style fixed leader the
 //! paper's §7 discusses as an extreme.
 
-use hh_crypto::Digest;
 use hh_dag::Dag;
-use hh_types::{Committee, Round, ValidatorId, Vertex};
-use std::collections::HashSet;
+use hh_types::{Committee, DigestSet, Round, ValidatorId, Vertex};
 
 /// What the policy decided when shown an anchor about to be ordered.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,7 +46,7 @@ pub trait SchedulePolicy {
         &mut self,
         anchor: &Vertex,
         dag: &Dag,
-        ordered: &HashSet<Digest>,
+        ordered: &DigestSet,
     ) -> ScheduleDecision;
 
     /// Called for every vertex as it is ordered (in delivery order), after
@@ -170,7 +168,7 @@ impl SchedulePolicy for RoundRobinPolicy {
         &mut self,
         _anchor: &Vertex,
         _dag: &Dag,
-        _ordered: &HashSet<Digest>,
+        _ordered: &DigestSet,
     ) -> ScheduleDecision {
         ScheduleDecision::Continue
     }
@@ -209,7 +207,7 @@ impl SchedulePolicy for StaticLeaderPolicy {
         &mut self,
         _anchor: &Vertex,
         _dag: &Dag,
-        _ordered: &HashSet<Digest>,
+        _ordered: &DigestSet,
     ) -> ScheduleDecision {
         ScheduleDecision::Continue
     }

@@ -116,7 +116,7 @@ pub struct ValidatorMetrics {
 /// [`ScheduleConfig`]).
 enum PolicyKind {
     RoundRobin(RoundRobinPolicy),
-    Hammerhead(HammerheadPolicy),
+    Hammerhead(Box<HammerheadPolicy>),
     Static(StaticLeaderPolicy),
 }
 
@@ -146,7 +146,7 @@ impl SchedulePolicy for PolicyKind {
         &mut self,
         anchor: &Vertex,
         dag: &Dag,
-        ordered: &std::collections::HashSet<Digest>,
+        ordered: &hh_types::DigestSet,
     ) -> ScheduleDecision {
         match self {
             PolicyKind::RoundRobin(p) => p.before_order_anchor(anchor, dag, ordered),
@@ -218,7 +218,7 @@ impl<B: LogBackend> Validator<B> {
         Validator {
             id,
             keypair,
-            dag: Dag::new(committee.clone()),
+            dag: Self::build_dag(&committee, &config),
             rbc: Rbc::new(committee.clone(), id, config.broadcast_mode),
             engine: Bullshark::new(committee.clone(), policy),
             store: backend.map(ValidatorStore::new),
@@ -237,14 +237,23 @@ impl<B: LogBackend> Validator<B> {
         }
     }
 
+    /// Builds the DAG with a reachability window matched to the node's GC
+    /// horizon: ancestry below `gc_depth` rounds is collected before it can
+    /// be queried, so a deeper bitset index would only cost memory. The
+    /// default window caps it for nodes configured with huge horizons.
+    fn build_dag(committee: &Committee, config: &ValidatorConfig) -> Dag {
+        let window = (config.gc_depth as usize).clamp(2, hh_dag::DEFAULT_REACH_WINDOW);
+        Dag::with_reach_window(committee.clone(), window)
+    }
+
     fn build_policy(committee: &Committee, config: &ValidatorConfig) -> PolicyKind {
         match &config.schedule {
             ScheduleConfig::RoundRobin => {
                 PolicyKind::RoundRobin(RoundRobinPolicy::new(SlotSchedule::round_robin(committee)))
             }
-            ScheduleConfig::Hammerhead(h) => {
-                PolicyKind::Hammerhead(HammerheadPolicy::new(committee.clone(), h.clone()))
-            }
+            ScheduleConfig::Hammerhead(h) => PolicyKind::Hammerhead(Box::new(
+                HammerheadPolicy::new(committee.clone(), h.clone()),
+            )),
             ScheduleConfig::StaticLeader(leader) => {
                 PolicyKind::Static(StaticLeaderPolicy::new(*leader))
             }
@@ -384,7 +393,7 @@ impl<B: LogBackend> Validator<B> {
     pub fn on_restart(&mut self, now: u64) -> Vec<Output> {
         self.metrics.restarts += 1;
         // Volatile state dies with the crash.
-        self.dag = Dag::new(self.committee.clone());
+        self.dag = Self::build_dag(&self.committee, &self.config);
         self.rbc = Rbc::new(self.committee.clone(), self.id, self.config.broadcast_mode);
         self.engine = Bullshark::new(
             self.committee.clone(),
@@ -594,13 +603,10 @@ impl<B: LogBackend> Validator<B> {
         let parents: Vec<Digest> = if round.0 == 0 {
             Vec::new()
         } else {
-            // Deterministic parent order (the DAG's round index is a hash
-            // map): sort by author so identical DAG state yields identical
-            // vertex digests on every run.
-            let mut refs: Vec<(ValidatorId, Digest)> =
-                self.dag.round_vertices(round.prev()).map(|v| (v.author(), v.digest())).collect();
-            refs.sort();
-            refs.into_iter().map(|(_, d)| d).collect()
+            // `round_vertices` iterates the round's author-indexed slot
+            // table, so parents come out in ascending author order —
+            // identical DAG state yields identical vertex digests.
+            self.dag.round_vertices(round.prev()).map(|v| v.digest()).collect()
         };
         // Backpressure: stop pulling from the pool once too many of our
         // transactions sit uncommitted.

@@ -5,10 +5,8 @@ use crate::config::{HammerheadConfig, ScoringRule};
 use crate::schedule::compute_next_schedule;
 use crate::scores::ReputationScores;
 use hh_consensus::{ScheduleDecision, SchedulePolicy, SlotSchedule};
-use hh_crypto::Digest;
-use hh_dag::Dag;
-use hh_types::{Committee, Round, ValidatorId, Vertex};
-use std::collections::HashSet;
+use hh_dag::{Dag, SubDagScratch};
+use hh_types::{Committee, DigestSet, Round, ValidatorId, Vertex};
 
 /// Bonus awarded to a committed anchor's author under
 /// [`ScoringRule::LeaderOutcome`].
@@ -57,6 +55,8 @@ pub struct HammerheadPolicy {
     ema_milli: Vec<u64>,
     epoch: u64,
     history: Vec<EpochSummary>,
+    /// Reusable traversal state for the epoch-boundary pending walk.
+    scratch: SubDagScratch,
 }
 
 impl HammerheadPolicy {
@@ -84,6 +84,7 @@ impl HammerheadPolicy {
             ema_milli: vec![0; n],
             epoch: 0,
             history: Vec::new(),
+            scratch: SubDagScratch::new(),
         }
     }
 
@@ -125,6 +126,10 @@ impl HammerheadPolicy {
     /// (even) round's leader vertex. Only leader rounds at or after the
     /// active schedule's initial round count: earlier rounds belong to a
     /// closed epoch, which prevents double counting across switches.
+    ///
+    /// The edge test reads the DAG's reachability bitset
+    /// ([`Dag::links_to_author`]): one probe instead of a digest scan
+    /// over the parent list, and no leader-vertex lookup on the miss path.
     fn accumulate_vote(&mut self, vertex: &Vertex, dag: &Dag) {
         let round = vertex.round();
         if round.is_even() || round.0 == 0 {
@@ -135,10 +140,8 @@ impl HammerheadPolicy {
             return;
         }
         let leader = self.leader_at(leader_round);
-        if let Some(lv) = dag.vertex_by_author(leader_round, leader) {
-            if vertex.has_parent(&lv.digest()) {
-                self.scores.record_vote(vertex.author());
-            }
+        if dag.links_to_author(vertex, leader) {
+            self.scores.record_vote(vertex.author());
         }
     }
 
@@ -164,7 +167,7 @@ impl SchedulePolicy for HammerheadPolicy {
         &mut self,
         anchor: &Vertex,
         dag: &Dag,
-        ordered: &HashSet<Digest>,
+        ordered: &DigestSet,
     ) -> ScheduleDecision {
         let boundary = self.initial_round() + self.config.period_rounds;
         if anchor.round() < boundary {
@@ -183,14 +186,12 @@ impl SchedulePolicy for HammerheadPolicy {
         // up to but excluding the committed leader itself.
         if matches!(self.config.scoring_rule, ScoringRule::VoteBased | ScoringRule::VoteEma { .. })
         {
-            let pending = dag.causal_sub_dag(anchor, |d| ordered.contains(d));
-            let mut votes: Vec<&std::sync::Arc<Vertex>> =
-                pending.iter().filter(|v| v.digest() != anchor.digest()).collect();
-            // Deterministic accumulation order (scores are additive, but
-            // keep the walk canonical anyway).
-            votes.sort_by_key(|v| (v.round(), v.author()));
-            let votes: Vec<Vertex> = votes.into_iter().map(|v| (**v).clone()).collect();
-            for v in &votes {
+            // The indexed walk already emits canonically — ascending
+            // (round, author) — so the votes accumulate in deterministic
+            // order with no sorting and no vertex clones.
+            let pending =
+                dag.causal_sub_dag_with(anchor, |d| ordered.contains(d), &mut self.scratch);
+            for v in pending.iter().filter(|v| v.digest() != anchor.digest()) {
                 self.accumulate_vote(v, dag);
             }
         }
@@ -370,7 +371,7 @@ mod tests {
         let dag = b.into_dag();
         feed_all(&mut e, &dag, 8);
         // Committed anchors at rounds 0,2,4,6 → their authors hold bonuses.
-        let committed_authors: HashSet<ValidatorId> =
+        let committed_authors: std::collections::HashSet<ValidatorId> =
             e.committed_anchors().iter().map(|a| a.author).collect();
         for author in committed_authors {
             assert!(e.policy().scores().get(author) >= LEADER_COMMIT_BONUS);

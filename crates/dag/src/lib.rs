@@ -6,12 +6,17 @@
 //! previous round. This crate owns that structure:
 //!
 //! * [`Dag`] — insertion with full structural validation (Algorithm 1's
-//!   `struct vertex` invariants), indexed by digest and by
-//!   `(round, author)`;
-//! * reachability ([`Dag::reachable`], the paper's `path(v, u)`);
-//! * causal histories ([`Dag::causal_history`], [`Dag::causal_sub_dag`]) —
-//!   the sub-DAG a committed anchor orders;
-//! * garbage collection of ordered prefixes;
+//!   `struct vertex` invariants). Vertices are interned into dense `u32`
+//!   slots with index-array adjacency and per-round reachability bitsets;
+//!   the digest map survives only at the boundary;
+//! * reachability ([`Dag::reachable`], the paper's `path(v, u)`) — a
+//!   single bitset probe within the lookback window, with
+//!   [`Dag::reachable_bfs`] as the beyond-window fallback and test oracle;
+//! * causal histories ([`Dag::causal_history`], [`Dag::causal_sub_dag`],
+//!   allocation-free via [`Dag::causal_sub_dag_with`] + [`SubDagScratch`])
+//!   — the sub-DAG a committed anchor orders, emitted in ascending
+//!   `(round, author)` order;
+//! * garbage collection of ordered prefixes (slots retire and recycle);
 //! * equivocation detection (two vertices by one author in one round);
 //! * [`testkit`] — deterministic DAG construction helpers shared by the
 //!   consensus and scheduling test suites.
@@ -36,4 +41,4 @@
 mod store;
 pub mod testkit;
 
-pub use store::{Dag, DagError, InsertOutcome};
+pub use store::{Dag, DagError, InsertOutcome, SubDagScratch, DEFAULT_REACH_WINDOW};

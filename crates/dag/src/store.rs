@@ -1,10 +1,30 @@
-//! The DAG store: validated insertion, indices, reachability, histories, GC.
+//! The DAG store: validated insertion, slot-interned indices, bitset
+//! reachability, histories, GC.
+//!
+//! Internally every vertex is *interned*: [`Dag::try_insert`] assigns it a
+//! dense `u32` slot id, adjacency is stored as slot-id arrays, and each
+//! slot carries a per-round committee bitmask of the authors reachable
+//! from it within a bounded lookback window. The digest-keyed map survives
+//! only at the boundary (wire messages identify vertices by digest); every
+//! internal traversal walks integers. See `docs/architecture.md` ("DAG
+//! indexing & complexity") for the complexity table.
 
 use hh_crypto::Digest;
-use hh_types::{Committee, Round, Stake, TypeError, ValidatorId, Vertex};
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use hh_types::{Committee, DigestMap, Round, Stake, TypeError, ValidatorId, Vertex};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
+
+/// Default reachability lookback window, in rounds.
+///
+/// The commit rule's queries descend 2 rounds in the common case and at
+/// most a few epochs during catch-up; anything deeper falls back to the
+/// BFS oracle. 64 rounds keeps the per-vertex index at `64 × ⌈n/64⌉`
+/// words while covering every walk the paper's scenarios produce.
+pub const DEFAULT_REACH_WINDOW: usize = 64;
+
+/// Dense per-vertex index assigned at insertion.
+type SlotId = u32;
 
 /// Errors rejecting a vertex at insertion.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -95,45 +115,168 @@ pub enum InsertOutcome {
     AlreadyPresent,
 }
 
+/// One interned vertex: the payload plus the integer indices every
+/// traversal runs on.
+#[derive(Clone, Debug)]
+struct VertexSlot {
+    vertex: Arc<Vertex>,
+    /// Slot ids of the parents (all in `round - 1`). Cleared when the
+    /// parents' round is garbage-collected, so stored ids are always live.
+    parents: Vec<SlotId>,
+    /// Stake of the next-round vertices linking here (its *votes*),
+    /// maintained at insert time. Powers the O(1) direct-commit check.
+    vote_stake: Stake,
+    /// Reachable-author bitsets: row `d` (0-based) covers round
+    /// `round - 1 - d` and holds one bit per committee author whose
+    /// vertex of that round is an ancestor. `window × words` u64s, final
+    /// at insert time (parents always precede children).
+    reach: Box<[u64]>,
+}
+
+/// Per-round slot index: author position → slot id, plus the cached
+/// aggregates the per-message hot path reads.
+#[derive(Clone, Debug)]
+struct RoundIndex {
+    by_author: Vec<Option<SlotId>>,
+    len: usize,
+    stake: Stake,
+}
+
+impl RoundIndex {
+    fn new(n: usize) -> Self {
+        RoundIndex { by_author: vec![None; n], len: 0, stake: Stake(0) }
+    }
+}
+
+/// Reusable traversal state for the indexed sub-DAG walk.
+///
+/// [`Dag::causal_sub_dag_with`] marks visited slots in two bitsets sized
+/// to the slot table — `seen` (resolved either way, so the ordered-set
+/// predicate runs exactly once per distinct parent) and `kept` (part of
+/// the emitted sub-DAG). Owning one of these per consumer (the consensus
+/// engine, the schedule policy) makes the commit walk allocation-free
+/// apart from the returned vertex list itself.
+#[derive(Clone, Debug, Default)]
+pub struct SubDagScratch {
+    /// One bit per slot id: resolved during this walk.
+    seen: Vec<u64>,
+    /// One bit per slot id: resolved as *unordered* (to emit).
+    kept: Vec<u64>,
+    /// Slot ids with `seen` set, for O(visited) clearing.
+    touched: Vec<SlotId>,
+}
+
+impl SubDagScratch {
+    /// An empty scratch; buffers grow to the DAG's slot count on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn grow(&mut self, slots: usize) {
+        let words = slots.div_ceil(64);
+        if self.seen.len() < words {
+            self.seen.resize(words, 0);
+            self.kept.resize(words, 0);
+        }
+    }
+
+    fn is_seen(&self, id: SlotId) -> bool {
+        self.seen[id as usize / 64] & (1 << (id as usize % 64)) != 0
+    }
+
+    fn note(&mut self, id: SlotId, keep: bool) {
+        let (word, bit) = (id as usize / 64, 1u64 << (id as usize % 64));
+        self.seen[word] |= bit;
+        if keep {
+            self.kept[word] |= bit;
+        }
+        self.touched.push(id);
+    }
+
+    fn is_kept(&self, id: SlotId) -> bool {
+        self.kept[id as usize / 64] & (1 << (id as usize % 64)) != 0
+    }
+
+    fn clear(&mut self) {
+        for id in self.touched.drain(..) {
+            let (word, bit) = (id as usize / 64, 1u64 << (id as usize % 64));
+            self.seen[word] &= !bit;
+            self.kept[word] &= !bit;
+        }
+    }
+}
+
 /// The round-structured DAG (the paper's `DAG_i[]`).
 ///
 /// Holds at most one vertex per `(round, author)`; a second, different
 /// vertex from the same author in the same round is rejected as
 /// equivocation and counted (with best-effort broadcast a Byzantine author
 /// can attempt this; with certified broadcast it cannot happen).
+///
+/// Internally vertices are interned into dense slots with index-array
+/// adjacency and per-round reachability bitsets (see the module docs);
+/// digests only matter at the insertion/lookup boundary.
 #[derive(Clone, Debug)]
 pub struct Dag {
     committee: Committee,
-    rounds: BTreeMap<Round, HashMap<ValidatorId, Arc<Vertex>>>,
-    by_digest: HashMap<Digest, Arc<Vertex>>,
-    /// Cached per-round author stake; `round_stake`/`is_quorum_at` are on
-    /// the per-message hot path and must be O(1).
-    stake_by_round: HashMap<Round, Stake>,
-    /// Stake of the vertices linking to each vertex (its *votes*), indexed
-    /// by target digest and maintained at insert time. Powers the O(1)
-    /// direct-commit check.
-    vote_stake: HashMap<Digest, Stake>,
+    /// Slot table; `None` marks a slot retired by GC (id recycled via
+    /// `free`).
+    slots: Vec<Option<VertexSlot>>,
+    /// Retired slot ids available for reuse.
+    free: Vec<SlotId>,
+    /// Boundary index: digest → slot id (pass-through hashed).
+    by_digest: DigestMap<Digest, SlotId>,
+    rounds: BTreeMap<Round, RoundIndex>,
     gc_round: Round,
     equivocations: u64,
+    /// Bitset words per reach row: `⌈n/64⌉`.
+    words: usize,
+    /// Reach rows per vertex (lookback rounds).
+    window: usize,
 }
 
 impl Dag {
-    /// An empty DAG for `committee`.
+    /// An empty DAG for `committee`, with the default reachability window.
     pub fn new(committee: Committee) -> Self {
+        Self::with_reach_window(committee, DEFAULT_REACH_WINDOW)
+    }
+
+    /// An empty DAG whose per-vertex reachability index covers `window`
+    /// rounds of lookback (clamped to at least 1). Queries descending
+    /// deeper than the window stay correct through the BFS fallback;
+    /// callers that garbage-collect aggressively can shrink the window to
+    /// their `gc_depth` since nothing below the horizon is ever queried.
+    pub fn with_reach_window(committee: Committee, window: usize) -> Self {
+        let words = committee.size().div_ceil(64);
         Dag {
             committee,
+            slots: Vec::new(),
+            free: Vec::new(),
+            by_digest: DigestMap::default(),
             rounds: BTreeMap::new(),
-            by_digest: HashMap::new(),
-            stake_by_round: HashMap::new(),
-            vote_stake: HashMap::new(),
             gc_round: Round(0),
             equivocations: 0,
+            words,
+            window: window.max(1),
         }
     }
 
     /// The committee this DAG validates against.
     pub fn committee(&self) -> &Committee {
         &self.committee
+    }
+
+    /// Rounds of lookback the reachability bitsets cover.
+    pub fn reach_window(&self) -> usize {
+        self.window
+    }
+
+    fn slot(&self, id: SlotId) -> &VertexSlot {
+        self.slots[id as usize].as_ref().expect("live slot id")
+    }
+
+    fn slot_of(&self, digest: &Digest) -> Option<SlotId> {
+        self.by_digest.get(digest).copied()
     }
 
     /// Validates and stores a vertex.
@@ -153,6 +296,7 @@ impl Dag {
     pub fn try_insert(&mut self, vertex: Vertex) -> Result<InsertOutcome, DagError> {
         let round = vertex.round();
         let author = vertex.author();
+        let n = self.committee.size();
 
         if !self.committee.contains(author) {
             return Err(DagError::UnknownAuthor(author));
@@ -160,14 +304,20 @@ impl Dag {
         if round < self.gc_round {
             return Err(DagError::BelowGc { round, gc_round: self.gc_round });
         }
-        if let Some(existing) = self.rounds.get(&round).and_then(|r| r.get(&author)) {
-            if existing.digest() == vertex.digest() {
+        if let Some(existing) = self
+            .rounds
+            .get(&round)
+            .and_then(|r| r.by_author[author.index()])
+            .map(|id| self.slot(id))
+        {
+            if existing.vertex.digest() == vertex.digest() {
                 return Ok(InsertOutcome::AlreadyPresent);
             }
             self.equivocations += 1;
             return Err(DagError::Equivocation { author, round });
         }
 
+        let mut parent_slots: Vec<SlotId> = Vec::new();
         if round == Round(0) {
             if !vertex.parents().is_empty() {
                 return Err(DagError::MalformedParents("genesis vertex with parents"));
@@ -176,35 +326,57 @@ impl Dag {
             if vertex.parents().is_empty() {
                 return Err(DagError::MalformedParents("non-genesis vertex without parents"));
             }
-            // One pass, one map lookup per parent. A duplicate digest
-            // implies a duplicate author (digests resolve to unique
-            // vertices), so the author bitset covers both duplicate checks
-            // for resolvable parents; unresolvable duplicates surface via
-            // the `missing` path and are re-validated after sync.
-            let mut missing = Vec::new();
-            let mut seen_authors = vec![false; self.committee.size()];
+            // One pass, one map lookup per parent; missing parents are only
+            // *counted* here so the common all-present case allocates
+            // nothing beyond the adjacency array the slot keeps anyway. A
+            // duplicate digest implies a duplicate author (digests resolve
+            // to unique vertices), so the author bitset covers both
+            // duplicate checks for resolvable parents; unresolvable
+            // duplicates surface via the missing path and are re-validated
+            // after sync.
+            parent_slots.reserve_exact(vertex.parents().len());
+            let mut missing = 0usize;
+            // Stack bitset for the committee sizes we actually simulate;
+            // heap spill only for n > 256.
+            let mut seen_small = [0u64; 4];
+            let mut seen_spill: Vec<u64>;
+            let seen_authors: &mut [u64] = if n <= 256 {
+                &mut seen_small
+            } else {
+                seen_spill = vec![0u64; n.div_ceil(64)];
+                &mut seen_spill
+            };
             let mut stake = Stake(0);
             for parent in vertex.parents() {
-                match self.by_digest.get(parent) {
-                    None => missing.push(*parent),
-                    Some(pv) => {
-                        if pv.round() != round.prev() || round.0 == 0 {
+                match self.slot_of(parent) {
+                    None => missing += 1,
+                    Some(id) => {
+                        let pv = self.slot(id);
+                        if pv.vertex.round() != round.prev() || round.0 == 0 {
                             return Err(DagError::WrongParentRound {
                                 round,
                                 parent: *parent,
-                                parent_round: pv.round(),
+                                parent_round: pv.vertex.round(),
                             });
                         }
-                        let slot = &mut seen_authors[pv.author().index()];
-                        if *slot {
+                        let idx = pv.vertex.author().index();
+                        if seen_authors[idx / 64] & (1 << (idx % 64)) != 0 {
                             return Err(DagError::DuplicateParents);
                         }
-                        *slot = true;
-                        stake += self.committee.stake_of(pv.author());
+                        seen_authors[idx / 64] |= 1 << (idx % 64);
+                        stake += self.committee.stake_of(pv.vertex.author());
+                        parent_slots.push(id);
                     }
                 }
             }
-            if !missing.is_empty() {
+            if missing > 0 {
+                // Second pass only on the incomplete-ancestry path.
+                let missing: Vec<Digest> = vertex
+                    .parents()
+                    .iter()
+                    .filter(|d| !self.by_digest.contains_key(*d))
+                    .copied()
+                    .collect();
                 return Err(DagError::MissingParents(missing));
             }
             if stake < self.committee.quorum_threshold() {
@@ -215,25 +387,65 @@ impl Dag {
             }
         }
 
-        let arc = Arc::new(vertex);
-        let author_stake = self.committee.stake_of(author);
-        for parent in arc.parents() {
-            *self.vote_stake.entry(*parent).or_insert(Stake(0)) += author_stake;
+        // Build the reach rows: row 0 is the parents' author mask, row d
+        // is the union of the parents' rows d-1 (shifted one round down).
+        let words = self.words;
+        let mut reach = vec![0u64; self.window * words].into_boxed_slice();
+        for &p in &parent_slots {
+            let pslot = self.slot(p);
+            let idx = pslot.vertex.author().index();
+            reach[idx / 64] |= 1 << (idx % 64);
+            let carry = self.window - 1;
+            for (dst, src) in reach[words..].iter_mut().zip(pslot.reach[..carry * words].iter()) {
+                *dst |= *src;
+            }
         }
-        self.by_digest.insert(arc.digest(), arc.clone());
-        self.rounds.entry(round).or_default().insert(author, arc);
-        *self.stake_by_round.entry(round).or_insert(Stake(0)) += author_stake;
+
+        // Commit the insert: charge vote stake to the parents, intern the
+        // vertex into a (possibly recycled) slot, index it.
+        let author_stake = self.committee.stake_of(author);
+        for &p in &parent_slots {
+            self.slots[p as usize].as_mut().expect("live slot id").vote_stake += author_stake;
+        }
+        let digest = vertex.digest();
+        let slot = VertexSlot {
+            vertex: Arc::new(vertex),
+            parents: parent_slots,
+            vote_stake: Stake(0),
+            reach,
+        };
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.slots[id as usize] = Some(slot);
+                id
+            }
+            None => {
+                let id = SlotId::try_from(self.slots.len()).expect("slot ids fit u32");
+                self.slots.push(Some(slot));
+                id
+            }
+        };
+        self.by_digest.insert(digest, id);
+        let ri = self.rounds.entry(round).or_insert_with(|| RoundIndex::new(n));
+        ri.by_author[author.index()] = Some(id);
+        ri.len += 1;
+        ri.stake += author_stake;
         Ok(InsertOutcome::Inserted)
     }
 
-    /// Which of `parents` are not yet in the DAG.
+    /// Which of `parents` are not yet in the DAG. Returns without
+    /// allocating when everything is present (the common case on the
+    /// insert path).
     pub fn missing_from(&self, parents: &[Digest]) -> Vec<Digest> {
+        if parents.iter().all(|d| self.by_digest.contains_key(d)) {
+            return Vec::new();
+        }
         parents.iter().filter(|d| !self.by_digest.contains_key(*d)).copied().collect()
     }
 
     /// Looks a vertex up by digest.
     pub fn get(&self, digest: &Digest) -> Option<&Arc<Vertex>> {
-        self.by_digest.get(digest)
+        self.slot_of(digest).map(|id| &self.slot(id).vertex)
     }
 
     /// Whether a vertex with this digest is present.
@@ -243,22 +455,27 @@ impl Dag {
 
     /// The vertex authored by `author` in `round`, if any.
     pub fn vertex_by_author(&self, round: Round, author: ValidatorId) -> Option<&Arc<Vertex>> {
-        self.rounds.get(&round).and_then(|r| r.get(&author))
+        let ri = self.rounds.get(&round)?;
+        ri.by_author.get(author.index())?.map(|id| &self.slot(id).vertex)
     }
 
-    /// All vertices of `round`, in unspecified order.
+    /// All vertices of `round`, in ascending author order.
     pub fn round_vertices(&self, round: Round) -> impl Iterator<Item = &Arc<Vertex>> {
-        self.rounds.get(&round).into_iter().flat_map(|r| r.values())
+        self.rounds
+            .get(&round)
+            .into_iter()
+            .flat_map(|ri| ri.by_author.iter().flatten())
+            .map(|id| &self.slot(*id).vertex)
     }
 
     /// Number of vertices in `round`.
     pub fn round_len(&self, round: Round) -> usize {
-        self.rounds.get(&round).map(|r| r.len()).unwrap_or(0)
+        self.rounds.get(&round).map(|r| r.len).unwrap_or(0)
     }
 
     /// Total stake of the authors present in `round` (O(1), cached).
     pub fn round_stake(&self, round: Round) -> Stake {
-        self.stake_by_round.get(&round).copied().unwrap_or(Stake(0))
+        self.rounds.get(&round).map(|r| r.stake).unwrap_or(Stake(0))
     }
 
     /// Whether `round` holds quorum stake worth of vertices.
@@ -272,7 +489,7 @@ impl Dag {
     /// With one vertex per `(round, author)` (enforced at insertion), each
     /// author contributes its stake at most once per target.
     pub fn vote_stake(&self, target: &Digest) -> Stake {
-        self.vote_stake.get(target).copied().unwrap_or(Stake(0))
+        self.slot_of(target).map(|id| self.slot(id).vote_stake).unwrap_or(Stake(0))
     }
 
     /// The highest round containing any vertex.
@@ -303,9 +520,12 @@ impl Dag {
     /// The paper's `path(v, u)`: is there a chain of parent edges from
     /// `from` down to `to`?
     ///
-    /// Edges always descend exactly one round, so the search prunes any
-    /// branch that drops below `to`'s round. Vertices pruned by GC are
-    /// treated as dead ends (their history is already ordered).
+    /// When both endpoints are stored and the descent fits the
+    /// reachability window this is a single bitset probe: `to`'s round
+    /// and author address one bit of `from`'s reach index, and one vertex
+    /// per `(round, author)` (enforced at insertion) makes that bit
+    /// equivalent to the digest comparison the BFS does. Deeper descents
+    /// and foreign vertices fall back to [`Dag::reachable_bfs`].
     pub fn reachable(&self, from: &Vertex, to: &Vertex) -> bool {
         if from.digest() == to.digest() {
             return true;
@@ -313,38 +533,92 @@ impl Dag {
         if from.round() <= to.round() {
             return false;
         }
+        let depth = (from.round().0 - to.round().0) as usize;
+        if depth <= self.window {
+            if let Some(from_id) = self.slot_of(&from.digest()) {
+                let Some(stored) = self.vertex_by_author(to.round(), to.author()) else {
+                    // No vertex at (round, author): `to` is foreign (or
+                    // GC'd), hence unreachable through stored edges.
+                    return false;
+                };
+                if stored.digest() == to.digest() {
+                    let idx = to.author().index();
+                    let row = (depth - 1) * self.words;
+                    return self.slot(from_id).reach[row + idx / 64] & (1 << (idx % 64)) != 0;
+                }
+                // `to` equivocates against the stored vertex: edges can
+                // only reference stored parents, so it is unreachable.
+                return false;
+            }
+        }
+        self.reachable_bfs(from, to)
+    }
+
+    /// The reachability BFS over the slot adjacency: the window-depth
+    /// fallback of [`Dag::reachable`] and the oracle its bitset fast path
+    /// is property-tested against.
+    ///
+    /// Edges always descend exactly one round, so the search prunes any
+    /// branch that drops below `to`'s round. Vertices pruned by GC are
+    /// treated as dead ends (their history is already ordered).
+    pub fn reachable_bfs(&self, from: &Vertex, to: &Vertex) -> bool {
+        if from.digest() == to.digest() {
+            return true;
+        }
+        if from.round() <= to.round() {
+            return false;
+        }
+        let Some(target) = self.slot_of(&to.digest()) else {
+            return false;
+        };
         let target_round = to.round();
-        let target = to.digest();
-        let mut frontier: VecDeque<&Arc<Vertex>> = VecDeque::new();
-        let mut seen: HashSet<Digest> = HashSet::new();
+        let mut visited = vec![0u64; self.slots.len().div_ceil(64)];
+        let mut work: Vec<SlotId> = Vec::new();
+        // Seed from the parents: `from` itself may be foreign to the DAG.
         for parent in from.parents() {
-            if let Some(pv) = self.by_digest.get(parent) {
-                if seen.insert(*parent) {
-                    frontier.push_back(pv);
+            if let Some(id) = self.slot_of(parent) {
+                if visited[id as usize / 64] & (1 << (id as usize % 64)) == 0 {
+                    visited[id as usize / 64] |= 1 << (id as usize % 64);
+                    work.push(id);
                 }
             }
         }
-        while let Some(v) = frontier.pop_front() {
-            if v.digest() == target {
+        while let Some(id) = work.pop() {
+            if id == target {
                 return true;
             }
-            if v.round() <= target_round {
+            let slot = self.slot(id);
+            if slot.vertex.round() <= target_round {
                 continue;
             }
-            for parent in v.parents() {
-                if let Some(pv) = self.by_digest.get(parent) {
-                    if pv.round() >= target_round && seen.insert(*parent) {
-                        frontier.push_back(pv);
-                    }
+            for &p in &slot.parents {
+                if self.slot(p).vertex.round() >= target_round
+                    && visited[p as usize / 64] & (1 << (p as usize % 64)) == 0
+                {
+                    visited[p as usize / 64] |= 1 << (p as usize % 64);
+                    work.push(p);
                 }
             }
         }
         false
     }
 
-    /// Every stored ancestor of `from`, including `from` itself.
+    /// Every stored ancestor of `from`, including `from` itself, in
+    /// ascending `(round, author)` order.
     pub fn causal_history(&self, from: &Vertex) -> Vec<Arc<Vertex>> {
         self.causal_sub_dag(from, |_| false)
+    }
+
+    /// The ancestors of `anchor` (including it) for which `is_ordered`
+    /// returns `false`, pruning descent at ordered vertices — with a
+    /// freshly allocated scratch. Hot callers keep a [`SubDagScratch`]
+    /// and use [`Dag::causal_sub_dag_with`].
+    pub fn causal_sub_dag(
+        &self,
+        anchor: &Vertex,
+        is_ordered: impl Fn(&Digest) -> bool,
+    ) -> Vec<Arc<Vertex>> {
+        self.causal_sub_dag_with(anchor, is_ordered, &mut SubDagScratch::new())
     }
 
     /// The ancestors of `anchor` (including it) for which `is_ordered`
@@ -354,35 +628,98 @@ impl Dag {
     /// always delivers complete histories, so once a vertex is ordered its
     /// whole history is too, and the search need not descend past it.
     /// Unknown parents (garbage-collected) are likewise skipped.
-    pub fn causal_sub_dag(
+    ///
+    /// The walk runs level-by-level over the slot index and emits in
+    /// ascending `(round, author)` order — exactly the deterministic
+    /// delivery order the commit rule needs, so consumers sort nothing.
+    /// Apart from the returned list, all state lives in `scratch`.
+    pub fn causal_sub_dag_with(
         &self,
         anchor: &Vertex,
         is_ordered: impl Fn(&Digest) -> bool,
+        scratch: &mut SubDagScratch,
     ) -> Vec<Arc<Vertex>> {
-        let mut out = Vec::new();
-        let mut seen: HashSet<Digest> = HashSet::new();
-        let mut frontier: VecDeque<Arc<Vertex>> = VecDeque::new();
-        if let Some(a) = self.by_digest.get(&anchor.digest()) {
-            if !is_ordered(&a.digest()) {
-                seen.insert(a.digest());
-                frontier.push_back(a.clone());
-            }
+        let Some(anchor_id) = self.slot_of(&anchor.digest()) else {
+            return Vec::new();
+        };
+        if is_ordered(&anchor.digest()) {
+            return Vec::new();
         }
-        while let Some(v) = frontier.pop_front() {
-            for parent in v.parents() {
-                if let Some(pv) = self.by_digest.get(parent) {
-                    if !is_ordered(parent) && seen.insert(*parent) {
-                        frontier.push_back(pv.clone());
+        scratch.grow(self.slots.len());
+        scratch.note(anchor_id, true);
+        let top = anchor.round();
+        let mut low = top;
+
+        // Mark phase: rounds descend one by one; when a level adds no
+        // marks the frontier died out (edges never skip rounds). Siblings
+        // share most parents, so each distinct parent is resolved — one
+        // bit probe, and at most one ordered-set lookup — exactly once.
+        let mut r = top;
+        while let Some(ri) = self.rounds.get(&r) {
+            let mut any_below = false;
+            for id in ri.by_author.iter().flatten() {
+                if !scratch.is_kept(*id) {
+                    continue;
+                }
+                for &p in &self.slot(*id).parents {
+                    if !scratch.is_seen(p) {
+                        let keep = !is_ordered(&self.slot(p).vertex.digest());
+                        scratch.note(p, keep);
+                        any_below |= keep;
                     }
                 }
             }
-            out.push(v);
+            if !any_below || r.0 == 0 {
+                low = r;
+                break;
+            }
+            r = r.prev();
         }
+
+        // Emit phase: ascending rounds, authors ascending within each.
+        let mut out = Vec::with_capacity(scratch.touched.len());
+        for (_, ri) in self.rounds.range(low..=top) {
+            for id in ri.by_author.iter().flatten() {
+                if scratch.is_kept(*id) {
+                    out.push(self.slot(*id).vertex.clone());
+                }
+            }
+        }
+        scratch.clear();
         out
+    }
+
+    /// Whether `from` links to (votes for) the previous-round vertex
+    /// authored by `author`. Powers the reputation policy's vote
+    /// accounting.
+    ///
+    /// For interned vertices this is one probe of the insert-time reach
+    /// index, so the answer never flickers when the linked round is
+    /// later garbage-collected — vote accounting stays independent of
+    /// each validator's local GC timing (a live lookup could answer
+    /// differently on two validators for a vertex ordered right at the
+    /// horizon). Foreign vertices — never produced by the ordering path,
+    /// which only traverses stored vertices — fall back to scanning
+    /// their parent list against the currently stored `(round, author)`
+    /// vertex.
+    pub fn links_to_author(&self, from: &Vertex, author: ValidatorId) -> bool {
+        if from.round().0 == 0 {
+            return false;
+        }
+        if let Some(id) = self.slot_of(&from.digest()) {
+            let idx = author.index();
+            return self.slot(id).reach[idx / 64] & (1 << (idx % 64)) != 0;
+        }
+        self.vertex_by_author(from.round().prev(), author)
+            .is_some_and(|stored| from.has_parent(&stored.digest()))
     }
 
     /// Drops all rounds strictly below `round`. Future inserts below the
     /// horizon are rejected with [`DagError::BelowGc`].
+    ///
+    /// Retired slot ids are recycled by later inserts; the lowest
+    /// retained round's parent edges are detached (their targets are
+    /// gone), which keeps every stored slot id live by construction.
     ///
     /// Callers must only GC rounds whose vertices are already ordered
     /// everywhere they are needed (the validator keeps a safety margin,
@@ -392,11 +729,21 @@ impl Dag {
             return;
         }
         let keep = self.rounds.split_off(&round);
-        for (dropped_round, dropped) in std::mem::replace(&mut self.rounds, keep) {
-            self.stake_by_round.remove(&dropped_round);
-            for (_, v) in dropped {
-                self.by_digest.remove(&v.digest());
-                self.vote_stake.remove(&v.digest());
+        for (_, dropped) in std::mem::replace(&mut self.rounds, keep) {
+            for id in dropped.by_author.into_iter().flatten() {
+                let slot = self.slots[id as usize].take().expect("live slot id");
+                self.by_digest.remove(&slot.vertex.digest());
+                self.free.push(id);
+            }
+        }
+        // Only the new lowest round can reference dropped parents (edges
+        // descend exactly one round; occupied rounds are contiguous).
+        if let Some((first, ri)) = self.rounds.iter().next() {
+            if first.0 < round.0 + 1 {
+                let ids: Vec<SlotId> = ri.by_author.iter().flatten().copied().collect();
+                for id in ids {
+                    self.slots[id as usize].as_mut().expect("live slot id").parents.clear();
+                }
             }
         }
         self.gc_round = round;
@@ -408,6 +755,7 @@ mod tests {
     use super::*;
     use crate::testkit::DagBuilder;
     use hh_types::Block;
+    use std::collections::HashSet;
 
     fn committee4() -> Committee {
         Committee::new_equal_stake(4)
@@ -574,6 +922,64 @@ mod tests {
     }
 
     #[test]
+    fn bitset_and_bfs_agree_beyond_window() {
+        // A window of 2 forces deep queries onto the BFS fallback; both
+        // paths must answer identically either side of the boundary.
+        let c = committee4();
+        let mut builder = DagBuilder::new(Committee::new_equal_stake(4));
+        builder.extend_full_rounds(1);
+        builder.extend_round_excluding(&[ValidatorId(3)]);
+        builder.extend_full_rounds(6);
+        let full = builder.into_dag();
+        let mut windowed = Dag::with_reach_window(c, 2);
+        for r in 0..8u64 {
+            for v in full.round_vertices(Round(r)) {
+                windowed.try_insert((**v).clone()).unwrap();
+            }
+        }
+        for from_r in 0..8u64 {
+            for to_r in 0..8u64 {
+                for from in windowed.round_vertices(Round(from_r)) {
+                    for to in windowed.round_vertices(Round(to_r)) {
+                        assert_eq!(
+                            windowed.reachable(from, to),
+                            windowed.reachable_bfs(from, to),
+                            "window-2 mismatch {from} -> {to}"
+                        );
+                        assert_eq!(
+                            windowed.reachable(from, to),
+                            full.reachable(from, to),
+                            "window size changed the answer {from} -> {to}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn links_to_author_matches_parent_scan() {
+        let c = committee4();
+        let mut builder = DagBuilder::new(c);
+        builder.extend_full_rounds(1);
+        builder.extend_round_excluding(&[ValidatorId(2)]);
+        let dag = builder.dag();
+        for v in dag.round_vertices(Round(1)) {
+            for author in dag.committee().ids() {
+                let stored = dag.vertex_by_author(Round(0), author).unwrap();
+                assert_eq!(
+                    dag.links_to_author(v, author),
+                    v.has_parent(&stored.digest()),
+                    "{v} -> {author}"
+                );
+            }
+        }
+        // Genesis vertices vote for nobody.
+        let g = dag.vertex_by_author(Round(0), ValidatorId(0)).unwrap();
+        assert!(!dag.links_to_author(g, ValidatorId(1)));
+    }
+
+    #[test]
     fn causal_history_is_complete() {
         let c = committee4();
         let mut builder = DagBuilder::new(c);
@@ -591,6 +997,11 @@ mod tests {
                 assert!(digests.contains(p));
             }
         }
+        // Emission is ascending (round, author) — no caller-side sort.
+        let keys: Vec<_> = history.iter().map(|v| (v.round(), v.author())).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
     }
 
     #[test]
@@ -609,6 +1020,23 @@ mod tests {
         let sub = dag.causal_sub_dag(&top, |d| ordered.contains(d));
         assert_eq!(sub.len(), 1 + 4, "self plus round 2");
         assert!(sub.iter().all(|v| v.round() >= Round(2)));
+    }
+
+    #[test]
+    fn sub_dag_scratch_is_reusable() {
+        let c = committee4();
+        let mut builder = DagBuilder::new(c);
+        builder.extend_full_rounds(5);
+        let dag = builder.dag();
+        let mut scratch = SubDagScratch::new();
+        let top = dag.vertex_by_author(Round(4), ValidatorId(0)).unwrap().clone();
+        let a = dag.causal_sub_dag_with(&top, |_| false, &mut scratch);
+        let b = dag.causal_sub_dag_with(&top, |_| false, &mut scratch);
+        assert_eq!(a.len(), b.len(), "stale marks would shrink the second walk");
+        assert_eq!(
+            a.iter().map(|v| v.digest()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.digest()).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -633,6 +1061,41 @@ mod tests {
     }
 
     #[test]
+    fn gc_recycles_slots_and_keeps_queries_consistent() {
+        let c = committee4();
+        let mut builder = DagBuilder::new(c);
+        builder.extend_full_rounds(6);
+        let mut dag = builder.into_dag();
+        dag.gc(Round(3));
+        assert_eq!(dag.len(), 3 * 4);
+        // New rounds reuse the retired slots; every query keeps working.
+        let mut b2 = DagBuilder::new(Committee::new_equal_stake(4));
+        b2.extend_full_rounds(6);
+        for r in 6..9u64 {
+            let parents: Vec<Digest> = {
+                let mut refs: Vec<(ValidatorId, Digest)> =
+                    dag.round_vertices(Round(r - 1)).map(|v| (v.author(), v.digest())).collect();
+                refs.sort();
+                refs.into_iter().map(|(_, d)| d).collect()
+            };
+            for author in dag.committee().ids().collect::<Vec<_>>() {
+                let kp = dag.committee().keypair(author);
+                let v = Vertex::new(Round(r), author, Block::empty(), parents.clone(), &kp);
+                assert_eq!(dag.try_insert(v), Ok(InsertOutcome::Inserted));
+            }
+        }
+        assert_eq!(dag.len(), 6 * 4);
+        let top = dag.vertex_by_author(Round(8), ValidatorId(0)).unwrap().clone();
+        let mid = dag.vertex_by_author(Round(4), ValidatorId(2)).unwrap().clone();
+        assert!(dag.reachable(&top, &mid));
+        assert_eq!(dag.reachable(&top, &mid), dag.reachable_bfs(&top, &mid));
+        // History bottoms out at the GC horizon (round 3).
+        let history = dag.causal_history(&top);
+        assert_eq!(history.len(), 6 * 4 - 3, "rounds 3..=8, minus round-8 peers");
+        assert!(history.iter().all(|v| v.round() >= Round(3)));
+    }
+
+    #[test]
     fn reachability_survives_gc_of_ordered_prefix() {
         let c = committee4();
         let mut builder = DagBuilder::new(c);
@@ -653,5 +1116,6 @@ mod tests {
         let known = dag.vertex_by_author(Round(0), ValidatorId(0)).unwrap().digest();
         let ghost = hh_crypto::sha256(b"ghost");
         assert_eq!(dag.missing_from(&[known, ghost]), vec![ghost]);
+        assert!(dag.missing_from(&[known]).is_empty());
     }
 }

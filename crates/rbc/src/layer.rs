@@ -3,7 +3,7 @@
 use crate::cert::{Certificate, ACK_CONTEXT};
 use hh_crypto::{Digest, Keypair, Signature};
 use hh_dag::{Dag, DagError, InsertOutcome};
-use hh_types::{Committee, Round, Stake, ValidatorId, Vertex, VertexRef};
+use hh_types::{Committee, DigestMap, Round, Stake, ValidatorId, Vertex, VertexRef};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -79,19 +79,21 @@ pub struct Rbc {
     keypair: Keypair,
     mode: BroadcastMode,
     /// Vertices validated but awaiting ancestry: digest → (vertex, cert).
-    pending: HashMap<Digest, (Vertex, Option<Certificate>)>,
+    /// Digest-keyed maps here use the pass-through hasher — this layer
+    /// does several lookups per delivered vertex.
+    pending: DigestMap<Digest, (Vertex, Option<Certificate>)>,
     /// missing parent digest → digests of pending children waiting on it.
-    missing_index: HashMap<Digest, Vec<Digest>>,
+    missing_index: DigestMap<Digest, Vec<Digest>>,
     /// pending child digest → number of parents still missing.
-    missing_count: HashMap<Digest, usize>,
+    missing_count: DigestMap<Digest, usize>,
     /// Outstanding sync requests: missing digest → retry attempts.
-    requested: HashMap<Digest, u32>,
+    requested: DigestMap<Digest, u32>,
     /// Certified mode, author side: my proposals collecting acks.
     proposals: BTreeMap<Round, PendingProposal>,
     /// Certified mode, voter side: first header acked per (round, author).
     acked: HashMap<(Round, ValidatorId), Digest>,
     /// Certificates for vertices we accepted (served in sync responses).
-    certs: HashMap<Digest, Certificate>,
+    certs: DigestMap<Digest, Certificate>,
     /// Statistics: equivocation attempts observed at this layer.
     equivocation_attempts: u64,
 }
@@ -105,13 +107,13 @@ impl Rbc {
             me,
             keypair,
             mode,
-            pending: HashMap::new(),
-            missing_index: HashMap::new(),
-            missing_count: HashMap::new(),
-            requested: HashMap::new(),
+            pending: DigestMap::default(),
+            missing_index: DigestMap::default(),
+            missing_count: DigestMap::default(),
+            requested: DigestMap::default(),
             proposals: BTreeMap::new(),
             acked: HashMap::new(),
-            certs: HashMap::new(),
+            certs: DigestMap::default(),
             equivocation_attempts: 0,
         }
     }
@@ -230,8 +232,9 @@ impl Rbc {
     /// below the DAG's GC horizon. Call every few hundred milliseconds.
     pub fn tick(&mut self, dag: &Dag) -> RbcEffects {
         let mut fx = RbcEffects::default();
-        // Re-request missing digests from a rotating peer. Iteration is
-        // sorted (the map is a hash map) so runs are deterministic.
+        // Re-request missing digests from a rotating peer. `requested` is
+        // a hash map, so its iteration order is arbitrary — the explicit
+        // sort below is what makes retry batches deterministic.
         let me = self.me;
         let n = self.committee.size() as u64;
         let mut by_peer: BTreeMap<ValidatorId, Vec<Digest>> = BTreeMap::new();

@@ -39,6 +39,8 @@ OPTIONS (run / matrix):
     --jobs <n>        run up to <n> runs in parallel (default: the
                       host's available parallelism); output is
                       byte-identical for every <n>
+    --profile         print per-run wall-clock and simulated-events/sec
+                      to stderr; the report (rows, JSON) is unchanged
     --set <k=v,..>    patch a scenario key before validation; list values
                       become sweep axes (repeatable)
     --out <file>      write the JSON report to <file>
@@ -77,6 +79,7 @@ struct RunArgs {
     sets: Vec<(Vec<String>, toml::Value)>,
     out: Option<PathBuf>,
     json: bool,
+    profile: bool,
 }
 
 fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
@@ -90,6 +93,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         sets: Vec::new(),
         out: None,
         json: false,
+        profile: false,
     };
     let mut positional = Vec::new();
     let mut it = args.iter();
@@ -97,6 +101,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         match arg.as_str() {
             "--quick" => parsed.quick = true,
             "--json" => parsed.json = true,
+            "--profile" => parsed.profile = true,
             "--duration" => parsed.duration = Some(flag_u64(&mut it, "--duration")?),
             "--seed" => parsed.seed = Some(flag_u64(&mut it, "--seed")?),
             "--rounds" => parsed.rounds = Some(flag_u64(&mut it, "--rounds")?),
@@ -222,7 +227,7 @@ fn cmd_run(args: &[String], require_set: bool) -> Result<(), String> {
             if args.quick { " [quick]" } else { "" }
         );
     }
-    let opts = ExecOptions { jobs: args.jobs, verbose: !args.json };
+    let opts = ExecOptions { jobs: args.jobs, verbose: !args.json, profile: args.profile };
     let report = run_plan_with(&plan, limit, &opts);
     if !args.json {
         println!("{}", render_header(&report));

@@ -42,6 +42,26 @@ pub struct AnalysisRow {
     pub bg_churn: Option<u64>,
 }
 
+/// Execution-cost sample for one run, rendered only under `--profile`.
+///
+/// Wall-clock is inherently nondeterministic, so none of this may ever
+/// reach the report's rows or JSON — CI enforces that `--profile`
+/// leaves the JSON byte-identical.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunProfile {
+    /// Wall-clock seconds the run took on its worker.
+    pub wall_s: f64,
+    /// Simulator events the run processed (deterministic).
+    pub sim_events: u64,
+}
+
+impl RunProfile {
+    /// Simulated events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.sim_events as f64 / self.wall_s.max(1e-9)
+    }
+}
+
 /// One finished run.
 #[derive(Clone, Debug)]
 pub struct RunRow {
@@ -51,6 +71,8 @@ pub struct RunRow {
     pub result: RunResult,
     /// Scenario-declared analyses.
     pub analysis: AnalysisRow,
+    /// Execution-cost sample (never part of the report output).
+    pub profile: RunProfile,
 }
 
 /// A fully executed scenario.
@@ -68,13 +90,16 @@ pub struct ScenarioReport {
     pub rows: Vec<RunRow>,
 }
 
-/// How a plan executes: worker count and progress verbosity.
+/// How a plan executes: worker count, progress verbosity, profiling.
 #[derive(Clone, Copy, Debug)]
 pub struct ExecOptions {
     /// Worker threads; 1 runs serially on the calling thread.
     pub jobs: usize,
     /// Print one progress row per finished run (always in plan order).
     pub verbose: bool,
+    /// Print per-run wall-clock and simulated-events/sec to stderr.
+    /// Never changes the report: rows and JSON stay byte-identical.
+    pub profile: bool,
 }
 
 impl ExecOptions {
@@ -87,7 +112,7 @@ impl ExecOptions {
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { jobs: 1, verbose: false }
+        ExecOptions { jobs: 1, verbose: false, profile: false }
     }
 }
 
@@ -102,7 +127,7 @@ impl Default for ExecOptions {
 /// Panics if a run violates the Total Order audit — a safety violation
 /// is never something to report as a data point.
 pub fn run_plan(plan: &ScenarioPlan, limit: RunLimit, verbose: bool) -> ScenarioReport {
-    run_plan_with(plan, limit, &ExecOptions { jobs: 1, verbose })
+    run_plan_with(plan, limit, &ExecOptions { jobs: 1, verbose, profile: false })
 }
 
 /// Executes every run of the plan on `opts.jobs` workers and assembles
@@ -119,9 +144,9 @@ pub fn run_plan(plan: &ScenarioPlan, limit: RunLimit, verbose: bool) -> Scenario
 /// run's labels in the message regardless of which worker hit it.
 pub fn run_plan_with(plan: &ScenarioPlan, limit: RunLimit, opts: &ExecOptions) -> ScenarioReport {
     if opts.jobs > 1 {
-        build_report(plan, limit, &PooledExecutor::new(opts.jobs), opts.verbose)
+        build_report(plan, limit, &PooledExecutor::new(opts.jobs), opts)
     } else {
-        build_report(plan, limit, &SerialExecutor, opts.verbose)
+        build_report(plan, limit, &SerialExecutor, opts)
     }
 }
 
@@ -132,11 +157,16 @@ fn build_report(
     plan: &ScenarioPlan,
     limit: RunLimit,
     executor: &dyn Executor,
-    verbose: bool,
+    opts: &ExecOptions,
 ) -> ScenarioReport {
     let mut emit = |row: &RunRow| {
-        if verbose {
+        if opts.verbose {
             println!("{}", render_row(row));
+        }
+        if opts.profile {
+            // Stderr, so `--json` pipelines stay clean; wall-clock never
+            // enters the report.
+            eprintln!("{}", render_profile(row));
         }
     };
     let rows = executor.execute(plan, limit, &mut emit);
@@ -192,6 +222,20 @@ pub fn render_row(row: &RunRow) -> String {
         let _ = write!(line, "\n      schedule churn: {churn} validators swapped out");
     }
     line
+}
+
+/// The `--profile` line for a finished run: execution cost, not metrics.
+pub fn render_profile(row: &RunRow) -> String {
+    let p = &row.profile;
+    format!(
+        "  profile {:<16} n={:<3} load={:<5} wall {:>7.3}s | {:>9} sim events | {:>10.0} events/s",
+        row.run.variant,
+        row.run.config.committee_size,
+        row.run.config.load_tps,
+        p.wall_s,
+        p.sim_events,
+        p.events_per_sec(),
+    )
 }
 
 /// The report header line.
@@ -448,13 +492,13 @@ to_frac = 1.0
         let serial = report_json(&run_plan_with(
             &plan,
             RunLimit::Duration,
-            &ExecOptions { jobs: 1, verbose: false },
+            &ExecOptions { jobs: 1, verbose: false, profile: false },
         ))
         .render();
         let pooled = report_json(&run_plan_with(
             &plan,
             RunLimit::Duration,
-            &ExecOptions { jobs: 4, verbose: false },
+            &ExecOptions { jobs: 4, verbose: false, profile: false },
         ))
         .render();
         assert_eq!(serial, pooled, "--jobs must never change report bytes");

@@ -17,7 +17,7 @@
 //! audit, above all — aborts the pool and is re-raised with the failing
 //! run's labels attached.
 
-use crate::engine::{AnalysisRow, RunRow, WindowRow};
+use crate::engine::{AnalysisRow, RunProfile, RunRow, WindowRow};
 use crate::spec::{AnalysisSpec, PlannedRun, ScenarioPlan};
 use hh_sim::{collect_streamed_metrics, run_sim_streaming, MetricsSink, RunLimit, SimHandle};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -42,6 +42,7 @@ pub(crate) fn describe(run: &PlannedRun) -> String {
 /// Panics if the run violates the Total Order audit — a safety
 /// violation is never something to report as a data point.
 pub(crate) fn execute_run(plan: &ScenarioPlan, index: usize, limit: RunLimit) -> RunRow {
+    let started = std::time::Instant::now();
     let run = &plan.runs[index];
     let config = &run.config;
     let duration_us = config.duration_secs * 1_000_000;
@@ -66,7 +67,14 @@ pub(crate) fn execute_run(plan: &ScenarioPlan, index: usize, limit: RunLimit) ->
         .into_iter()
         .map(|(name, latency)| WindowRow { name, latency })
         .collect();
-    RunRow { run: run.clone(), result, analysis }
+    // Execution-cost sample: always taken (it is two reads), only
+    // rendered under --profile, and kept out of the report output so
+    // rows and JSON stay deterministic.
+    let profile = RunProfile {
+        wall_s: started.elapsed().as_secs_f64(),
+        sim_events: handle.sim.stats().events,
+    };
+    RunRow { run: run.clone(), result, analysis, profile }
 }
 
 /// Computes the handle-derived analyses (skipped leader rounds, B/G

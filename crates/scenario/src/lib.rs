@@ -54,8 +54,8 @@ mod spec;
 pub mod toml;
 
 pub use engine::{
-    render_header, render_row, report_json, run_plan, run_plan_with, AnalysisRow, ExecOptions,
-    RunRow, ScenarioReport, WindowRow,
+    render_header, render_profile, render_row, report_json, run_plan, run_plan_with, AnalysisRow,
+    ExecOptions, RunProfile, RunRow, ScenarioReport, WindowRow,
 };
 pub use executor::{Executor, PooledExecutor, SerialExecutor};
 pub use hh_sim::RunLimit;

@@ -11,7 +11,10 @@
 //!   a round, a source, a block of transactions, and edges to at least
 //!   `n − f` (by stake: quorum) vertices of the previous round;
 //! * [`codec`] — a deterministic hand-rolled binary codec used for wire
-//!   messages and the storage WAL (see `DESIGN.md` §5 for why no serde).
+//!   messages and the storage WAL (see `DESIGN.md` §5 for why no serde);
+//! * [`DigestHasher`], [`DigestMap`], [`DigestSet`] — pass-through
+//!   hashing for digest-keyed collections on the DAG hot path (digests
+//!   are already uniform; re-hashing them through SipHash is pure cost).
 //!
 //! # Example
 //!
@@ -32,11 +35,13 @@
 pub mod codec;
 mod committee;
 mod error;
+mod hash;
 mod transaction;
 mod vertex;
 
 pub use committee::{Committee, CommitteeBuilder, Stake, ValidatorId, ValidatorInfo};
 pub use error::TypeError;
+pub use hash::{DigestHasher, DigestMap, DigestSet};
 pub use transaction::{Transaction, TxId};
 pub use vertex::{Block, Round, Vertex, VertexRef};
 
