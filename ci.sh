@@ -7,9 +7,11 @@
 # build, the full workspace test suite, doc tests, an hh-cli smoke run
 # of the Figure 1 scenario capped at 50 DAG rounds, a parallel matrix
 # smoke run, a determinism gate checking that --jobs 1 and --jobs 4
-# emit byte-identical JSON for a fixed seed, a hotpath bench smoke
-# refreshing BENCH_hotpath.json, and a gate checking that --profile
-# leaves the JSON report byte-identical.
+# emit byte-identical JSON for a fixed seed, a recovery smoke asserting
+# the WAL-replay + reinclusion path (non-empty reinclusion block, no
+# recovery_divergence), a hotpath bench smoke refreshing
+# BENCH_hotpath.json, and a gate checking that --profile leaves the
+# JSON report byte-identical.
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -44,6 +46,18 @@ step "determinism: --jobs 1 and --jobs 4 emit identical JSON"
 ./target/release/hh-cli run scenarios/fig2_faults.toml \
     --quick --seed 7 --json --jobs 4 > target/ci-jobs4.json
 cmp target/ci-jobs1.json target/ci-jobs4.json
+
+step "recovery smoke: WAL replay + reinclusion analysis, no divergence"
+./target/release/hh-cli run scenarios/recovery.toml --quick --json > target/ci-recovery.json
+grep -q '"reinclusion": \[' target/ci-recovery.json \
+    || { echo "recovery report is missing the reinclusion block"; exit 1; }
+grep -q '"rounds_to_first_leader"' target/ci-recovery.json \
+    || { echo "reinclusion block is empty"; exit 1; }
+if grep -q '"recovery_divergence": true' target/ci-recovery.json; then
+    echo "WAL replay diverged from the durable checkpoint"; exit 1
+fi
+grep -q '"restarts": 1' target/ci-recovery.json \
+    || { echo "recovery run did not restart the crashed validator"; exit 1; }
 
 step "hotpath bench smoke (BENCH_hotpath.json, commit-walk regression floor)"
 ./target/release/hotpath_smoke --out BENCH_hotpath.json --min-speedup 2

@@ -242,6 +242,90 @@ fn bench_codec(c: &mut Criterion) {
     group.finish();
 }
 
+/// The fault-plan queries the network simulator makes per routed message
+/// / liveness probe, against a linear-scan baseline transcribing the
+/// pre-index implementation — the before/after pair for the indexed
+/// `crashed_at` / `partition_release`.
+fn bench_fault_plan(c: &mut Criterion) {
+    use hh_net::{FaultPlan, NodeId, PartitionSpec, SimTime};
+
+    let n_nodes = 100usize;
+    let mut plan = FaultPlan::new();
+    let mut crashes: Vec<(NodeId, SimTime)> = Vec::new();
+    let mut recoveries: Vec<(NodeId, SimTime)> = Vec::new();
+    let mut partitions: Vec<PartitionSpec> = Vec::new();
+    // 32 crash/recovery pairs and 16 partition windows spread over a
+    // 60-second run — a dense dynamic fault schedule.
+    for k in 0..32u64 {
+        let node = NodeId((k as usize * 7) % n_nodes);
+        let at = SimTime::from_millis(500 + k * 1700);
+        let back = SimTime::from_millis(2500 + k * 1700);
+        plan = plan.crash(node, at).recover(node, back);
+        crashes.push((node, at));
+        recoveries.push((node, back));
+    }
+    for k in 0..16u64 {
+        let spec = PartitionSpec {
+            group_a: (0..8).map(|i| NodeId((i + k as usize) % n_nodes)).collect(),
+            group_b: (8..16).map(|i| NodeId((i + k as usize) % n_nodes)).collect(),
+            from: SimTime::from_millis(k * 3500),
+            until: SimTime::from_millis(k * 3500 + 2000),
+        };
+        partitions.push(spec.clone());
+        plan = plan.partition(spec);
+    }
+
+    let naive_crashed_at = |node: NodeId, t: SimTime| -> bool {
+        let last_crash =
+            crashes.iter().filter(|(n, at)| *n == node && *at <= t).map(|(_, at)| *at).max();
+        let Some(crash_time) = last_crash else {
+            return false;
+        };
+        !recoveries.iter().any(|(n, at)| *n == node && *at >= crash_time && *at <= t)
+    };
+    let naive_release = |from: NodeId, to: NodeId, now: SimTime| -> Option<SimTime> {
+        partitions.iter().filter(|p| p.severs(from, to, now)).map(|p| p.until).max()
+    };
+
+    let queries: Vec<(NodeId, NodeId, SimTime)> = (0..256u64)
+        .map(|q| {
+            (
+                NodeId((q as usize * 13) % n_nodes),
+                NodeId((q as usize * 29 + 3) % n_nodes),
+                SimTime::from_millis((q * 233) % 60_000),
+            )
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("fault_plan");
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    group.bench_function("crashed_at_indexed", |b| {
+        b.iter(|| queries.iter().filter(|(node, _, t)| plan.crashed_at(*node, *t)).count())
+    });
+    group.bench_function("crashed_at_linear_baseline", |b| {
+        b.iter(|| queries.iter().filter(|(node, _, t)| naive_crashed_at(*node, *t)).count())
+    });
+    group.bench_function("partition_release_indexed", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .filter(|(from, to, t)| plan.partition_release(*from, *to, *t).is_some())
+                .count()
+        })
+    });
+    group.bench_function("partition_release_linear_baseline", |b| {
+        b.iter(|| {
+            queries.iter().filter(|(from, to, t)| naive_release(*from, *to, *t).is_some()).count()
+        })
+    });
+    // The index and the baseline must agree query for query.
+    for (from, to, t) in &queries {
+        assert_eq!(plan.crashed_at(*from, *t), naive_crashed_at(*from, *t));
+        assert_eq!(plan.partition_release(*from, *to, *t), naive_release(*from, *to, *t));
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sha256,
@@ -252,6 +336,7 @@ criterion_group!(
     bench_process_vertex,
     bench_consensus,
     bench_schedule,
-    bench_codec
+    bench_codec,
+    bench_fault_plan
 );
 criterion_main!(benches);

@@ -33,6 +33,7 @@ pub fn gauges<B: LogBackend>(validator: &Validator<B>) -> Vec<Gauge> {
         Gauge { name: "hammerhead_proposals_total", value: m.proposals as f64 },
         Gauge { name: "hammerhead_leader_timeouts_total", value: m.leader_timeouts as f64 },
         Gauge { name: "hammerhead_restarts_total", value: m.restarts as f64 },
+        Gauge { name: "hammerhead_storage_errors_total", value: m.storage_errors as f64 },
         Gauge { name: "hammerhead_pool_depth", value: validator.pool_len() as f64 },
         Gauge { name: "hammerhead_dag_vertices", value: validator.dag().len() as f64 },
         Gauge {

@@ -75,6 +75,19 @@ pub enum Output {
         /// Token passed back to [`Validator::on_timer`].
         token: u64,
     },
+    /// The durable store rejected a write (or could not be read during
+    /// recovery). The validator has fail-stopped: it drops the failed
+    /// operation and ignores further input until [`Validator::on_restart`]
+    /// — a node that cannot uphold the write-ahead discipline must not keep
+    /// acting, but a storage fault is the *runtime's* problem to surface,
+    /// never a reason to panic the whole process.
+    StorageError {
+        /// What the node was persisting ("persist vertex", "persist
+        /// checkpoint", "recover").
+        context: &'static str,
+        /// The underlying I/O error.
+        detail: String,
+    },
 }
 
 /// Latency record for one of this validator's own transactions.
@@ -105,6 +118,9 @@ pub struct ValidatorMetrics {
     pub commits: u64,
     /// Times the node restarted from persistent storage.
     pub restarts: u64,
+    /// Storage writes (or recovery reads) that failed; each one halts the
+    /// node until the next restart.
+    pub storage_errors: u64,
     /// Set if post-restart recomputation diverged from the last durable
     /// checkpoint (should never happen; monitoring tripwire).
     pub recovery_divergence: bool,
@@ -196,6 +212,8 @@ pub struct Validator<B: LogBackend> {
     next_wake: u64,
     /// Suppress metric/persistence side effects during recovery replay.
     replaying: bool,
+    /// Fail-stopped after a storage error; cleared by the next restart.
+    halted: bool,
     /// Network address each client submitted from, for finality
     /// confirmations. Client addresses live outside the committee's id
     /// range; `ValidatorId` doubles as the generic network address here.
@@ -230,6 +248,7 @@ impl<B: LogBackend> Validator<B> {
             exec_free_at: 0,
             next_wake: u64::MAX,
             replaying: false,
+            halted: false,
             client_addr: std::collections::HashMap::new(),
             metrics: ValidatorMetrics::default(),
             committee,
@@ -313,6 +332,20 @@ impl<B: LogBackend> Validator<B> {
         }
     }
 
+    /// The leader this validator's schedule assigns to `round` (past
+    /// rounds resolve through the schedule history) — the probe the
+    /// re-inclusion analysis uses to find a validator's first
+    /// post-recovery leader slot.
+    pub fn leader_at(&self, round: Round) -> ValidatorId {
+        self.engine.current_leader(round)
+    }
+
+    /// Whether the node has fail-stopped after a storage error (see
+    /// [`Output::StorageError`]).
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
     /// Current pool depth (monitoring).
     pub fn pool_len(&self) -> usize {
         self.tx_pool.len()
@@ -320,6 +353,9 @@ impl<B: LogBackend> Validator<B> {
 
     /// Startup: arm the maintenance tick and propose the genesis vertex.
     pub fn on_start(&mut self, now: u64) -> Vec<Output> {
+        if self.halted {
+            return Vec::new();
+        }
         let mut out = Vec::new();
         out.push(Output::SetTimer { delay_us: self.config.sync_tick_us, token: TOKEN_TICK });
         self.drive(now, &mut out);
@@ -333,6 +369,9 @@ impl<B: LogBackend> Validator<B> {
         msg: ValidatorMessage,
         now: u64,
     ) -> Vec<Output> {
+        if self.halted {
+            return Vec::new();
+        }
         let mut out = Vec::new();
         match msg {
             ValidatorMessage::Submit(tx) => {
@@ -365,6 +404,9 @@ impl<B: LogBackend> Validator<B> {
 
     /// Handles a timer armed through an earlier [`Output::SetTimer`].
     pub fn on_timer(&mut self, token: u64, now: u64) -> Vec<Output> {
+        if self.halted {
+            return Vec::new();
+        }
         let mut out = Vec::new();
         match token {
             TOKEN_TICK => {
@@ -392,6 +434,9 @@ impl<B: LogBackend> Validator<B> {
     /// the last durable checkpoint.
     pub fn on_restart(&mut self, now: u64) -> Vec<Output> {
         self.metrics.restarts += 1;
+        // A restart clears a storage-fault halt: the node retries against
+        // its (possibly repaired) store from scratch.
+        self.halted = false;
         // Volatile state dies with the crash.
         self.dag = Self::build_dag(&self.committee, &self.config);
         self.rbc = Rbc::new(self.committee.clone(), self.id, self.config.broadcast_mode);
@@ -407,7 +452,14 @@ impl<B: LogBackend> Validator<B> {
         self.best_quorum_round = None;
 
         if let Some(store) = &self.store {
-            let recovered = store.recover().unwrap_or_default();
+            let recovered = match store.recover() {
+                Ok(recovered) => recovered,
+                Err(e) => {
+                    let mut out = Vec::new();
+                    self.halt_on_storage_error("recover", &e, &mut out);
+                    return out;
+                }
+            };
             self.replaying = true;
             for vertex in recovered.vertices {
                 let digest = vertex.digest();
@@ -475,11 +527,18 @@ impl<B: LogBackend> Validator<B> {
     }
 
     fn on_delivered(&mut self, vertex: Arc<Vertex>, now: u64, out: &mut Vec<Output>) {
+        if self.halted {
+            return;
+        }
         if !self.replaying {
             if let Some(store) = &mut self.store {
-                // Persist before acting (write-ahead discipline); an I/O
-                // failure here is fatal for a durable node.
-                store.persist_vertex(&vertex).expect("persist vertex");
+                // Persist before acting (write-ahead discipline): on an
+                // I/O failure the vertex is dropped un-acted-upon and the
+                // node fail-stops.
+                if let Err(e) = store.persist_vertex(&vertex) {
+                    self.halt_on_storage_error("persist vertex", &e, out);
+                    return;
+                }
             }
         }
         self.note_quorum(vertex.round());
@@ -487,6 +546,19 @@ impl<B: LogBackend> Validator<B> {
         for sd in commits {
             self.on_commit(sd, now, out);
         }
+    }
+
+    /// Fail-stop on a storage fault: record it, surface a typed
+    /// [`Output::StorageError`], and ignore further input until restart.
+    fn halt_on_storage_error(
+        &mut self,
+        context: &'static str,
+        error: &dyn std::fmt::Display,
+        out: &mut Vec<Output>,
+    ) {
+        self.metrics.storage_errors += 1;
+        self.halted = true;
+        out.push(Output::StorageError { context, detail: error.to_string() });
     }
 
     fn note_quorum(&mut self, round: Round) {
@@ -530,9 +602,12 @@ impl<B: LogBackend> Validator<B> {
         if !self.replaying {
             if let Some(store) = &mut self.store {
                 if sd.commit_index.is_multiple_of(self.config.checkpoint_interval.max(1)) {
-                    store
-                        .persist_checkpoint(self.engine.commit_count(), self.engine.chain_hash())
-                        .expect("persist checkpoint");
+                    let result = store
+                        .persist_checkpoint(self.engine.commit_count(), self.engine.chain_hash());
+                    if let Err(e) = result {
+                        self.halt_on_storage_error("persist checkpoint", &e, out);
+                        return;
+                    }
                 }
             }
         }
@@ -547,6 +622,9 @@ impl<B: LogBackend> Validator<B> {
     /// time-gated condition, arm a precise wake-up timer.
     fn drive(&mut self, now: u64, out: &mut Vec<Output>) {
         loop {
+            if self.halted {
+                return;
+            }
             if self.next_round == Round(0) {
                 self.propose(Round(0), now, out);
                 continue;
@@ -633,6 +711,7 @@ impl<B: LogBackend> Validator<B> {
             | RbcMessage::Certified(_, _)
             | RbcMessage::Ack { .. }
             | RbcMessage::SyncRequest(_)
+            | RbcMessage::RangeRequest { .. }
             | RbcMessage::SyncResponse(_) => network_from,
         }
     }
@@ -688,6 +767,9 @@ mod tests {
                     }
                     // Committee of one: no peers to send to.
                     Output::Send(_, _) | Output::Broadcast(_) => {}
+                    Output::StorageError { context, detail } => {
+                        panic!("unexpected storage error ({context}): {detail}")
+                    }
                 }
             }
         }
@@ -796,6 +878,111 @@ mod tests {
         pump2.absorb(out);
         pump2.run_until(1_200_000);
         assert!(pump2.v.commit_count() > commits_before);
+    }
+
+    /// A backend that accepts a fixed number of appends, then fails every
+    /// write — the "disk full / device gone" shape.
+    #[derive(Clone, Debug)]
+    struct FailingBackend {
+        inner: MemBackend,
+        appends_left: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+    }
+
+    impl FailingBackend {
+        fn failing_after(appends: usize) -> Self {
+            FailingBackend {
+                inner: MemBackend::new(),
+                appends_left: std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(appends)),
+            }
+        }
+    }
+
+    impl hh_storage::LogBackend for FailingBackend {
+        fn append(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+            use std::sync::atomic::Ordering;
+            let left = self.appends_left.load(Ordering::SeqCst);
+            if left == 0 {
+                return Err(std::io::Error::other("injected append failure"));
+            }
+            self.appends_left.store(left - 1, Ordering::SeqCst);
+            self.inner.append(bytes)
+        }
+        fn read_all(&self) -> std::io::Result<Vec<u8>> {
+            self.inner.read_all()
+        }
+        fn rewrite(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+            self.inner.rewrite(bytes)
+        }
+        fn len(&self) -> usize {
+            hh_storage::LogBackend::len(&self.inner)
+        }
+    }
+
+    #[test]
+    fn storage_failure_fail_stops_instead_of_panicking() {
+        // A solo validator on a backend that dies after 3 appends: the
+        // node must surface Output::StorageError, halt, and never panic.
+        let committee = Committee::new_equal_stake(1);
+        let backend = FailingBackend::failing_after(3);
+        let appends_left = backend.appends_left.clone();
+        let mut v: Validator<FailingBackend> =
+            Validator::new(committee, ValidatorId(0), fast_config(), Some(backend));
+        let mut timers: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut storage_errors = Vec::new();
+        let absorb = |out: Vec<Output>,
+                      now: u64,
+                      timers: &mut BinaryHeap<Reverse<(u64, u64)>>,
+                      errors: &mut Vec<&'static str>| {
+            for o in out {
+                match o {
+                    Output::SetTimer { delay_us, token } => {
+                        timers.push(Reverse((now + delay_us, token)));
+                    }
+                    Output::StorageError { context, detail } => {
+                        assert!(detail.contains("injected append failure"), "{detail}");
+                        errors.push(context);
+                    }
+                    Output::Send(_, _) | Output::Broadcast(_) => {}
+                }
+            }
+        };
+
+        let out = v.on_start(0);
+        absorb(out, 0, &mut timers, &mut storage_errors);
+        let mut now = 0u64;
+        while let Some(Reverse((at, token))) = timers.peek().copied() {
+            if at > 2_000_000 {
+                break;
+            }
+            timers.pop();
+            now = at;
+            let out = v.on_timer(token, now);
+            absorb(out, now, &mut timers, &mut storage_errors);
+        }
+
+        assert_eq!(storage_errors.len(), 1, "one typed error, then silence: {storage_errors:?}");
+        assert!(
+            storage_errors[0] == "persist vertex" || storage_errors[0] == "persist checkpoint",
+            "{storage_errors:?}"
+        );
+        assert_eq!(v.metrics().storage_errors, 1);
+        assert!(v.is_halted(), "the node fail-stops");
+        let proposals_at_halt = v.metrics().proposals;
+        // Further input is ignored without panicking.
+        let out = v.on_message(
+            ValidatorId(0),
+            ValidatorMessage::Submit(Transaction::new(0, 0, now)),
+            now,
+        );
+        assert!(out.is_empty(), "halted node emits nothing");
+        assert_eq!(v.metrics().proposals, proposals_at_halt);
+
+        // A restart against a repaired store clears the halt and resumes.
+        appends_left.store(usize::MAX, std::sync::atomic::Ordering::SeqCst);
+        let out = v.on_restart(now + 1_000);
+        assert!(!v.is_halted());
+        assert!(!out.is_empty(), "restart resumes the protocol");
+        assert!(!v.metrics().recovery_divergence);
     }
 
     #[test]

@@ -214,7 +214,15 @@ impl SchedulePolicy for HammerheadPolicy {
                 self.scores.clone()
             };
 
-        let prev = self.active_schedule().clone();
+        // The swap base: the production implementation recomputes the
+        // bad→good swap against S0 every epoch (validators leaving the
+        // bottom set regain their base slots — the re-inclusion path);
+        // the incremental rule patches the active schedule cumulatively.
+        let prev = if self.config.swap_from_base {
+            self.schedules.first().expect("never empty").slots.clone()
+        } else {
+            self.active_schedule().clone()
+        };
         let change =
             compute_next_schedule(&prev, &ranking_scores, &self.committee, self.stake_bound());
         self.history.push(EpochSummary {
@@ -337,6 +345,62 @@ mod tests {
         // Note: leader_at for v3's slots now maps elsewhere.
         let excluded_slots = e.policy().active_schedule().slot_count(ValidatorId(3));
         assert_eq!(excluded_slots, 0);
+    }
+
+    /// Builds a DAG where v3 withholds votes during epoch 0 (rounds
+    /// 1..=4) and participates fully afterwards, and feeds it to an
+    /// engine with the given config.
+    fn engine_after_rebound(config: HammerheadConfig) -> Bullshark<HammerheadPolicy> {
+        let c = committee4();
+        let p0 = HammerheadPolicy::new(c.clone(), config.clone());
+        let mut b = DagBuilder::new(c.clone());
+        b.extend_full_rounds(1); // round 0
+        for r in 1..=12u64 {
+            let round = Round(r);
+            if !round.is_even() && r <= 4 {
+                let leader = p0.leader_at(round - 1);
+                if leader != ValidatorId(3) {
+                    b.extend_round_custom(&c.ids().collect::<Vec<_>>(), move |author| {
+                        if author == ValidatorId(3) {
+                            Some(vec![leader])
+                        } else {
+                            None
+                        }
+                    });
+                    continue;
+                }
+            }
+            b.extend_full_rounds(1);
+        }
+        let dag = b.into_dag();
+        let mut e = engine_with(&c, config);
+        feed_all(&mut e, &dag, 12);
+        e
+    }
+
+    #[test]
+    fn swap_from_base_reincludes_a_rebounded_validator() {
+        // v3 loses its slots in epoch 0; from epoch 1 on its score ties
+        // everyone's. Epoch 1's switch puts v3 in G (highest tied id not
+        // in B), and the two swap bases differ in what that restores:
+        //
+        // * incremental (default): v3 only receives the demoted v0's
+        //   single slot — its own base slot is gone for good;
+        // * swap-from-base (the production leader-swap-table semantics):
+        //   v3 regains its base slot *and* takes v0's, because the swap
+        //   is recomputed against S0 every epoch.
+        let config = HammerheadConfig { period_rounds: 4, ..Default::default() };
+        let incremental = engine_after_rebound(config.clone());
+        assert!(incremental.policy().epoch() >= 2);
+        let sched = incremental.policy().active_schedule();
+        assert_eq!(sched.slot_count(ValidatorId(3)), 1, "only the swapped slot comes back");
+        assert_eq!(sched.slot_count(ValidatorId(2)), 2, "epoch 0's promotee keeps the spoils");
+
+        let rebased = engine_after_rebound(HammerheadConfig { swap_from_base: true, ..config });
+        assert!(rebased.policy().epoch() >= 2);
+        let sched = rebased.policy().active_schedule();
+        assert_eq!(sched.slot_count(ValidatorId(3)), 2, "base slot restored plus v0's");
+        assert_eq!(sched.slot_count(ValidatorId(2)), 1, "promotions do not compound");
     }
 
     #[test]

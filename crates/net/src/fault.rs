@@ -6,9 +6,18 @@
 //! * crash faults from t=0 (Fig. 2: 3/16/33 crashed validators);
 //! * "less responsive" validators (the §1 Sui mainnet incident: 10% of
 //!   validators suddenly slow);
-//! * recovery (the crash-recovery feature of the production implementation).
+//! * recovery (the crash-recovery feature of the production implementation);
+//! * partitions, modelling the pre-GST adversary in liveness tests.
 //!
-//! Partitions model the pre-GST adversary in liveness tests.
+//! The queries the simulator makes on the hot path — [`FaultPlan::
+//! slowdown_delay`] and [`FaultPlan::partition_release`] run once per
+//! routed message, [`FaultPlan::crashed_at`] per liveness probe — are
+//! answered from indexes built incrementally as the plan is assembled: a
+//! per-node crash/recovery timeline sorted for binary search, and window
+//! lists sorted by start time so a lookup scans only windows that have
+//! already opened. Builder-order accessors ([`FaultPlan::crashes`],
+//! [`FaultPlan::recoveries`]) are preserved verbatim because the simulator
+//! turns them into queue events whose sequence numbers must be stable.
 
 use crate::time::{Duration, SimTime};
 use crate::NodeId;
@@ -57,13 +66,52 @@ impl PartitionSpec {
     }
 }
 
+/// What happened to a node at a point on its crash/recovery timeline.
+///
+/// `Crash < Recover` so that at equal timestamps the recovery sorts last
+/// and wins: a node crashed and recovered at the same instant is up,
+/// matching the window semantics (`recover_at >= crash_at` cancels).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum NodePhase {
+    Crash,
+    Recover,
+}
+
+/// A partition window indexed for the routing fast path: groups kept
+/// sorted for binary-search membership.
+#[derive(Clone, Debug)]
+struct PartitionWindow {
+    group_a: Vec<NodeId>,
+    group_b: Vec<NodeId>,
+    from: SimTime,
+    until: SimTime,
+}
+
+impl PartitionWindow {
+    fn severs(&self, from: NodeId, to: NodeId) -> bool {
+        let a_from = self.group_a.binary_search(&from).is_ok();
+        let b_from = self.group_b.binary_search(&from).is_ok();
+        let a_to = self.group_a.binary_search(&to).is_ok();
+        let b_to = self.group_b.binary_search(&to).is_ok();
+        (a_from && b_to) || (b_from && a_to)
+    }
+}
+
 /// The full fault schedule for a run.
 #[derive(Clone, Debug, Default)]
 pub struct FaultPlan {
+    /// Crash events in builder order (the simulator's event-seq contract).
     crashes: Vec<(NodeId, SimTime)>,
+    /// Recovery events in builder order.
     recoveries: Vec<(NodeId, SimTime)>,
+    /// Slowdown windows sorted by `from`.
     slowdowns: Vec<SlowdownSpec>,
-    partitions: Vec<PartitionSpec>,
+    /// Partition windows sorted by `from`, groups sorted for membership
+    /// tests.
+    partitions: Vec<PartitionWindow>,
+    /// Per-node crash/recovery timeline sorted by `(node, time, phase)`;
+    /// `crashed_at` binary-searches the node's segment.
+    timeline: Vec<(NodeId, SimTime, NodePhase)>,
 }
 
 impl FaultPlan {
@@ -72,10 +120,17 @@ impl FaultPlan {
         Self::default()
     }
 
+    fn index_phase(&mut self, node: NodeId, at: SimTime, phase: NodePhase) {
+        let entry = (node, at, phase);
+        let pos = self.timeline.partition_point(|e| *e <= entry);
+        self.timeline.insert(pos, entry);
+    }
+
     /// Crashes `node` at `at`: it stops processing messages and timers.
     #[must_use]
     pub fn crash(mut self, node: NodeId, at: SimTime) -> Self {
         self.crashes.push((node, at));
+        self.index_phase(node, at, NodePhase::Crash);
         self
     }
 
@@ -83,7 +138,7 @@ impl FaultPlan {
     #[must_use]
     pub fn crash_from_start<I: IntoIterator<Item = NodeId>>(mut self, nodes: I) -> Self {
         for n in nodes {
-            self.crashes.push((n, SimTime::ZERO));
+            self = self.crash(n, SimTime::ZERO);
         }
         self
     }
@@ -92,29 +147,37 @@ impl FaultPlan {
     #[must_use]
     pub fn recover(mut self, node: NodeId, at: SimTime) -> Self {
         self.recoveries.push((node, at));
+        self.index_phase(node, at, NodePhase::Recover);
         self
     }
 
     /// Adds a slowdown window.
     #[must_use]
     pub fn slowdown(mut self, spec: SlowdownSpec) -> Self {
-        self.slowdowns.push(spec);
+        let pos = self.slowdowns.partition_point(|s| s.from <= spec.from);
+        self.slowdowns.insert(pos, spec);
         self
     }
 
     /// Adds a partition window.
     #[must_use]
     pub fn partition(mut self, spec: PartitionSpec) -> Self {
-        self.partitions.push(spec);
+        let mut group_a = spec.group_a;
+        let mut group_b = spec.group_b;
+        group_a.sort_unstable();
+        group_b.sort_unstable();
+        let window = PartitionWindow { group_a, group_b, from: spec.from, until: spec.until };
+        let pos = self.partitions.partition_point(|p| p.from <= window.from);
+        self.partitions.insert(pos, window);
         self
     }
 
-    /// Scheduled crash events.
+    /// Scheduled crash events, in builder order.
     pub fn crashes(&self) -> &[(NodeId, SimTime)] {
         &self.crashes
     }
 
-    /// Scheduled recovery events.
+    /// Scheduled recovery events, in builder order.
     pub fn recoveries(&self) -> &[(NodeId, SimTime)] {
         &self.recoveries
     }
@@ -122,8 +185,11 @@ impl FaultPlan {
     /// Extra one-way delay affecting a `from → to` message sent at `now`.
     pub fn slowdown_delay(&self, from: NodeId, to: NodeId, now: SimTime) -> Duration {
         let mut extra = Duration::ZERO;
-        for s in &self.slowdowns {
-            if (s.node == from || s.node == to) && now >= s.from && now < s.until {
+        // Windows are sorted by start; everything past the partition point
+        // has not opened yet.
+        let opened = self.slowdowns.partition_point(|s| s.from <= now);
+        for s in &self.slowdowns[..opened] {
+            if (s.node == from || s.node == to) && now < s.until {
                 extra = extra + s.extra;
             }
         }
@@ -133,25 +199,36 @@ impl FaultPlan {
     /// If a `from → to` message sent at `now` crosses an active partition,
     /// returns the heal time it must wait for.
     pub fn partition_release(&self, from: NodeId, to: NodeId, now: SimTime) -> Option<SimTime> {
-        self.partitions.iter().filter(|p| p.severs(from, to, now)).map(|p| p.until).max()
+        let opened = self.partitions.partition_point(|p| p.from <= now);
+        self.partitions[..opened]
+            .iter()
+            .filter(|p| now < p.until && p.severs(from, to))
+            .map(|p| p.until)
+            .max()
     }
 
-    /// Nodes that are crashed at `t` (crashed at or before, not yet
+    /// Whether `node` is crashed at `t` (crashed at or before, not yet
     /// recovered after the crash).
+    ///
+    /// Answered by binary search over the node's sorted event timeline:
+    /// the latest crash-or-recover event at or before `t` decides.
     pub fn crashed_at(&self, node: NodeId, t: SimTime) -> bool {
-        let last_crash =
-            self.crashes.iter().filter(|(n, at)| *n == node && *at <= t).map(|(_, at)| *at).max();
-        let Some(crash_time) = last_crash else {
-            return false;
-        };
-        // Recovered strictly after the crash and at or before t?
-        !self.recoveries.iter().any(|(n, at)| *n == node && *at >= crash_time && *at <= t)
+        let lo = self.timeline.partition_point(|e| e.0 < node);
+        let hi = self.timeline.partition_point(|e| e.0 <= node);
+        let segment = &self.timeline[lo..hi];
+        let events_before = segment.partition_point(|e| e.1 <= t);
+        match segment[..events_before].last() {
+            Some((_, _, NodePhase::Crash)) => true,
+            Some((_, _, NodePhase::Recover)) | None => false,
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn crash_and_recover_windows() {
@@ -181,6 +258,43 @@ mod tests {
             .crash(NodeId(1), SimTime::from_secs(30));
         assert!(!plan.crashed_at(NodeId(1), SimTime::from_secs(25)));
         assert!(plan.crashed_at(NodeId(1), SimTime::from_secs(31)));
+    }
+
+    #[test]
+    fn recover_at_crash_instant_means_up() {
+        let plan = FaultPlan::new()
+            .crash(NodeId(1), SimTime::from_secs(10))
+            .recover(NodeId(1), SimTime::from_secs(10));
+        assert!(!plan.crashed_at(NodeId(1), SimTime::from_secs(10)));
+        assert!(!plan.crashed_at(NodeId(1), SimTime::from_secs(11)));
+    }
+
+    #[test]
+    fn stray_recovery_before_crash_does_not_cancel_it() {
+        let plan = FaultPlan::new()
+            .recover(NodeId(1), SimTime::from_secs(5))
+            .crash(NodeId(1), SimTime::from_secs(10));
+        assert!(!plan.crashed_at(NodeId(1), SimTime::from_secs(7)));
+        assert!(plan.crashed_at(NodeId(1), SimTime::from_secs(15)));
+    }
+
+    #[test]
+    fn builder_order_is_preserved_for_event_accessors() {
+        // The simulator's event sequence numbers follow accessor order, so
+        // the index must never re-shuffle these.
+        let plan = FaultPlan::new()
+            .crash(NodeId(3), SimTime::from_secs(9))
+            .crash(NodeId(1), SimTime::ZERO)
+            .recover(NodeId(3), SimTime::from_secs(12))
+            .recover(NodeId(1), SimTime::from_secs(4));
+        assert_eq!(
+            plan.crashes(),
+            &[(NodeId(3), SimTime::from_secs(9)), (NodeId(1), SimTime::ZERO)]
+        );
+        assert_eq!(
+            plan.recoveries(),
+            &[(NodeId(3), SimTime::from_secs(12)), (NodeId(1), SimTime::from_secs(4))]
+        );
     }
 
     #[test]
@@ -232,5 +346,71 @@ mod tests {
         assert_eq!(plan.partition_release(NodeId(0), NodeId(2), SimTime::from_secs(6)), None);
         // A node outside both groups is unaffected.
         assert_eq!(plan.partition_release(NodeId(0), NodeId(9), mid), None);
+    }
+
+    #[test]
+    fn overlapping_partitions_release_at_the_latest_heal() {
+        let window = |from, until| PartitionSpec {
+            group_a: vec![NodeId(0)],
+            group_b: vec![NodeId(1)],
+            from: SimTime::from_secs(from),
+            until: SimTime::from_secs(until),
+        };
+        // Inserted out of start order; the index sorts them.
+        let plan = FaultPlan::new().partition(window(3, 9)).partition(window(1, 5));
+        assert_eq!(
+            plan.partition_release(NodeId(0), NodeId(1), SimTime::from_secs(4)),
+            Some(SimTime::from_secs(9))
+        );
+        assert_eq!(
+            plan.partition_release(NodeId(0), NodeId(1), SimTime::from_secs(2)),
+            Some(SimTime::from_secs(5))
+        );
+    }
+
+    /// The indexed `crashed_at` must agree with a direct transcription of
+    /// the window semantics on randomized event sets.
+    #[test]
+    fn crashed_at_matches_naive_oracle_on_random_schedules() {
+        fn naive(
+            crashes: &[(NodeId, SimTime)],
+            recoveries: &[(NodeId, SimTime)],
+            node: NodeId,
+            t: SimTime,
+        ) -> bool {
+            let last_crash =
+                crashes.iter().filter(|(n, at)| *n == node && *at <= t).map(|(_, at)| *at).max();
+            let Some(crash_time) = last_crash else {
+                return false;
+            };
+            !recoveries.iter().any(|(n, at)| *n == node && *at >= crash_time && *at <= t)
+        }
+
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let mut plan = FaultPlan::new();
+            let mut crashes = Vec::new();
+            let mut recoveries = Vec::new();
+            for _ in 0..rng.gen_range(0..24usize) {
+                let node = NodeId(rng.gen_range(0..6));
+                let at = SimTime(rng.gen_range(0..40));
+                if rng.gen_bool(0.5) {
+                    plan = plan.crash(node, at);
+                    crashes.push((node, at));
+                } else {
+                    plan = plan.recover(node, at);
+                    recoveries.push((node, at));
+                }
+            }
+            for _ in 0..40 {
+                let node = NodeId(rng.gen_range(0..6));
+                let t = SimTime(rng.gen_range(0..44));
+                assert_eq!(
+                    plan.crashed_at(node, t),
+                    naive(&crashes, &recoveries, node, t),
+                    "node {node} at {t}: crashes {crashes:?} recoveries {recoveries:?}"
+                );
+            }
+        }
     }
 }

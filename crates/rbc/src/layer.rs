@@ -13,6 +13,17 @@ const SYNC_RESPONSE_CAP: usize = 128;
 /// Maximum vertices buffered while awaiting ancestry.
 const PENDING_CAP: usize = 10_000;
 
+/// Rounds of lag — buffered front minus inserted front — beyond which
+/// the node switches from backward parent-walking to bulk range sync.
+/// Backward walking fetches one round per round trip, so a recovering
+/// node with a long outage would lose the race against its peers' GC
+/// horizon; whole-round pulls catch up orders of magnitude faster.
+const CATCH_UP_GAP: u64 = 10;
+
+/// Maximum vertices returned per range response (several whole rounds
+/// per round trip at practical committee sizes).
+const RANGE_RESPONSE_CAP: usize = 256;
+
 /// Which reliable-broadcast instantiation to run (see crate docs).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BroadcastMode {
@@ -40,6 +51,13 @@ pub enum RbcMessage {
     Certified(Vertex, Certificate),
     /// Pull request for missing vertices by digest.
     SyncRequest(Vec<Digest>),
+    /// Bulk pull of whole rounds starting at `from` — sent by a node
+    /// that detects it is far behind the network front (crash-recovery
+    /// catch-up). Answered with an ordinary [`RbcMessage::SyncResponse`].
+    RangeRequest {
+        /// First round wanted (the requester's inserted front).
+        from: Round,
+    },
     /// Response carrying vertices (with certificates in certified mode).
     SyncResponse(Vec<(Vertex, Option<Certificate>)>),
 }
@@ -96,6 +114,8 @@ pub struct Rbc {
     certs: DigestMap<Digest, Certificate>,
     /// Statistics: equivocation attempts observed at this layer.
     equivocation_attempts: u64,
+    /// Range-sync requests issued so far (rotates the target peer).
+    catch_up_attempts: u64,
 }
 
 impl Rbc {
@@ -115,6 +135,7 @@ impl Rbc {
             acked: HashMap::new(),
             certs: DigestMap::default(),
             equivocation_attempts: 0,
+            catch_up_attempts: 0,
         }
     }
 
@@ -204,6 +225,7 @@ impl Rbc {
                 self.accept(v, Some(cert), dag)
             }
             RbcMessage::SyncRequest(digests) => self.on_sync_request(from, digests, dag),
+            RbcMessage::RangeRequest { from: start } => self.on_range_request(from, start, dag),
             RbcMessage::SyncResponse(pairs) => {
                 let mut fx = RbcEffects::default();
                 for (v, cert) in pairs {
@@ -249,6 +271,22 @@ impl Rbc {
         for (peer, digests) in by_peer {
             fx.send.push((peer, RbcMessage::SyncRequest(digests)));
         }
+        // Bulk catch-up: buffered vertices far above the inserted front
+        // mean we are recovering from an outage. Backward parent-walking
+        // would fetch one round per round trip and lose the race against
+        // the peers' advancing GC horizon, so pull whole rounds from a
+        // rotating peer until the gap closes.
+        let front = dag.highest_round().unwrap_or(Round(0));
+        let buffered_front = self.pending.iter().map(|(_, (v, _))| v.round().0).max().unwrap_or(0);
+        if buffered_front > front.0 + CATCH_UP_GAP {
+            self.catch_up_attempts += 1;
+            let mut idx = (me.0 as u64 + self.catch_up_attempts) % n;
+            if idx == me.0 as u64 {
+                idx = (idx + 1) % n;
+            }
+            fx.send.push((ValidatorId(idx as u16), RbcMessage::RangeRequest { from: front }));
+        }
+
         // Re-broadcast uncertified proposals (pre-GST losses).
         for p in self.proposals.values() {
             if !p.certified {
@@ -462,6 +500,45 @@ impl Rbc {
         fx
     }
 
+    /// Serves a bulk catch-up request: whole rounds from `start` upward
+    /// (ascending round, ascending author — the author-indexed slot
+    /// order), as many as fit in one response. The requester re-issues
+    /// from its new front on its next tick until the gap closes.
+    ///
+    /// A responder that has already garbage-collected past `start`
+    /// cannot help: serving its retained suffix would hand the requester
+    /// vertices whose ancestry no longer exists anywhere, so it declines
+    /// (empty response) and the requester's rotation tries other peers.
+    /// An outage long enough that *every* peer has GC'd the requester's
+    /// front is unrecoverable by replay — that needs checkpoint/state
+    /// sync (a ROADMAP item), not a deeper backfill.
+    fn on_range_request(&self, from: ValidatorId, start: Round, dag: &Dag) -> RbcEffects {
+        let mut fx = RbcEffects::default();
+        if start < dag.gc_round() {
+            return fx;
+        }
+        let mut found: Vec<(Vertex, Option<Certificate>)> = Vec::new();
+        let top = dag.highest_round().unwrap_or(Round(0));
+        let mut round = start;
+        while round <= top && found.len() < RANGE_RESPONSE_CAP {
+            for v in dag.round_vertices(round) {
+                let cert = self.certs.get(&v.digest()).cloned();
+                if self.mode == BroadcastMode::Certified && cert.is_none() {
+                    continue; // cannot prove availability without the cert
+                }
+                found.push(((**v).clone(), cert));
+                if found.len() >= RANGE_RESPONSE_CAP {
+                    break;
+                }
+            }
+            round = round.next();
+        }
+        if !found.is_empty() {
+            fx.send.push((from, RbcMessage::SyncResponse(found)));
+        }
+        fx
+    }
+
     fn evict_one_pending(&mut self) {
         if let Some(victim) =
             self.pending.iter().min_by_key(|(_, (v, _))| v.round()).map(|(d, _)| *d)
@@ -528,6 +605,97 @@ mod tests {
         let fx1 = rbc1.handle(ValidatorId(0), fx.broadcast[0].clone(), &mut dag1);
         assert_eq!(fx1.delivered.len(), 1);
         assert!(dag1.contains(&v.digest()));
+    }
+
+    /// Inserts fully-connected rounds `0..rounds` into `dag`.
+    fn fill_rounds(c: &Committee, dag: &mut Dag, rounds: u64) {
+        let mut parents: Vec<Digest> = Vec::new();
+        for r in 0..rounds {
+            let vertices: Vec<Vertex> =
+                (0..c.size() as u16).map(|a| make_vertex(c, r, a, parents.clone())).collect();
+            parents = vertices.iter().map(|v| v.digest()).collect();
+            for v in vertices {
+                dag.try_insert(v).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn far_behind_node_range_syncs_to_the_front() {
+        // An up-to-date peer holds 30 rounds; the recovering node holds 5
+        // and then sees a front-round broadcast. Backward parent-walking
+        // would need ~25 round trips; the tick must instead issue one
+        // RangeRequest, and the peer's single response must close the gap.
+        let c = committee4();
+        let (mut ahead, mut dag_ahead) = node(&c, 0, BroadcastMode::BestEffort);
+        let (mut behind, mut dag_behind) = node(&c, 1, BroadcastMode::BestEffort);
+        fill_rounds(&c, &mut dag_ahead, 30);
+        fill_rounds(&c, &mut dag_behind, 5);
+
+        // A current broadcast arrives: buffered, far above the front.
+        let front_vertex = dag_ahead
+            .vertex_by_author(Round(29), ValidatorId(0))
+            .expect("front vertex")
+            .as_ref()
+            .clone();
+        behind.handle(ValidatorId(0), RbcMessage::Vertex(front_vertex.clone()), &mut dag_behind);
+        assert!(!dag_behind.contains(&front_vertex.digest()), "buffered, not inserted");
+
+        // Tick detects the gap and asks a peer for whole rounds.
+        let fx = behind.tick(&dag_behind);
+        let request = fx
+            .send
+            .iter()
+            .find(|(_, m)| matches!(m, RbcMessage::RangeRequest { .. }))
+            .expect("gap triggers a range request");
+        let (peer, request) = (request.0, request.1.clone());
+        assert_eq!(request_round(&request), Round(4), "requests from the inserted front");
+        assert_eq!(peer, ValidatorId(2), "deterministic peer rotation (me + attempts)");
+
+        // The peer answers with whole rounds; the gap closes in one hop
+        // and the buffered front vertex delivers.
+        let response = ahead.handle(ValidatorId(1), request, &mut dag_ahead);
+        let (_, reply) = response.send.into_iter().next().expect("peer responds");
+        let fx = behind.handle(ValidatorId(0), reply, &mut dag_behind);
+        assert!(!fx.delivered.is_empty());
+        assert_eq!(dag_behind.highest_round(), Some(Round(29)));
+        assert!(dag_behind.contains(&front_vertex.digest()));
+
+        // Once caught up, ticks stop range-requesting.
+        let fx = behind.tick(&dag_behind);
+        assert!(
+            !fx.send.iter().any(|(_, m)| matches!(m, RbcMessage::RangeRequest { .. })),
+            "no gap, no range sync"
+        );
+    }
+
+    fn request_round(msg: &RbcMessage) -> Round {
+        match msg {
+            RbcMessage::RangeRequest { from } => *from,
+            other => panic!("not a range request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn small_lag_does_not_range_sync() {
+        // Ordinary operation buffers vertices a round or two ahead; that
+        // must keep using targeted parent requests, not bulk pulls.
+        let c = committee4();
+        let (mut behind, mut dag_behind) = node(&c, 1, BroadcastMode::BestEffort);
+        let (_, mut dag_ahead) = node(&c, 0, BroadcastMode::BestEffort);
+        fill_rounds(&c, &mut dag_ahead, 8);
+        fill_rounds(&c, &mut dag_behind, 5);
+        let near = dag_ahead
+            .vertex_by_author(Round(6), ValidatorId(0))
+            .expect("near vertex")
+            .as_ref()
+            .clone();
+        behind.handle(ValidatorId(0), RbcMessage::Vertex(near), &mut dag_behind);
+        let fx = behind.tick(&dag_behind);
+        assert!(
+            !fx.send.iter().any(|(_, m)| matches!(m, RbcMessage::RangeRequest { .. })),
+            "a 2-round lag stays on the targeted sync path"
+        );
     }
 
     #[test]

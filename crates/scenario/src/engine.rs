@@ -27,6 +27,32 @@ pub struct WindowRow {
     pub latency: LatencySummary,
 }
 
+/// Re-inclusion measurements for one recovered validator: how long the
+/// leader schedule took to hand it slots again after its restart.
+#[derive(Clone, Debug)]
+pub struct ReinclusionRow {
+    /// The recovered validator.
+    pub validator: u16,
+    /// Recovery instant (µs of simulated time).
+    pub recovered_at_us: u64,
+    /// Network round at the recovery instant (the measurement baseline).
+    pub recovery_round: u64,
+    /// First round at or after recovery where the schedule names this
+    /// validator leader; `None` if no slot arrived within the run.
+    pub first_leader_round: Option<u64>,
+    /// `first_leader_round - recovery_round`.
+    pub rounds_to_first_leader: Option<u64>,
+    /// Round of this validator's first committed anchor after recovery
+    /// (its first *successful* leader slot); `None` if none committed.
+    pub first_commit_round: Option<u64>,
+    /// `first_commit_round - recovery_round`.
+    pub rounds_to_first_commit: Option<u64>,
+    /// This validator's final score in each completed epoch, oldest
+    /// first (HammerHead runs; empty for the baseline) — the rebound the
+    /// re-inclusion rides on.
+    pub score_trajectory: Vec<u64>,
+}
+
 /// Extra per-run analysis results.
 #[derive(Clone, Debug, Default)]
 pub struct AnalysisRow {
@@ -40,6 +66,9 @@ pub struct AnalysisRow {
     /// Total validators swapped out across all schedule switches (the
     /// size of every epoch's B set summed), when requested.
     pub bg_churn: Option<u64>,
+    /// One entry per recovery event, when the `reinclusion` analysis is
+    /// requested (`Some([])` for runs whose schedule has no recoveries).
+    pub reinclusion: Option<Vec<ReinclusionRow>>,
 }
 
 /// Execution-cost sample for one run, rendered only under `--profile`.
@@ -221,6 +250,31 @@ pub fn render_row(row: &RunRow) -> String {
     if let Some(churn) = row.analysis.bg_churn {
         let _ = write!(line, "\n      schedule churn: {churn} validators swapped out");
     }
+    if row.result.restarts > 0 {
+        let _ = write!(
+            line,
+            "\n      recovery: {} restart(s){}",
+            row.result.restarts,
+            if row.result.recovery_divergence { " [DIVERGENCE]" } else { "" }
+        );
+    }
+    if let Some(reinclusion) = &row.analysis.reinclusion {
+        for r in reinclusion {
+            let fmt_rounds = |x: Option<u64>| match x {
+                Some(rounds) => format!("+{rounds}"),
+                None => "never".to_string(),
+            };
+            let _ = write!(
+                line,
+                "\n      reinclusion v{}: recovered at round {} | first slot {} | \
+                 first commit {}",
+                r.validator,
+                r.recovery_round,
+                fmt_rounds(r.rounds_to_first_leader),
+                fmt_rounds(r.rounds_to_first_commit),
+            );
+        }
+    }
     line
 }
 
@@ -283,7 +337,7 @@ fn row_json(row: &RunRow) -> Json {
         );
     }
     let r = &row.result;
-    let metrics = Json::object()
+    let mut metrics = Json::object()
         .with("throughput_tps", Json::Float(r.throughput_tps))
         .with("latency", latency_json(&r.latency))
         .with("commit_latency", latency_json(&r.commit_latency))
@@ -295,10 +349,24 @@ fn row_json(row: &RunRow) -> Json {
         .with("schedule_epochs", Json::Int(r.schedule_epochs as i64))
         .with("agreement_ok", Json::Bool(r.agreement_ok))
         .with("chain_hash", Json::Str(r.chain_hash.to_string()));
+    // Recovery counters appear only for runs that actually restarted (or
+    // diverged), so fault-free reports keep their exact bytes.
+    if r.restarts > 0 || r.recovery_divergence {
+        metrics = metrics.with(
+            "recovery",
+            Json::object()
+                .with("restarts", Json::Int(r.restarts as i64))
+                .with("recovery_divergence", Json::Bool(r.recovery_divergence)),
+        );
+    }
 
     let mut out = Json::object().with("labels", labels).with("metrics", metrics);
     let a = &row.analysis;
-    if !a.windows.is_empty() || a.skipped_rounds.is_some() || a.bg_churn.is_some() {
+    if !a.windows.is_empty()
+        || a.skipped_rounds.is_some()
+        || a.bg_churn.is_some()
+        || a.reinclusion.is_some()
+    {
         let mut analysis = Json::object();
         if !a.windows.is_empty() {
             analysis = analysis.with(
@@ -323,6 +391,39 @@ fn row_json(row: &RunRow) -> Json {
         }
         if let Some(churn) = a.bg_churn {
             analysis = analysis.with("bg_churn", Json::Int(churn as i64));
+        }
+        if let Some(reinclusion) = &a.reinclusion {
+            let opt_round = |x: Option<u64>| match x {
+                Some(r) => Json::Int(r as i64),
+                None => Json::Null,
+            };
+            analysis = analysis.with(
+                "reinclusion",
+                Json::Array(
+                    reinclusion
+                        .iter()
+                        .map(|r| {
+                            Json::object()
+                                .with("validator", Json::Int(r.validator as i64))
+                                .with("recovered_at_us", Json::Int(r.recovered_at_us as i64))
+                                .with("recovery_round", Json::Int(r.recovery_round as i64))
+                                .with("first_leader_round", opt_round(r.first_leader_round))
+                                .with("rounds_to_first_leader", opt_round(r.rounds_to_first_leader))
+                                .with("first_commit_round", opt_round(r.first_commit_round))
+                                .with("rounds_to_first_commit", opt_round(r.rounds_to_first_commit))
+                                .with(
+                                    "score_trajectory",
+                                    Json::Array(
+                                        r.score_trajectory
+                                            .iter()
+                                            .map(|s| Json::Int(*s as i64))
+                                            .collect(),
+                                    ),
+                                )
+                        })
+                        .collect(),
+                ),
+            );
         }
         out = out.with("analysis", analysis);
     }

@@ -17,7 +17,7 @@
 //! audit, above all — aborts the pool and is re-raised with the failing
 //! run's labels attached.
 
-use crate::engine::{AnalysisRow, RunProfile, RunRow, WindowRow};
+use crate::engine::{AnalysisRow, ReinclusionRow, RunProfile, RunRow, WindowRow};
 use crate::spec::{AnalysisSpec, PlannedRun, ScenarioPlan};
 use hh_sim::{collect_streamed_metrics, run_sim_streaming, MetricsSink, RunLimit, SimHandle};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -61,7 +61,7 @@ pub(crate) fn execute_run(plan: &ScenarioPlan, index: usize, limit: RunLimit) ->
         index,
         describe(run)
     );
-    let mut analysis = analyze(&plan.analysis, run, &handle);
+    let mut analysis = analyze(&plan.analysis, run, &handle, end_us);
     analysis.windows = sink
         .window_summaries()
         .into_iter()
@@ -78,13 +78,13 @@ pub(crate) fn execute_run(plan: &ScenarioPlan, index: usize, limit: RunLimit) ->
 }
 
 /// Computes the handle-derived analyses (skipped leader rounds, B/G
-/// churn). Window latencies come straight from the run's sink.
-fn analyze(spec: &AnalysisSpec, run: &PlannedRun, handle: &SimHandle) -> AnalysisRow {
+/// churn, re-inclusion). Window latencies come straight from the run's
+/// sink.
+fn analyze(spec: &AnalysisSpec, run: &PlannedRun, handle: &SimHandle, end_us: u64) -> AnalysisRow {
     let mut analysis = AnalysisRow::default();
     let config = &run.config;
-    let live: Vec<usize> = (0..handle.n_validators)
-        .filter(|i| !config.faults.crashed.contains(&(*i as u16)))
-        .collect();
+    // Live at the actual stop, matching the metrics collectors.
+    let live: Vec<usize> = config.faults.live_at(handle.n_validators, end_us);
 
     if spec.skipped_rounds {
         // Lemma 6: count even (anchor) rounds at or below the last
@@ -112,7 +112,73 @@ fn analyze(spec: &AnalysisSpec, run: &PlannedRun, handle: &SimHandle) -> Analysi
         analysis.bg_churn = Some(churn);
     }
 
+    if spec.reinclusion {
+        analysis.reinclusion = Some(reinclusion_rows(&live, handle));
+    }
+
     analysis
+}
+
+/// The re-inclusion analysis: for every recovered validator, how long the
+/// schedule took to hand it a leader slot again and how long until its
+/// first committed anchor, measured in rounds from the network round at
+/// its recovery (sampled by the sim driver), plus its per-epoch score
+/// trajectory under HammerHead.
+///
+/// Rounds are judged through the most advanced live validator's view —
+/// its schedule history resolves `leader_at` for every committed round,
+/// and its committed anchors bound the search (a slot past the last
+/// anchor is unknown, not pending).
+fn reinclusion_rows(live: &[usize], handle: &SimHandle) -> Vec<ReinclusionRow> {
+    // Most advanced live validator; ties break toward the lowest index.
+    let observer_index = live
+        .iter()
+        .copied()
+        .max_by_key(|i| (handle.validator(*i).commit_count(), std::cmp::Reverse(*i)));
+    let Some(observer_index) = observer_index else {
+        return Vec::new();
+    };
+    let observer = handle.validator(observer_index);
+    let anchors = observer.committed_anchors();
+    let last_anchor_round = anchors.last().map(|a| a.round.0).unwrap_or(0);
+
+    handle
+        .recovery_samples
+        .iter()
+        .map(|sample| {
+            let v = hh_types::ValidatorId(sample.validator);
+            let recovery_round = sample.network_round;
+            // Leader slots live on even rounds; scan from the first even
+            // round at or after recovery up to the last committed anchor.
+            let first_even = recovery_round + (recovery_round % 2);
+            let first_leader_round = (first_even..=last_anchor_round)
+                .step_by(2)
+                .find(|r| observer.leader_at(hh_types::Round(*r)) == v);
+            let first_commit_round = anchors
+                .iter()
+                .find(|a| a.author == v && a.round.0 >= recovery_round)
+                .map(|a| a.round.0);
+            let score_trajectory = observer
+                .hammerhead_policy()
+                .map(|p| {
+                    p.epoch_history()
+                        .iter()
+                        .map(|e| e.final_scores.get(v.index()).copied().unwrap_or(0))
+                        .collect()
+                })
+                .unwrap_or_default();
+            ReinclusionRow {
+                validator: sample.validator,
+                recovered_at_us: sample.at_us,
+                recovery_round,
+                first_leader_round,
+                rounds_to_first_leader: first_leader_round.map(|r| r - recovery_round),
+                first_commit_round,
+                rounds_to_first_commit: first_commit_round.map(|r| r - recovery_round),
+                score_trajectory,
+            }
+        })
+        .collect()
 }
 
 /// Turns every run of a plan into a [`RunRow`].
@@ -317,7 +383,7 @@ model = "flat"
         // thread with that run's labels attached, not hang or lose it.
         let good = sweep_plan();
         let mut bad_config = good.runs[0].config.clone();
-        bad_config.faults.crashed = vec![0, 1, 2, 3];
+        bad_config.faults = hh_sim::FaultSchedule::new().crash_from_start([0, 1, 2, 3]);
         let bad = PlannedRun {
             variant: "doomed".into(),
             system: "bullshark".into(),

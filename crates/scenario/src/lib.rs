@@ -55,15 +55,16 @@ pub mod toml;
 
 pub use engine::{
     render_header, render_profile, render_row, report_json, run_plan, run_plan_with, AnalysisRow,
-    ExecOptions, RunProfile, RunRow, ScenarioReport, WindowRow,
+    ExecOptions, ReinclusionRow, RunProfile, RunRow, ScenarioReport, WindowRow,
 };
 pub use executor::{Executor, PooledExecutor, SerialExecutor};
 pub use hh_sim::RunLimit;
 pub use json::Json;
 pub use spec::{
     parse_scoring, scoring_name, AnalysisSpec, CountExpr, ExclusionSpec, FaultsSpec, NetworkSpec,
-    NodeSel, PlanOptions, PlannedRun, QuickSpec, ScenarioError, ScenarioPlan, ScenarioSpec,
-    SlowdownEntry, SystemSpec, VariantSpec, WhenSpec, WindowSpec,
+    NodeSel, PartitionEntry, PartitionSel, PlanOptions, PlannedRun, QuickSpec, ScenarioError,
+    ScenarioPlan, ScenarioSpec, SlowdownEntry, SystemSpec, TimedFaultEntry, VariantSpec, WhenSpec,
+    WindowSpec,
 };
 
 use std::path::{Path, PathBuf};

@@ -11,7 +11,7 @@
 
 use crate::toml::{self, TomlError, Value};
 use hammerhead::{HammerheadConfig, ScheduleConfig, ScoringRule};
-use hh_sim::{ExperimentConfig, FaultSpec, SystemKind};
+use hh_sim::{ExperimentConfig, FaultSchedule, SystemKind};
 use hh_types::{Committee, Stake, ValidatorId};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -217,7 +217,7 @@ pub struct VariantSpec {
     pub exclusion: Option<ExclusionSpec>,
 }
 
-/// When a slowdown window opens.
+/// When a fault event fires or a window opens/closes.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum WhenSpec {
     /// At an absolute simulated second.
@@ -225,6 +225,17 @@ pub enum WhenSpec {
     /// At this fraction of the run duration (resolved per-run, so a
     /// "degrade halfway" scenario scales with `--duration`).
     Frac(f64),
+}
+
+impl WhenSpec {
+    /// Resolves to microseconds of simulated time for a run of
+    /// `duration_secs`.
+    pub fn resolve_us(self, duration_secs: u64) -> u64 {
+        match self {
+            WhenSpec::Secs(secs) => secs * 1_000_000,
+            WhenSpec::Frac(frac) => (duration_secs as f64 * frac * 1e6) as u64,
+        }
+    }
 }
 
 /// Which validators a fault hits.
@@ -243,11 +254,51 @@ pub struct SlowdownEntry {
     pub nodes: NodeSel,
     /// Window start.
     pub at: WhenSpec,
+    /// Window end; `None` degrades until the end of the run.
+    pub until: Option<WhenSpec>,
     /// Extra one-way delay while degraded, in milliseconds.
     pub extra_ms: u64,
 }
 
-/// The scenario's fault schedule.
+/// One timed crash or recovery event (`[[faults.crash]]` /
+/// `[[faults.recover]]`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimedFaultEntry {
+    /// Affected validators.
+    pub nodes: NodeSel,
+    /// When the event fires.
+    pub at: WhenSpec,
+}
+
+/// Which validators a partition cuts off from the rest.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PartitionSel {
+    /// Explicit groups on each side of the cut.
+    Groups {
+        /// One side.
+        a: Vec<u16>,
+        /// The other side.
+        b: Vec<u16>,
+    },
+    /// The first `count` validators against everyone else (scales with
+    /// the committee axis).
+    IsolateFirst(CountExpr),
+}
+
+/// One partition window (`[[faults.partition]]`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionEntry {
+    /// The cut.
+    pub sel: PartitionSel,
+    /// Window start.
+    pub from: WhenSpec,
+    /// Heal time.
+    pub until: WhenSpec,
+}
+
+/// The scenario's fault schedule — the declarative form of
+/// [`hh_sim::FaultSchedule`], resolved per planned run (committee size
+/// and duration fix the `n/k` counts and `*_frac` times).
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct FaultsSpec {
     /// Explicitly crashed validator ids (from t=0).
@@ -256,6 +307,13 @@ pub struct FaultsSpec {
     pub crash_last: Option<CountExpr>,
     /// Slowdown windows (the §1 incident's shape).
     pub slowdowns: Vec<SlowdownEntry>,
+    /// Mid-run crash events.
+    pub crashes: Vec<TimedFaultEntry>,
+    /// Recovery events (each must follow a crash of the same validator;
+    /// recovered nodes replay their WAL through `Validator::on_restart`).
+    pub recovers: Vec<TimedFaultEntry>,
+    /// Partition windows.
+    pub partitions: Vec<PartitionEntry>,
 }
 
 /// A named latency-measurement window over submission times.
@@ -279,6 +337,10 @@ pub struct AnalysisSpec {
     pub skipped_rounds: bool,
     /// Report per-epoch B/G churn from the schedule history.
     pub schedule_churn: bool,
+    /// Per recovered validator: rounds from recovery to its first
+    /// post-recovery leader slot and first committed anchor, plus its
+    /// score trajectory across epochs (HammerHead runs).
+    pub reinclusion: bool,
 }
 
 /// Scaled-down axis overrides applied by `--quick`.
@@ -331,6 +393,10 @@ pub struct ScenarioSpec {
     pub scoring: Vec<ScoringRule>,
     /// Seed for the initial schedule permutation.
     pub schedule_seed: u64,
+    /// Recompute each epoch's slot swap against the base schedule S0
+    /// (the production leader-swap-table semantics; required for
+    /// crash-recovery re-inclusion to be observable).
+    pub swap_from_base: bool,
     /// Explicit variants; when non-empty they replace the systems ×
     /// hammerhead-knob axes.
     pub variants: Vec<VariantSpec>,
@@ -478,6 +544,90 @@ fn get_str_axis(
             .map(Some),
         Some(other) => Err(ScenarioError::Schema(format!(
             "`{context}.{key}` must be a string or list of strings, got {other:?}"
+        ))),
+    }
+}
+
+/// Reads the entries of an array-of-tables key (`[[faults.crash]]`
+/// style); absent keys yield an empty list.
+fn get_entry_tables<'a>(
+    table: &'a BTreeMap<String, Value>,
+    key: &str,
+    context: &str,
+) -> Result<Vec<&'a BTreeMap<String, Value>>, ScenarioError> {
+    match table.get(key) {
+        None => Ok(Vec::new()),
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(|item| {
+                item.as_table().ok_or_else(|| {
+                    ScenarioError::Schema(format!("{context} entries must be tables"))
+                })
+            })
+            .collect(),
+        Some(other) => Err(ScenarioError::Schema(format!(
+            "`{context}` must be an array of tables, got {other:?}"
+        ))),
+    }
+}
+
+/// Reads the `nodes` (id list) / `first` (count) validator selector of a
+/// fault entry.
+fn get_node_sel(table: &BTreeMap<String, Value>, context: &str) -> Result<NodeSel, ScenarioError> {
+    match (table.get("nodes"), table.get("first")) {
+        (Some(Value::Array(ids)), None) => Ok(NodeSel::Ids(
+            ids.iter()
+                .map(|v| match v {
+                    Value::Int(i) if *i >= 0 => Ok(*i as u16),
+                    other => Err(ScenarioError::Schema(format!(
+                        "bad validator id {other:?} in {context}.nodes"
+                    ))),
+                })
+                .collect::<Result<_, _>>()?,
+        )),
+        (None, Some(v)) => Ok(NodeSel::First(CountExpr::parse(v)?)),
+        _ => Err(ScenarioError::Schema(format!(
+            "{context} needs exactly one of `nodes` (id list) or `first` (count)"
+        ))),
+    }
+}
+
+/// Reads an optional `<prefix>_secs` / `<prefix>_frac` instant.
+fn get_when(
+    table: &BTreeMap<String, Value>,
+    prefix: &str,
+    context: &str,
+) -> Result<Option<WhenSpec>, ScenarioError> {
+    let secs_key = format!("{prefix}_secs");
+    let frac_key = format!("{prefix}_frac");
+    match (get_u64(table, &secs_key, context)?, get_f64(table, &frac_key, context)?) {
+        (Some(secs), None) => Ok(Some(WhenSpec::Secs(secs))),
+        (None, Some(frac)) => Ok(Some(WhenSpec::Frac(frac))),
+        (None, None) => Ok(None),
+        _ => Err(ScenarioError::Schema(format!("{context} sets both {secs_key} and {frac_key}"))),
+    }
+}
+
+/// Reads an optional list of validator ids.
+fn get_id_list(
+    table: &BTreeMap<String, Value>,
+    key: &str,
+    context: &str,
+) -> Result<Option<Vec<u16>>, ScenarioError> {
+    match table.get(key) {
+        None => Ok(None),
+        Some(Value::Array(ids)) => ids
+            .iter()
+            .map(|v| match v {
+                Value::Int(i) if *i >= 0 => Ok(*i as u16),
+                other => Err(ScenarioError::Schema(format!(
+                    "bad validator id {other:?} in {context}.{key}"
+                ))),
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map(Some),
+        Some(other) => Err(ScenarioError::Schema(format!(
+            "`{context}.{key}` must be a list of validator ids, got {other:?}"
         ))),
     }
 }
@@ -636,7 +786,7 @@ impl ScenarioSpec {
         };
 
         // [hammerhead]
-        let (period_rounds, exclusion, scoring, schedule_seed) =
+        let (period_rounds, exclusion, scoring, schedule_seed, swap_from_base) =
             match get_table(root, "hammerhead")? {
                 Some(t) => {
                     check_keys(
@@ -648,6 +798,7 @@ impl ScenarioSpec {
                             "max_excluded_stake",
                             "scoring",
                             "schedule_seed",
+                            "swap_from_base",
                         ],
                     )?;
                     let pct = get_u64_axis(t, "max_excluded_pct", "hammerhead")?;
@@ -673,9 +824,10 @@ impl ScenarioSpec {
                         exclusion,
                         scoring,
                         get_u64(t, "schedule_seed", "hammerhead")?.unwrap_or(0),
+                        get_bool(t, "swap_from_base", "hammerhead")?.unwrap_or(false),
                     )
                 }
-                None => (vec![20], vec![ExclusionSpec::F], vec![ScoringRule::VoteBased], 0),
+                None => (vec![20], vec![ExclusionSpec::F], vec![ScoringRule::VoteBased], 0, false),
             };
 
         // [[variant]]
@@ -736,77 +888,123 @@ impl ScenarioSpec {
         // [faults]
         let faults = match get_table(root, "faults")? {
             Some(t) => {
-                check_keys(t, "[faults]", &["crashed", "crash_last", "slowdown"])?;
+                check_keys(
+                    t,
+                    "[faults]",
+                    &["crashed", "crash_last", "slowdown", "crash", "recover", "partition"],
+                )?;
                 let crashed = get_u64_axis(t, "crashed", "faults")?
                     .unwrap_or_default()
                     .into_iter()
                     .map(|x| x as u16)
                     .collect();
                 let crash_last = t.get("crash_last").map(CountExpr::parse).transpose()?;
-                let slowdowns = match t.get("slowdown") {
-                    None => Vec::new(),
-                    Some(Value::Array(items)) => items
-                        .iter()
-                        .map(|item| {
-                            let s = item.as_table().ok_or_else(|| {
-                                ScenarioError::Schema(
-                                    "[[faults.slowdown]] entries must be tables".into(),
-                                )
-                            })?;
-                            check_keys(
-                                s,
-                                "[[faults.slowdown]]",
-                                &["nodes", "first", "at_secs", "at_frac", "extra_ms"],
-                            )?;
-                            let nodes = match (s.get("nodes"), s.get("first")) {
-                                (Some(Value::Array(ids)), None) => NodeSel::Ids(
-                                    ids.iter()
-                                        .map(|v| match v {
-                                            Value::Int(i) if *i >= 0 => Ok(*i as u16),
-                                            other => Err(ScenarioError::Schema(format!(
-                                                "bad validator id {other:?} in slowdown.nodes"
-                                            ))),
-                                        })
-                                        .collect::<Result<_, _>>()?,
-                                ),
-                                (None, Some(v)) => NodeSel::First(CountExpr::parse(v)?),
-                                _ => {
-                                    return Err(ScenarioError::Schema(
-                                        "[[faults.slowdown]] needs exactly one of `nodes` \
-                                         (id list) or `first` (count)"
-                                            .into(),
-                                    ))
-                                }
-                            };
-                            let at = match (
-                                get_u64(s, "at_secs", "faults.slowdown")?,
-                                get_f64(s, "at_frac", "faults.slowdown")?,
-                            ) {
-                                (Some(secs), None) => WhenSpec::Secs(secs),
-                                (None, Some(frac)) => WhenSpec::Frac(frac),
-                                (None, None) => WhenSpec::Secs(0),
-                                _ => {
-                                    return Err(ScenarioError::Schema(
-                                        "[[faults.slowdown]] sets both at_secs and at_frac".into(),
-                                    ))
-                                }
-                            };
-                            let extra_ms =
-                                get_u64(s, "extra_ms", "faults.slowdown")?.ok_or_else(|| {
-                                    ScenarioError::Schema(
-                                        "[[faults.slowdown]] requires `extra_ms`".into(),
-                                    )
-                                })?;
-                            Ok(SlowdownEntry { nodes, at, extra_ms })
-                        })
-                        .collect::<Result<Vec<_>, _>>()?,
-                    Some(other) => {
-                        return Err(ScenarioError::Schema(format!(
-                            "`faults.slowdown` must be an array of tables, got {other:?}"
-                        )))
+
+                let mut slowdowns = Vec::new();
+                for s in get_entry_tables(t, "slowdown", "[[faults.slowdown]]")? {
+                    check_keys(
+                        s,
+                        "[[faults.slowdown]]",
+                        &[
+                            "nodes",
+                            "first",
+                            "at_secs",
+                            "at_frac",
+                            "until_secs",
+                            "until_frac",
+                            "extra_ms",
+                        ],
+                    )?;
+                    let extra_ms = get_u64(s, "extra_ms", "faults.slowdown")?.ok_or_else(|| {
+                        ScenarioError::Schema("[[faults.slowdown]] requires `extra_ms`".into())
+                    })?;
+                    slowdowns.push(SlowdownEntry {
+                        nodes: get_node_sel(s, "[[faults.slowdown]]")?,
+                        at: get_when(s, "at", "[[faults.slowdown]]")?.unwrap_or(WhenSpec::Secs(0)),
+                        until: get_when(s, "until", "[[faults.slowdown]]")?,
+                        extra_ms,
+                    });
+                }
+
+                // [[faults.recover]] first, then the `recover_at_*` sugar
+                // on [[faults.crash]] desugars into the same list.
+                let mut recovers = Vec::new();
+                for r in get_entry_tables(t, "recover", "[[faults.recover]]")? {
+                    check_keys(r, "[[faults.recover]]", &["nodes", "first", "at_secs", "at_frac"])?;
+                    recovers.push(TimedFaultEntry {
+                        nodes: get_node_sel(r, "[[faults.recover]]")?,
+                        at: get_when(r, "at", "[[faults.recover]]")?.ok_or_else(|| {
+                            ScenarioError::Schema(
+                                "[[faults.recover]] requires at_secs or at_frac".into(),
+                            )
+                        })?,
+                    });
+                }
+                let mut crashes = Vec::new();
+                for entry in get_entry_tables(t, "crash", "[[faults.crash]]")? {
+                    check_keys(
+                        entry,
+                        "[[faults.crash]]",
+                        &[
+                            "nodes",
+                            "first",
+                            "at_secs",
+                            "at_frac",
+                            "recover_at_secs",
+                            "recover_at_frac",
+                        ],
+                    )?;
+                    let nodes = get_node_sel(entry, "[[faults.crash]]")?;
+                    if let Some(recover_at) = get_when(entry, "recover_at", "[[faults.crash]]")? {
+                        recovers.push(TimedFaultEntry { nodes: nodes.clone(), at: recover_at });
                     }
-                };
-                FaultsSpec { crashed, crash_last, slowdowns }
+                    crashes.push(TimedFaultEntry {
+                        nodes,
+                        at: get_when(entry, "at", "[[faults.crash]]")?.unwrap_or(WhenSpec::Secs(0)),
+                    });
+                }
+
+                let mut partitions = Vec::new();
+                for p in get_entry_tables(t, "partition", "[[faults.partition]]")? {
+                    check_keys(
+                        p,
+                        "[[faults.partition]]",
+                        &[
+                            "a",
+                            "b",
+                            "isolate_first",
+                            "from_secs",
+                            "from_frac",
+                            "until_secs",
+                            "until_frac",
+                        ],
+                    )?;
+                    let a = get_id_list(p, "a", "faults.partition")?;
+                    let b = get_id_list(p, "b", "faults.partition")?;
+                    let sel = match (a, b, p.get("isolate_first")) {
+                        (Some(a), Some(b), None) => PartitionSel::Groups { a, b },
+                        (None, None, Some(v)) => PartitionSel::IsolateFirst(CountExpr::parse(v)?),
+                        _ => {
+                            return Err(ScenarioError::Schema(
+                                "[[faults.partition]] needs either both `a` and `b` id lists \
+                                 or `isolate_first` (count)"
+                                    .into(),
+                            ))
+                        }
+                    };
+                    partitions.push(PartitionEntry {
+                        sel,
+                        from: get_when(p, "from", "[[faults.partition]]")?
+                            .unwrap_or(WhenSpec::Secs(0)),
+                        until: get_when(p, "until", "[[faults.partition]]")?.ok_or_else(|| {
+                            ScenarioError::Schema(
+                                "[[faults.partition]] requires until_secs or until_frac".into(),
+                            )
+                        })?,
+                    });
+                }
+
+                FaultsSpec { crashed, crash_last, slowdowns, crashes, recovers, partitions }
             }
             None => FaultsSpec::default(),
         };
@@ -814,7 +1012,11 @@ impl ScenarioSpec {
         // [analysis]
         let analysis = match get_table(root, "analysis")? {
             Some(t) => {
-                check_keys(t, "[analysis]", &["skipped_rounds", "schedule_churn", "window"])?;
+                check_keys(
+                    t,
+                    "[analysis]",
+                    &["skipped_rounds", "schedule_churn", "reinclusion", "window"],
+                )?;
                 let windows = match t.get("window") {
                     None => Vec::new(),
                     Some(Value::Array(items)) => items
@@ -852,6 +1054,7 @@ impl ScenarioSpec {
                     windows,
                     skipped_rounds: get_bool(t, "skipped_rounds", "analysis")?.unwrap_or(false),
                     schedule_churn: get_bool(t, "schedule_churn", "analysis")?.unwrap_or(false),
+                    reinclusion: get_bool(t, "reinclusion", "analysis")?.unwrap_or(false),
                 }
             }
             None => AnalysisSpec::default(),
@@ -894,6 +1097,7 @@ impl ScenarioSpec {
             exclusion,
             scoring,
             schedule_seed,
+            swap_from_base,
             variants,
             faults,
             analysis,
@@ -942,15 +1146,56 @@ impl ScenarioSpec {
                 )));
             }
         }
+        fn check_frac(when: WhenSpec, what: &str) -> Result<(), ScenarioError> {
+            if let WhenSpec::Frac(frac) = when {
+                if !(0.0..=1.0).contains(&frac) {
+                    return Err(ScenarioError::Invalid(format!(
+                        "{what} fraction must be within [0, 1]"
+                    )));
+                }
+            }
+            Ok(())
+        }
+        /// Same-kind windows can be ordered here; mixed secs/frac pairs
+        /// are checked after per-run resolution.
+        fn check_window(from: WhenSpec, until: WhenSpec, what: &str) -> Result<(), ScenarioError> {
+            let empty = match (from, until) {
+                (WhenSpec::Secs(a), WhenSpec::Secs(b)) => a >= b,
+                (WhenSpec::Frac(a), WhenSpec::Frac(b)) => a >= b,
+                _ => false,
+            };
+            if empty {
+                return Err(ScenarioError::Invalid(format!("{what} window is empty")));
+            }
+            Ok(())
+        }
         for s in &self.faults.slowdowns {
             if s.extra_ms == 0 {
                 return Err(ScenarioError::Invalid("slowdown extra_ms must be positive".into()));
             }
-            if let WhenSpec::Frac(frac) = s.at {
-                if !(0.0..=1.0).contains(&frac) {
+            check_frac(s.at, "slowdown at")?;
+            if let Some(until) = s.until {
+                check_frac(until, "slowdown until")?;
+                check_window(s.at, until, "slowdown")?;
+            }
+        }
+        for entry in self.faults.crashes.iter().chain(&self.faults.recovers) {
+            check_frac(entry.at, "crash/recover at")?;
+        }
+        for p in &self.faults.partitions {
+            check_frac(p.from, "partition from")?;
+            check_frac(p.until, "partition until")?;
+            check_window(p.from, p.until, "partition")?;
+            if let PartitionSel::Groups { a, b } = &p.sel {
+                if a.is_empty() || b.is_empty() {
                     return Err(ScenarioError::Invalid(
-                        "slowdown at_frac must be within [0, 1]".into(),
+                        "partition groups must both be non-empty".into(),
                     ));
+                }
+                if let Some(shared) = a.iter().find(|x| b.contains(x)) {
+                    return Err(ScenarioError::Invalid(format!(
+                        "validator {shared} is on both sides of a partition"
+                    )));
                 }
             }
         }
@@ -1047,6 +1292,9 @@ impl ScenarioSpec {
         if self.schedule_seed != 0 {
             hammerhead.insert("schedule_seed".into(), Value::Int(self.schedule_seed as i64));
         }
+        if self.swap_from_base {
+            hammerhead.insert("swap_from_base".into(), Value::Bool(true));
+        }
         root.insert("hammerhead".into(), Value::Table(hammerhead));
 
         if !self.variants.is_empty() {
@@ -1091,6 +1339,37 @@ impl ScenarioSpec {
         if let Some(c) = self.faults.crash_last {
             faults.insert("crash_last".into(), c.to_value());
         }
+        fn insert_node_sel(t: &mut BTreeMap<String, Value>, sel: &NodeSel) {
+            match sel {
+                NodeSel::Ids(ids) => {
+                    t.insert(
+                        "nodes".into(),
+                        Value::Array(ids.iter().map(|i| Value::Int(*i as i64)).collect()),
+                    );
+                }
+                NodeSel::First(c) => {
+                    t.insert("first".into(), c.to_value());
+                }
+            }
+        }
+        /// `omit_zero` drops `Secs(0)` — the parse-side default for event
+        /// starts — keeping canonical files minimal.
+        fn insert_when(
+            t: &mut BTreeMap<String, Value>,
+            prefix: &str,
+            when: WhenSpec,
+            omit_zero: bool,
+        ) {
+            match when {
+                WhenSpec::Secs(0) if omit_zero => {}
+                WhenSpec::Secs(secs) => {
+                    t.insert(format!("{prefix}_secs"), Value::Int(secs as i64));
+                }
+                WhenSpec::Frac(frac) => {
+                    t.insert(format!("{prefix}_frac"), Value::Float(frac));
+                }
+            }
+        }
         if !self.faults.slowdowns.is_empty() {
             let items = self
                 .faults
@@ -1098,31 +1377,61 @@ impl ScenarioSpec {
                 .iter()
                 .map(|s| {
                     let mut t = BTreeMap::new();
-                    match &s.nodes {
-                        NodeSel::Ids(ids) => {
-                            t.insert(
-                                "nodes".into(),
-                                Value::Array(ids.iter().map(|i| Value::Int(*i as i64)).collect()),
-                            );
-                        }
-                        NodeSel::First(c) => {
-                            t.insert("first".into(), c.to_value());
-                        }
-                    }
-                    match s.at {
-                        WhenSpec::Secs(0) => {}
-                        WhenSpec::Secs(secs) => {
-                            t.insert("at_secs".into(), Value::Int(secs as i64));
-                        }
-                        WhenSpec::Frac(frac) => {
-                            t.insert("at_frac".into(), Value::Float(frac));
-                        }
+                    insert_node_sel(&mut t, &s.nodes);
+                    insert_when(&mut t, "at", s.at, true);
+                    if let Some(until) = s.until {
+                        insert_when(&mut t, "until", until, false);
                     }
                     t.insert("extra_ms".into(), Value::Int(s.extra_ms as i64));
                     Value::Table(t)
                 })
                 .collect();
             faults.insert("slowdown".into(), Value::Array(items));
+        }
+        let timed_items = |entries: &[TimedFaultEntry]| -> Value {
+            Value::Array(
+                entries
+                    .iter()
+                    .map(|entry| {
+                        let mut t = BTreeMap::new();
+                        insert_node_sel(&mut t, &entry.nodes);
+                        insert_when(&mut t, "at", entry.at, false);
+                        Value::Table(t)
+                    })
+                    .collect(),
+            )
+        };
+        if !self.faults.crashes.is_empty() {
+            faults.insert("crash".into(), timed_items(&self.faults.crashes));
+        }
+        if !self.faults.recovers.is_empty() {
+            faults.insert("recover".into(), timed_items(&self.faults.recovers));
+        }
+        if !self.faults.partitions.is_empty() {
+            let items = self
+                .faults
+                .partitions
+                .iter()
+                .map(|p| {
+                    let mut t = BTreeMap::new();
+                    match &p.sel {
+                        PartitionSel::Groups { a, b } => {
+                            let ids = |xs: &[u16]| {
+                                Value::Array(xs.iter().map(|i| Value::Int(*i as i64)).collect())
+                            };
+                            t.insert("a".into(), ids(a));
+                            t.insert("b".into(), ids(b));
+                        }
+                        PartitionSel::IsolateFirst(c) => {
+                            t.insert("isolate_first".into(), c.to_value());
+                        }
+                    }
+                    insert_when(&mut t, "from", p.from, true);
+                    insert_when(&mut t, "until", p.until, false);
+                    Value::Table(t)
+                })
+                .collect();
+            faults.insert("partition".into(), Value::Array(items));
         }
         if !faults.is_empty() {
             root.insert("faults".into(), Value::Table(faults));
@@ -1134,6 +1443,9 @@ impl ScenarioSpec {
         }
         if self.analysis.schedule_churn {
             analysis.insert("schedule_churn".into(), Value::Bool(true));
+        }
+        if self.analysis.reinclusion {
+            analysis.insert("reinclusion".into(), Value::Bool(true));
         }
         if !self.analysis.windows.is_empty() {
             let items = self
@@ -1340,11 +1652,15 @@ impl ScenarioSpec {
                             let config = self.build_config(
                                 n, &committee, &crashed, variant, duration, load, seed,
                             )?;
+                            // Fault count = distinct crashed validators
+                            // anywhere on the timeline (mid-run crashes
+                            // included).
+                            let fault_count = config.faults.crashed_nodes().len();
                             let mut labels: Vec<(String, String)> = vec![
                                 ("variant".into(), variant.label.clone()),
                                 ("system".into(), variant.system.label().into()),
                                 ("committee".into(), n.to_string()),
-                                ("faults".into(), crashed.len().to_string()),
+                                ("faults".into(), fault_count.to_string()),
                                 ("load_tps".into(), load.to_string()),
                                 ("duration_secs".into(), duration.to_string()),
                                 ("seed".into(), seed.to_string()),
@@ -1367,7 +1683,7 @@ impl ScenarioSpec {
                                 variant: variant.label.clone(),
                                 system: variant.system.label().to_string(),
                                 labels,
-                                fault_count: crashed.len(),
+                                fault_count,
                                 config,
                             });
                         }
@@ -1454,6 +1770,7 @@ impl ScenarioSpec {
                     .to_config(committee),
                 scoring_rule: variant.scoring.unwrap_or(self.scoring[0]),
                 schedule_seed: self.schedule_seed,
+                swap_from_base: self.swap_from_base,
             };
             hh.validate(committee).map_err(|e| {
                 ScenarioError::Invalid(format!("variant `{}` on n = {n}: {e}", variant.label))
@@ -1475,32 +1792,83 @@ impl ScenarioSpec {
             config.schedule_override = Some(ScheduleConfig::StaticLeader(ValidatorId(leader)));
         }
 
-        let mut slowdowns = Vec::new();
-        for entry in &self.faults.slowdowns {
-            let from_us = match entry.at {
-                WhenSpec::Secs(secs) => secs * 1_000_000,
-                WhenSpec::Frac(frac) => (duration as f64 * frac * 1e6) as u64,
-            };
-            let nodes: Vec<u16> = match &entry.nodes {
+        config.faults = self.build_fault_schedule(n, crashed, duration)?;
+        Ok(config)
+    }
+
+    /// Resolves the declarative fault spec against a committee of `n` and
+    /// a run of `duration` seconds into the concrete event timeline, and
+    /// validates the result (recover-before-crash, contradictory windows,
+    /// more than `f` concurrent crashes are all rejected here).
+    fn build_fault_schedule(
+        &self,
+        n: usize,
+        crashed: &[u16],
+        duration: u64,
+    ) -> Result<FaultSchedule, ScenarioError> {
+        fn resolve_nodes(sel: &NodeSel, n: usize, what: &str) -> Result<Vec<u16>, ScenarioError> {
+            match sel {
                 NodeSel::Ids(ids) => {
                     if let Some(&bad) = ids.iter().find(|i| **i as usize >= n) {
                         return Err(ScenarioError::Invalid(format!(
-                            "slowdown validator {bad} is outside the committee of {n}"
+                            "{what} validator {bad} is outside the committee of {n}"
                         )));
                     }
-                    ids.clone()
+                    Ok(ids.clone())
                 }
                 NodeSel::First(count) => {
                     let k = count.resolve(n).min(n);
-                    (0..k as u16).collect()
+                    Ok((0..k as u16).collect())
                 }
-            };
-            for node in nodes {
-                slowdowns.push((node, from_us, entry.extra_ms * 1000));
             }
         }
-        config.faults = FaultSpec { crashed: crashed.to_vec(), slowdowns };
-        Ok(config)
+
+        let mut schedule = FaultSchedule::new().crash_from_start(crashed.iter().copied());
+        for entry in &self.faults.crashes {
+            let at_us = entry.at.resolve_us(duration);
+            for node in resolve_nodes(&entry.nodes, n, "crash")? {
+                schedule = schedule.crash(node, at_us);
+            }
+        }
+        for entry in &self.faults.recovers {
+            let at_us = entry.at.resolve_us(duration);
+            for node in resolve_nodes(&entry.nodes, n, "recover")? {
+                schedule = schedule.recover(node, at_us);
+            }
+        }
+        for entry in &self.faults.slowdowns {
+            let from_us = entry.at.resolve_us(duration);
+            let until_us = entry.until.map(|u| u.resolve_us(duration)).unwrap_or(u64::MAX);
+            for node in resolve_nodes(&entry.nodes, n, "slowdown")? {
+                schedule = schedule.slowdown(node, from_us, until_us, entry.extra_ms * 1000);
+            }
+        }
+        for entry in &self.faults.partitions {
+            let (a, b) = match &entry.sel {
+                PartitionSel::Groups { a, b } => {
+                    for id in a.iter().chain(b) {
+                        if *id as usize >= n {
+                            return Err(ScenarioError::Invalid(format!(
+                                "partition validator {id} is outside the committee of {n}"
+                            )));
+                        }
+                    }
+                    (a.clone(), b.clone())
+                }
+                PartitionSel::IsolateFirst(count) => {
+                    let k = count.resolve(n).min(n.saturating_sub(1));
+                    ((0..k as u16).collect(), (k as u16..n as u16).collect())
+                }
+            };
+            schedule = schedule.partition(
+                a,
+                b,
+                entry.from.resolve_us(duration),
+                entry.until.resolve_us(duration),
+            );
+        }
+        schedule.validate(n).map_err(|e| ScenarioError::Invalid(format!("fault schedule: {e}")))?;
+        Ok(schedule)
     }
 }
 
@@ -1607,7 +1975,7 @@ run = ["bullshark", "hammerhead"]
         assert_eq!(plan.runs[0].fault_count, 3);
         assert_eq!(plan.runs[1].fault_count, 33);
         // The last validators crash, not the first.
-        assert_eq!(plan.runs[0].config.faults.crashed, vec![7, 8, 9]);
+        assert_eq!(plan.runs[0].config.faults.crashed_nodes(), vec![7, 8, 9]);
     }
 
     #[test]
@@ -1689,7 +2057,100 @@ extra_ms = 800
         let plan = spec.plan(&PlanOptions::default()).unwrap();
         let config = &plan.runs[0].config;
         // n = 10 → one degraded validator, onset at 20s, +800 ms.
-        assert_eq!(config.faults.slowdowns, vec![(0, 20_000_000, 800_000)]);
+        assert_eq!(
+            config.faults.events(),
+            &[hh_sim::FaultEvent::Slowdown {
+                node: 0,
+                from_us: 20_000_000,
+                until_us: u64::MAX,
+                extra_us: 800_000,
+            }]
+        );
+    }
+
+    #[test]
+    fn dynamic_fault_tables_lower_to_a_validated_schedule() {
+        let spec = ScenarioSpec::parse(
+            r#"
+name = "dynamic"
+[committee]
+size = 7
+[run]
+duration_secs = 40
+[[faults.crash]]
+nodes = [3]
+at_secs = 8
+recover_at_secs = 16
+[[faults.partition]]
+isolate_first = 2
+from_frac = 0.5
+until_frac = 0.75
+"#,
+        )
+        .unwrap();
+        let plan = spec.plan(&PlanOptions::default()).unwrap();
+        let config = &plan.runs[0].config;
+        use hh_sim::FaultEvent;
+        assert_eq!(
+            config.faults.events(),
+            &[
+                FaultEvent::Crash { node: 3, at_us: 8_000_000 },
+                FaultEvent::Recover { node: 3, at_us: 16_000_000 },
+                FaultEvent::Partition {
+                    group_a: vec![0, 1],
+                    group_b: vec![2, 3, 4, 5, 6],
+                    from_us: 20_000_000,
+                    until_us: 30_000_000,
+                },
+            ]
+        );
+        assert!(config.faults.has_recoveries());
+        // The mid-run crash counts toward the faults label.
+        assert_eq!(plan.runs[0].fault_count, 1);
+    }
+
+    #[test]
+    fn contradictory_fault_schedules_are_rejected() {
+        // Recovery with no preceding crash.
+        let err =
+            ScenarioSpec::parse("name = \"x\"\n[[faults.recover]]\nnodes = [1]\nat_secs = 5\n")
+                .unwrap()
+                .plan(&PlanOptions::default())
+                .unwrap_err();
+        assert!(err.to_string().contains("without a preceding crash"), "{err}");
+
+        // Recovery scheduled before its crash.
+        let err = ScenarioSpec::parse(
+            "name = \"x\"\n[[faults.crash]]\nnodes = [1]\nat_secs = 20\nrecover_at_secs = 10\n",
+        )
+        .unwrap()
+        .plan(&PlanOptions::default())
+        .unwrap_err();
+        assert!(err.to_string().contains("without a preceding crash"), "{err}");
+
+        // Crashing four of ten at once (f = 3), staggered via mid-run
+        // crashes on top of crash_last.
+        let err = ScenarioSpec::parse(
+            "name = \"x\"\n[faults]\ncrash_last = 3\n[[faults.crash]]\nnodes = [0]\nat_secs = 5\n",
+        )
+        .unwrap()
+        .plan(&PlanOptions::default())
+        .unwrap_err();
+        assert!(err.to_string().contains("exceeds f"), "{err}");
+
+        // A validator on both sides of a partition fails at parse time.
+        let err = ScenarioSpec::parse(
+            "name = \"x\"\n[[faults.partition]]\na = [0, 1]\nb = [1, 2]\nuntil_secs = 5\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("both sides"), "{err}");
+
+        // An inverted same-kind window fails at parse time.
+        let err = ScenarioSpec::parse(
+            "name = \"x\"\n[[faults.partition]]\nisolate_first = 1\nfrom_secs = 9\nuntil_secs = 3\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("empty"), "{err}");
     }
 
     #[test]
@@ -1722,9 +2183,22 @@ crash_last = "n/5"
 [[faults.slowdown]]
 first = 2
 at_frac = 0.5
+until_frac = 0.75
 extra_ms = 100
+[[faults.crash]]
+nodes = [0]
+at_secs = 10
+[[faults.recover]]
+nodes = [0]
+at_secs = 20
+[[faults.partition]]
+a = [0, 1]
+b = [2, 3]
+from_secs = 3
+until_frac = 0.5
 [analysis]
 skipped_rounds = true
+reinclusion = true
 [[analysis.window]]
 name = "late"
 from_frac = 0.5

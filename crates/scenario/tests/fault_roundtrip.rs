@@ -1,0 +1,202 @@
+//! Property tests round-tripping random fault schedules through the
+//! whole declaration pipeline: generated `FaultsSpec` → canonical TOML →
+//! re-parsed `ScenarioSpec` → planned `ExperimentConfig` →
+//! `hh_sim::FaultSchedule` → lowered `hh_net::FaultPlan`.
+//!
+//! Three invariants: the canonical TOML re-parses to an equal spec, the
+//! planned schedule contains exactly the generated events, and the
+//! lowered plan agrees with the schedule on every crash window.
+
+use hh_net::{NodeId, SimTime};
+use hh_scenario::{
+    NodeSel, PartitionEntry, PartitionSel, PlanOptions, ScenarioSpec, SlowdownEntry,
+    TimedFaultEntry, WhenSpec,
+};
+use hh_sim::FaultEvent;
+use proptest::prelude::*;
+
+const DURATION_SECS: u64 = 20;
+
+/// SplitMix64 — drives the shape choices for one case.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next() % bound
+        }
+    }
+}
+
+/// A random instant, quantized so frac and secs forms both resolve
+/// exactly: whole seconds, or quarter fractions of the 20s run.
+fn random_when(rng: &mut Mix, lo_secs: u64, hi_secs: u64) -> WhenSpec {
+    let secs = lo_secs + rng.below(hi_secs.saturating_sub(lo_secs).max(1));
+    if rng.below(3) == 0 && secs.is_multiple_of(5) {
+        WhenSpec::Frac(secs as f64 / DURATION_SECS as f64)
+    } else {
+        WhenSpec::Secs(secs)
+    }
+}
+
+fn base_spec(n: usize) -> ScenarioSpec {
+    ScenarioSpec::parse(&format!(
+        "name = \"fault-roundtrip\"\n[committee]\nsize = {n}\n[run]\nduration_secs = \
+         {DURATION_SECS}\nwarmup_secs = 2\n[network]\nmodel = \"flat\"\n"
+    ))
+    .expect("base spec parses")
+}
+
+/// Generates a valid dynamic fault spec on `n` validators: at most `f`
+/// nodes carry a crash/recover pair (never concurrent beyond `f` since
+/// each recovers before the run ends and crashes never overlap more
+/// than `f` nodes), plus optional slowdowns and one partition.
+fn random_faults(rng: &mut Mix, n: usize, spec: &mut ScenarioSpec) {
+    let f = (n - 1) / 3;
+    let crash_nodes: Vec<u16> = (0..rng.below(f as u64 + 1)).map(|k| k as u16 * 2).collect();
+    for &node in &crash_nodes {
+        // Crash somewhere in [1, 9], recover strictly later in [10, 18].
+        spec.faults
+            .crashes
+            .push(TimedFaultEntry { nodes: NodeSel::Ids(vec![node]), at: random_when(rng, 1, 9) });
+        spec.faults.recovers.push(TimedFaultEntry {
+            nodes: NodeSel::Ids(vec![node]),
+            at: random_when(rng, 10, 18),
+        });
+    }
+    for _ in 0..rng.below(3) {
+        let from = 1 + rng.below(8);
+        spec.faults.slowdowns.push(SlowdownEntry {
+            nodes: NodeSel::Ids(vec![rng.below(n as u64) as u16]),
+            at: WhenSpec::Secs(from),
+            until: if rng.below(2) == 0 {
+                Some(WhenSpec::Secs(from + 1 + rng.below(8)))
+            } else {
+                None
+            },
+            extra_ms: 1 + rng.below(500),
+        });
+    }
+    if rng.below(2) == 0 {
+        let k = 1 + rng.below((n - 1) as u64) as usize;
+        let sel = if rng.below(2) == 0 {
+            PartitionSel::IsolateFirst(hh_scenario::CountExpr::Abs(k as u64))
+        } else {
+            PartitionSel::Groups { a: (0..k as u16).collect(), b: (k as u16..n as u16).collect() }
+        };
+        let from = 1 + rng.below(9);
+        spec.faults.partitions.push(PartitionEntry {
+            sel,
+            from: WhenSpec::Secs(from),
+            until: WhenSpec::Secs(from + 1 + rng.below(9)),
+        });
+    }
+}
+
+/// The µs instant a generated `WhenSpec` resolves to.
+fn resolve(when: WhenSpec) -> u64 {
+    when.resolve_us(DURATION_SECS)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    fn fault_schedules_round_trip_to_the_wire_plan(
+        n in 4usize..11,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Mix(seed);
+        let mut spec = base_spec(n);
+        random_faults(&mut rng, n, &mut spec);
+
+        // TOML round trip: canonical serialization re-parses to equality.
+        let text = spec.to_toml();
+        let again = ScenarioSpec::parse(&text)
+            .unwrap_or_else(|e| panic!("canonical TOML does not re-parse: {e}\n{text}"));
+        prop_assert_eq!(&again, &spec);
+
+        // Planning lowers to a validated FaultSchedule with exactly the
+        // generated events.
+        let plan = spec.plan(&PlanOptions::default())
+            .unwrap_or_else(|e| panic!("valid schedule rejected: {e}\n{text}"));
+        prop_assert_eq!(plan.runs.len(), 1);
+        let schedule = &plan.runs[0].config.faults;
+
+        let mut expected: Vec<FaultEvent> = Vec::new();
+        for entry in &spec.faults.crashes {
+            if let NodeSel::Ids(ids) = &entry.nodes {
+                expected.push(FaultEvent::Crash { node: ids[0], at_us: resolve(entry.at) });
+            }
+        }
+        for entry in &spec.faults.recovers {
+            if let NodeSel::Ids(ids) = &entry.nodes {
+                expected.push(FaultEvent::Recover { node: ids[0], at_us: resolve(entry.at) });
+            }
+        }
+        for entry in &spec.faults.slowdowns {
+            if let NodeSel::Ids(ids) = &entry.nodes {
+                expected.push(FaultEvent::Slowdown {
+                    node: ids[0],
+                    from_us: resolve(entry.at),
+                    until_us: entry.until.map(resolve).unwrap_or(u64::MAX),
+                    extra_us: entry.extra_ms * 1000,
+                });
+            }
+        }
+        for entry in &spec.faults.partitions {
+            let (a, b) = match &entry.sel {
+                PartitionSel::Groups { a, b } => (a.clone(), b.clone()),
+                PartitionSel::IsolateFirst(count) => {
+                    let k = count.resolve(n).min(n - 1);
+                    ((0..k as u16).collect(), (k as u16..n as u16).collect())
+                }
+            };
+            expected.push(FaultEvent::Partition {
+                group_a: a,
+                group_b: b,
+                from_us: resolve(entry.from),
+                until_us: resolve(entry.until),
+            });
+        }
+        prop_assert_eq!(schedule.events(), expected.as_slice());
+
+        // Lowering to the wire plan preserves the crash/recovery events
+        // verbatim and agrees on every crash window.
+        let wire = schedule.to_plan();
+        let crashes: Vec<(u16, u64)> = wire
+            .crashes()
+            .iter()
+            .map(|(node, at)| (node.0 as u16, at.as_micros()))
+            .collect();
+        let schedule_crashes: Vec<(u16, u64)> = schedule
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::Crash { node, at_us } => Some((*node, *at_us)),
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(crashes, schedule_crashes);
+        for node in 0..n as u16 {
+            let mut t = 0u64;
+            while t <= DURATION_SECS * 1_000_000 {
+                prop_assert_eq!(
+                    schedule.crashed_at(node, t),
+                    wire.crashed_at(NodeId(node as usize), SimTime(t)),
+                    "schedule and plan disagree for v{} at {}µs", node, t
+                );
+                t += 500_000;
+            }
+        }
+    }
+}

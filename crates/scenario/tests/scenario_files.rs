@@ -4,7 +4,7 @@
 //! `fig2_faults` binary used.
 
 use hh_scenario::{load_scenario, repo_scenarios_dir, PlanOptions, ScenarioSpec};
-use hh_sim::{run_experiment, ExperimentConfig, FaultSpec, SystemKind};
+use hh_sim::{run_experiment, ExperimentConfig, FaultSchedule, SystemKind};
 use std::path::PathBuf;
 
 fn checked_in_scenarios() -> Vec<PathBuf> {
@@ -15,7 +15,11 @@ fn checked_in_scenarios() -> Vec<PathBuf> {
         .filter(|p| p.extension().is_some_and(|x| x == "toml"))
         .collect();
     files.sort();
-    assert_eq!(files.len(), 7, "expected the seven paper scenarios, found {files:?}");
+    assert_eq!(
+        files.len(),
+        9,
+        "expected the seven paper scenarios plus recovery + partition, found {files:?}"
+    );
     files
 }
 
@@ -68,13 +72,13 @@ fn fig2_scenario_matches_legacy_binary_config() {
     legacy.duration_secs = 15;
     legacy.warmup_secs = 2;
     legacy.seed = 42;
-    legacy.faults = FaultSpec::crash_last(committee, committee / 3).expect("f < n");
+    legacy.faults = FaultSchedule::crash_last(committee, committee / 3).expect("f < n");
 
     assert_eq!(run.config.committee_size, legacy.committee_size);
     assert_eq!(run.config.duration_secs, legacy.duration_secs);
     assert_eq!(run.config.warmup_secs, legacy.warmup_secs);
     assert_eq!(run.config.seed, legacy.seed);
-    assert_eq!(run.config.faults.crashed, legacy.faults.crashed);
+    assert_eq!(run.config.faults.crashed_nodes(), legacy.faults.crashed_nodes());
     assert_eq!(run.config.geo, legacy.geo);
     assert_eq!(run.config.gst_secs, legacy.gst_secs);
     assert_eq!(run.config.client_window_secs, legacy.client_window_secs);

@@ -174,6 +174,11 @@ fn emit(outputs: Vec<Output>, committee_size: usize, ctx: &mut Context<'_, NetMe
             Output::SetTimer { delay_us, token } => {
                 ctx.set_timer(hh_net::Duration::from_micros(delay_us), token);
             }
+            Output::StorageError { .. } => {
+                // The validator has fail-stopped and recorded the fault in
+                // its metrics (`storage_errors`); nothing to route. The
+                // harness keeps the rest of the committee running.
+            }
         }
     }
 }

@@ -2,15 +2,17 @@
 //! rows.
 
 use crate::actor::{Actor, Client};
+use crate::fault_schedule::FaultSchedule;
 use crate::metrics::LatencySummary;
 use crate::sink::MetricsSink;
 use hammerhead::{HammerheadConfig, ScheduleConfig, Validator, ValidatorConfig};
 use hh_consensus::SchedulePolicy;
 use hh_crypto::Digest;
 use hh_net::{
-    Duration, FaultPlan, GeoLatency, LatencyModel, NetworkConfig, NodeId, Region, SimTime,
-    Simulator, SlowdownSpec, REGION_COUNT,
+    Duration, GeoLatency, LatencyModel, NetworkConfig, NodeId, Region, SimTime, Simulator,
+    REGION_COUNT,
 };
+use hh_storage::MemBackend;
 use hh_types::{Committee, ValidatorId};
 
 /// Which system a run benchmarks.
@@ -32,50 +34,6 @@ impl SystemKind {
     }
 }
 
-/// An unrunnable fault specification (e.g. more crashes than
-/// validators).
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct FaultSpecError(String);
-
-impl std::fmt::Display for FaultSpecError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.0)
-    }
-}
-
-impl std::error::Error for FaultSpecError {}
-
-/// Faults injected into a run.
-#[derive(Clone, Debug, Default)]
-pub struct FaultSpec {
-    /// Validators crashed from t=0 (Fig. 2's setting).
-    pub crashed: Vec<u16>,
-    /// Degraded validators: `(validator, start_us, extra_delay_us)` — the
-    /// §1 incident's "less responsive" nodes.
-    pub slowdowns: Vec<(u16, u64, u64)>,
-}
-
-impl FaultSpec {
-    /// Crash the *last* `count` validators from t=0 (keeps leader slots of
-    /// early ids intact, matching "maximum tolerable faults" benchmarks).
-    ///
-    /// Fails when `count >= committee_size`: crashing everyone (or more
-    /// validators than exist) leaves nothing to measure.
-    pub fn crash_last(committee_size: usize, count: usize) -> Result<Self, FaultSpecError> {
-        if count >= committee_size {
-            return Err(FaultSpecError(format!(
-                "crash_last: crashing the last {count} of {committee_size} validators leaves \
-                 no live validator"
-            )));
-        }
-        let first = committee_size - count;
-        Ok(FaultSpec {
-            crashed: (first..committee_size).map(|i| i as u16).collect(),
-            slowdowns: Vec::new(),
-        })
-    }
-}
-
 /// Full description of one benchmark run.
 #[derive(Clone, Debug)]
 pub struct ExperimentConfig {
@@ -92,8 +50,8 @@ pub struct ExperimentConfig {
     pub duration_secs: u64,
     /// Initial window excluded from latency statistics.
     pub warmup_secs: u64,
-    /// Fault injection.
-    pub faults: FaultSpec,
+    /// The fault schedule: crashes, recoveries, slowdowns, partitions.
+    pub faults: FaultSchedule,
     /// Use the 13-region AWS latency matrix (`true`, the paper's setting)
     /// or a flat network (`false`, fast unit tests).
     pub geo: bool,
@@ -130,7 +88,7 @@ impl ExperimentConfig {
             load_tps,
             duration_secs: 60,
             warmup_secs: 10,
-            faults: FaultSpec::default(),
+            faults: FaultSchedule::default(),
             geo: true,
             flat_latency_ms: 5,
             validator_config: None,
@@ -151,7 +109,7 @@ impl ExperimentConfig {
             load_tps: 200,
             duration_secs: 3,
             warmup_secs: 0,
-            faults: FaultSpec::default(),
+            faults: FaultSchedule::default(),
             geo: false,
             flat_latency_ms: 5,
             validator_config: Some(ValidatorConfig {
@@ -213,6 +171,12 @@ pub struct RunResult {
     pub shed: u64,
     /// Highest HammerHead epoch reached (0 for the baseline).
     pub schedule_epochs: u64,
+    /// Restarts executed across live validators (crash-recovery runs).
+    pub restarts: u64,
+    /// Whether any live validator's post-restart recomputation diverged
+    /// from its last durable checkpoint (should never happen; the WAL
+    /// replay tripwire).
+    pub recovery_divergence: bool,
     /// All live validators' commit sequences are prefix-consistent
     /// (Total Order audit — checked on every run).
     pub agreement_ok: bool,
@@ -220,8 +184,20 @@ pub struct RunResult {
     pub chain_hash: Digest,
 }
 
+/// The network round observed when a scheduled recovery fired — the
+/// baseline the re-inclusion analysis measures from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoverySample {
+    /// The recovered validator.
+    pub validator: u16,
+    /// Recovery instant (µs).
+    pub at_us: u64,
+    /// Highest DAG round across validators at that instant.
+    pub network_round: u64,
+}
+
 /// A built simulation plus its committee, for tests that need to drive the
-/// run manually (mid-run crashes, recoveries, custom assertions).
+/// run manually (custom fault timing, bespoke assertions).
 pub struct SimHandle {
     /// The underlying simulator; validators occupy ids `0..n_validators`.
     pub sim: Simulator<Actor>,
@@ -229,6 +205,10 @@ pub struct SimHandle {
     pub committee: Committee,
     /// Number of validator nodes.
     pub n_validators: usize,
+    /// One sample per scheduled recovery, filled as the drivers pass each
+    /// recovery instant (empty until then, and for schedules without
+    /// recoveries).
+    pub recovery_samples: Vec<RecoverySample>,
 }
 
 impl SimHandle {
@@ -240,17 +220,36 @@ impl SimHandle {
     pub fn validator(&self, i: usize) -> &Validator<hh_storage::MemBackend> {
         self.sim.node(NodeId(i)).as_validator().expect("node is a validator")
     }
+
+    /// Records the network round for every recovery scheduled at exactly
+    /// `at_us` (call after the simulator has processed that instant).
+    fn sample_recoveries(&mut self, config: &ExperimentConfig, at_us: u64) {
+        let network_round =
+            (0..self.n_validators).map(|i| self.validator(i).current_round().0).max().unwrap_or(0);
+        for (validator, t) in config.faults.recoveries() {
+            if t == at_us {
+                self.recovery_samples.push(RecoverySample { validator, at_us, network_round });
+            }
+        }
+    }
 }
 
 /// Builds the simulation described by `config` without running it.
+///
+/// Schedules containing recovery events wire every validator to a
+/// WAL-backed [`hh_storage::ValidatorStore`] (over a [`MemBackend`]
+/// whose handle survives the crash), so a scheduled recovery replays
+/// `Validator::on_restart` from real persisted state instead of
+/// restarting empty.
 pub fn build_sim(config: &ExperimentConfig) -> SimHandle {
     let n = config.committee_size;
     let committee = Committee::new_equal_stake(n);
     let validator_config = config.derive_validator_config();
 
-    let live: Vec<usize> =
-        (0..n).filter(|i| !config.faults.crashed.contains(&(*i as u16))).collect();
+    // Clients attach to validators that are up at t=0.
+    let live: Vec<usize> = config.faults.live_at(n, 0);
     assert!(!live.is_empty(), "at least one live validator required");
+    let persist = config.faults.has_recoveries();
 
     // Validators at ids 0..n, one client per live validator above them.
     let mut actors: Vec<Actor> = (0..n)
@@ -259,7 +258,7 @@ pub fn build_sim(config: &ExperimentConfig) -> SimHandle {
                 committee.clone(),
                 ValidatorId(i as u16),
                 validator_config.clone(),
-                None,
+                persist.then(MemBackend::new),
             )))
         })
         .collect();
@@ -287,25 +286,14 @@ pub fn build_sim(config: &ExperimentConfig) -> SimHandle {
         LatencyModel::Constant(Duration::from_millis(config.flat_latency_ms))
     };
 
-    let mut faults = FaultPlan::new()
-        .crash_from_start(config.faults.crashed.iter().map(|i| NodeId(*i as usize)));
-    for (v, from_us, extra_us) in &config.faults.slowdowns {
-        faults = faults.slowdown(SlowdownSpec {
-            node: NodeId(*v as usize),
-            from: SimTime(*from_us),
-            until: SimTime::MAX,
-            extra: Duration::from_micros(*extra_us),
-        });
-    }
-
     let net = NetworkConfig {
         latency,
-        faults,
+        faults: config.faults.to_plan(),
         gst: SimTime::from_secs(config.gst_secs),
         ..NetworkConfig::default()
     };
     let sim = Simulator::new(actors, net, config.seed);
-    SimHandle { sim, committee, n_validators: n }
+    SimHandle { sim, committee, n_validators: n, recovery_samples: Vec::new() }
 }
 
 /// When a run stops (see [`run_experiment_limited`]).
@@ -337,9 +325,35 @@ pub fn run_experiment_limited(config: &ExperimentConfig, limit: RunLimit) -> Run
     collect_metrics(config, &handle, end_us)
 }
 
-/// The non-crashed validator indices of a run.
-fn live_validators(config: &ExperimentConfig, n_validators: usize) -> Vec<usize> {
-    (0..n_validators).filter(|i| !config.faults.crashed.contains(&(*i as u16))).collect()
+/// The validator indices the streaming drivers may safely drain mid-run:
+/// not crashed at any point through the configured cap, so no record of
+/// a validator that later turns out to be crashed-at-stop ever reaches
+/// the sink. The metrics collectors use [`FaultSchedule::live_at`] at
+/// the *actual* stop time instead — a run stopped before a scheduled
+/// crash counts that (never-crashed) validator as live.
+fn drainable_validators(config: &ExperimentConfig, n_validators: usize) -> Vec<usize> {
+    config.faults.live_at(n_validators, config.duration_secs.saturating_mul(1_000_000))
+}
+
+/// The scheduled recovery instants at or below `cap_us`, ascending and
+/// deduplicated — extra driver boundaries so the network round can be
+/// sampled at exactly each recovery.
+fn recovery_times(config: &ExperimentConfig, cap_us: u64) -> Vec<u64> {
+    let mut times: Vec<u64> =
+        config.faults.recoveries().iter().map(|(_, t)| *t).filter(|t| *t <= cap_us).collect();
+    times.sort_unstable();
+    times.dedup();
+    times
+}
+
+/// The next driver stop: the following 250 ms grid point, the next
+/// scheduled recovery, or the cap — whichever comes first. Slicing
+/// `run_until` never reorders events, so boundary choice cannot change
+/// results; it only controls where sampling and draining happen.
+fn next_boundary(now_us: u64, cap_us: u64, slice_us: u64, recoveries: &[u64]) -> u64 {
+    let grid = ((now_us / slice_us) + 1) * slice_us;
+    let recovery = recoveries.iter().copied().find(|t| *t > now_us).unwrap_or(u64::MAX);
+    grid.min(recovery).min(cap_us)
 }
 
 /// Builds and drives the simulation until `limit`, returning the live
@@ -352,18 +366,35 @@ fn live_validators(config: &ExperimentConfig, n_validators: usize) -> Vec<usize>
 pub fn run_sim_limited(config: &ExperimentConfig, limit: RunLimit) -> (SimHandle, u64) {
     let mut handle = build_sim(config);
     let cap = SimTime::from_secs(config.duration_secs);
+    let cap_us = cap.as_micros();
+    let recoveries = recovery_times(config, cap_us);
     let end_us = match limit {
         RunLimit::Duration => {
+            // Stop at each recovery instant only to sample the network
+            // round; event processing is identical to a single-shot drive.
+            for &t in &recoveries {
+                handle.sim.run_until(SimTime(t));
+                handle.sample_recoveries(config, t);
+            }
             handle.sim.run_until(cap);
-            cap.as_micros()
+            cap_us
         }
         RunLimit::Rounds(target) => {
-            let live = live_validators(config, handle.n_validators);
+            let live = drainable_validators(config, handle.n_validators);
             let slice_us = 250_000u64;
             let mut now_us = 0u64;
-            while now_us < cap.as_micros() {
-                now_us = (now_us + slice_us).min(cap.as_micros());
+            // A recovery at t=0 is a boundary the loop below never
+            // visits (it only moves forward from 0).
+            if recoveries.first() == Some(&0) {
+                handle.sim.run_until(SimTime(0));
+                handle.sample_recoveries(config, 0);
+            }
+            while now_us < cap_us {
+                now_us = next_boundary(now_us, cap_us, slice_us, &recoveries);
                 handle.sim.run_until(SimTime(now_us));
+                if recoveries.binary_search(&now_us).is_ok() {
+                    handle.sample_recoveries(config, now_us);
+                }
                 let best =
                     live.iter().map(|i| handle.validator(*i).current_round().0).max().unwrap_or(0);
                 if best >= target {
@@ -397,16 +428,25 @@ pub fn run_sim_streaming(
 ) -> (SimHandle, u64) {
     let mut handle = build_sim(config);
     let cap = SimTime::from_secs(config.duration_secs);
-    let live = live_validators(config, handle.n_validators);
+    let cap_us = cap.as_micros();
+    let recoveries = recovery_times(config, cap_us);
+    let live = drainable_validators(config, handle.n_validators);
     let round_target = match limit {
         RunLimit::Duration => None,
         RunLimit::Rounds(target) => Some(target),
     };
     let slice_us = 250_000u64;
     let mut now_us = 0u64;
-    while now_us < cap.as_micros() {
-        now_us = (now_us + slice_us).min(cap.as_micros());
+    if recoveries.first() == Some(&0) {
+        handle.sim.run_until(SimTime(0));
+        handle.sample_recoveries(config, 0);
+    }
+    while now_us < cap_us {
+        now_us = next_boundary(now_us, cap_us, slice_us, &recoveries);
         handle.sim.run_until(SimTime(now_us));
+        if recoveries.binary_search(&now_us).is_ok() {
+            handle.sample_recoveries(config, now_us);
+        }
         for &i in &live {
             let records = handle
                 .sim
@@ -426,6 +466,22 @@ pub fn run_sim_streaming(
             }
         }
     }
+    // A run that stopped before a scheduled crash leaves that (healthy)
+    // validator outside the conservative drain set; it counts as live at
+    // the actual stop, so pick up its buffered records now.
+    for i in config.faults.live_at(handle.n_validators, now_us) {
+        if !live.contains(&i) {
+            let records = handle
+                .sim
+                .node_mut(NodeId(i))
+                .as_validator_mut()
+                .expect("node is a validator")
+                .take_exec_records();
+            for rec in &records {
+                sink.observe(rec, now_us);
+            }
+        }
+    }
     (handle, now_us)
 }
 
@@ -439,18 +495,24 @@ pub fn collect_streamed_metrics(
     sink: &mut MetricsSink,
 ) -> RunResult {
     sink.finalize(end_us);
-    let live = live_validators(config, handle.n_validators);
+    // Live at the *actual* stop: a run stopped before a scheduled crash
+    // counts that (never-crashed) validator.
+    let live = config.faults.live_at(handle.n_validators, end_us);
 
     let mut commits = 0u64;
     let mut leader_timeouts = 0u64;
     let mut shed = 0u64;
     let mut epochs = 0u64;
+    let mut restarts = 0u64;
+    let mut recovery_divergence = false;
     for &i in &live {
         let v = handle.validator(i);
         let m = v.metrics();
         leader_timeouts += m.leader_timeouts;
         shed += m.txs_shed;
         commits = commits.max(v.commit_count());
+        restarts += m.restarts;
+        recovery_divergence |= m.recovery_divergence;
         if let Some(p) = v.hammerhead_policy() {
             epochs = epochs.max(p.epoch());
         }
@@ -498,6 +560,8 @@ pub fn collect_streamed_metrics(
         client_skipped,
         shed,
         schedule_epochs: epochs,
+        restarts,
+        recovery_divergence,
         agreement_ok,
         chain_hash,
     }
@@ -513,7 +577,7 @@ pub fn collect_streamed_metrics(
 /// during the run.
 pub fn collect_metrics(config: &ExperimentConfig, handle: &SimHandle, end_us: u64) -> RunResult {
     let mut sink = MetricsSink::new(config.warmup_secs * 1_000_000);
-    for &i in &live_validators(config, handle.n_validators) {
+    for i in config.faults.live_at(handle.n_validators, end_us) {
         for rec in &handle.validator(i).metrics().exec_records {
             sink.observe(rec, end_us);
         }
@@ -551,7 +615,7 @@ mod tests {
         let mut base = ExperimentConfig::quick_test(SystemKind::Bullshark);
         base.committee_size = 4;
         base.duration_secs = 8;
-        base.faults = FaultSpec::crash_last(4, 1).expect("1 of 4 is a valid crash spec");
+        base.faults = FaultSchedule::crash_last(4, 1).expect("1 of 4 is a valid crash spec");
 
         let bullshark = run_experiment(&base);
 
@@ -591,11 +655,113 @@ mod tests {
     fn crash_last_rejects_oversized_counts_instead_of_panicking() {
         // Regression: `count > committee_size` used to underflow
         // `committee_size - count` and panic in release-unfriendly ways.
-        assert!(FaultSpec::crash_last(4, 5).is_err());
-        assert!(FaultSpec::crash_last(4, 4).is_err(), "crashing everyone is unrunnable too");
-        assert!(FaultSpec::crash_last(0, 0).is_err());
-        let ok = FaultSpec::crash_last(4, 1).expect("valid spec");
-        assert_eq!(ok.crashed, vec![3]);
+        assert!(FaultSchedule::crash_last(4, 5).is_err());
+        assert!(FaultSchedule::crash_last(4, 4).is_err(), "crashing everyone is unrunnable too");
+        assert!(FaultSchedule::crash_last(0, 0).is_err());
+        let ok = FaultSchedule::crash_last(4, 1).expect("valid spec");
+        assert_eq!(ok.crashed_nodes(), vec![3]);
+    }
+
+    #[test]
+    fn mid_run_crash_recovers_via_wal_replay() {
+        // One validator crashes mid-run and recovers: the run must wire a
+        // WAL-backed store, execute `on_restart`, replay without
+        // divergence, and keep Total Order across the whole committee.
+        let mut config = ExperimentConfig::quick_test(SystemKind::Hammerhead);
+        config.duration_secs = 6;
+        config.faults = FaultSchedule::new().crash(3, 1_500_000).recover(3, 3_000_000);
+        config.faults.validate(config.committee_size).expect("runnable schedule");
+
+        let (handle, end_us) = run_sim_limited(&config, RunLimit::Duration);
+        let r = collect_metrics(&config, &handle, end_us);
+        assert!(r.agreement_ok, "recovered validator must stay prefix-consistent");
+        assert_eq!(r.restarts, 1, "exactly one restart scheduled");
+        assert!(!r.recovery_divergence, "WAL replay must match the checkpoint");
+        assert!(r.commits > 10);
+
+        // The recovery instant was sampled with a sensible network round.
+        assert_eq!(handle.recovery_samples.len(), 1);
+        let sample = handle.recovery_samples[0];
+        assert_eq!(sample.validator, 3);
+        assert_eq!(sample.at_us, 3_000_000);
+        assert!(sample.network_round > 0);
+
+        // The recovered validator kept committing after its restart: its
+        // commit count must be close to the most advanced validator's.
+        let recovered = handle.validator(3);
+        assert_eq!(recovered.metrics().restarts, 1);
+        assert!(
+            recovered.commit_count() * 2 > r.commits,
+            "recovered validator resynced ({} of {} commits)",
+            recovered.commit_count(),
+            r.commits
+        );
+    }
+
+    #[test]
+    fn partition_buffers_and_heals() {
+        // Isolating one validator for a second must not violate safety,
+        // and the isolated validator catches back up after the heal.
+        let mut config = ExperimentConfig::quick_test(SystemKind::Bullshark);
+        config.duration_secs = 6;
+        config.faults =
+            FaultSchedule::new().partition(vec![0], vec![1, 2, 3], 1_000_000, 2_000_000);
+        config.faults.validate(config.committee_size).expect("runnable schedule");
+        let r = run_experiment(&config);
+        assert!(r.agreement_ok);
+        assert!(r.commits > 10, "commits: {}", r.commits);
+        assert_eq!(r.restarts, 0);
+    }
+
+    #[test]
+    fn early_stop_counts_validators_whose_crash_never_happened() {
+        // A crash scheduled just before the cap, with a Rounds limit that
+        // stops long before it: the validator was healthy for the whole
+        // actual run, so it must be counted live — by both collectors,
+        // identically.
+        let mut config = ExperimentConfig::quick_test(SystemKind::Bullshark);
+        config.duration_secs = 30;
+        config.faults = FaultSchedule::new().crash(3, 29_000_000);
+
+        let (handle, end_us) = run_sim_limited(&config, RunLimit::Rounds(10));
+        assert!(end_us < 29_000_000, "the run stopped before the scheduled crash");
+        let buffered = collect_metrics(&config, &handle, end_us);
+        // v3's exec records were consumed by the collector — live at stop.
+        assert!(!handle.validator(3).committed_anchors().is_empty());
+
+        let mut sink = crate::MetricsSink::new(config.warmup_secs * 1_000_000);
+        let (handle2, end_us2) = run_sim_streaming(&config, RunLimit::Rounds(10), &mut sink);
+        let streamed = collect_streamed_metrics(&config, &handle2, end_us2, &mut sink);
+        assert_eq!(end_us, end_us2);
+        assert_eq!(buffered.latency, streamed.latency);
+        assert_eq!(buffered.throughput_tps, streamed.throughput_tps);
+        assert_eq!(buffered.submitted, streamed.submitted);
+        // The late drain picked up v3's buffered records.
+        assert!(handle2.validator(3).metrics().exec_records.is_empty());
+        assert!(streamed.latency.count > 0);
+    }
+
+    #[test]
+    fn streaming_matches_buffered_for_recovery_runs() {
+        // The extra recovery boundaries in the streaming driver must not
+        // change a single metric relative to the buffered path.
+        let mut config = ExperimentConfig::quick_test(SystemKind::Hammerhead);
+        config.duration_secs = 5;
+        config.faults = FaultSchedule::new().crash(2, 1_100_000).recover(2, 2_700_000);
+
+        let (handle, end_us) = run_sim_limited(&config, RunLimit::Duration);
+        let buffered = collect_metrics(&config, &handle, end_us);
+
+        let mut sink = crate::MetricsSink::new(config.warmup_secs * 1_000_000);
+        let (handle2, end_us2) = run_sim_streaming(&config, RunLimit::Duration, &mut sink);
+        let streamed = collect_streamed_metrics(&config, &handle2, end_us2, &mut sink);
+
+        assert_eq!(buffered.chain_hash, streamed.chain_hash);
+        assert_eq!(buffered.commits, streamed.commits);
+        assert_eq!(buffered.throughput_tps, streamed.throughput_tps);
+        assert_eq!(buffered.latency, streamed.latency);
+        assert_eq!(buffered.restarts, streamed.restarts);
+        assert_eq!(handle.recovery_samples, handle2.recovery_samples);
     }
 
     #[test]

@@ -1,0 +1,522 @@
+//! The unified fault schedule: one ordered timeline of crash, recovery,
+//! slowdown and partition events for a run.
+//!
+//! This is the single fault model flowing through every layer: scenario
+//! files parse into it (via `hh-scenario`), [`FaultSchedule::validate`]
+//! rejects unrunnable timelines up front, and
+//! [`FaultSchedule::to_plan`] lowers it to the network simulator's
+//! [`FaultPlan`] for execution. The experiment harness reads the same
+//! schedule to decide which validators carry persistent storage (runs
+//! with recoveries get a WAL-backed store so
+//! `hammerhead::Validator::on_restart` has something to replay), which
+//! validators count as live for metrics, and when to sample the network
+//! round for the re-inclusion analysis.
+//!
+//! All times are microseconds of simulated time.
+
+use hh_net::{Duration, FaultPlan, NodeId, PartitionSpec, SimTime, SlowdownSpec};
+use std::fmt;
+
+/// One timed fault event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// `node` stops processing messages and timers at `at_us`.
+    Crash {
+        /// The crashing validator.
+        node: u16,
+        /// Crash instant (µs).
+        at_us: u64,
+    },
+    /// `node` restarts at `at_us`: volatile state is dropped and rebuilt
+    /// from its persistent store (`Validator::on_restart`).
+    Recover {
+        /// The restarting validator.
+        node: u16,
+        /// Restart instant (µs).
+        at_us: u64,
+    },
+    /// Messages to and from `node` gain `extra_us` one-way delay during
+    /// `[from_us, until_us)`.
+    Slowdown {
+        /// The degraded validator.
+        node: u16,
+        /// Window start (inclusive, µs).
+        from_us: u64,
+        /// Window end (exclusive, µs); `u64::MAX` for "until the end".
+        until_us: u64,
+        /// Extra one-way delay (µs).
+        extra_us: u64,
+    },
+    /// Messages between `group_a` and `group_b` are buffered during
+    /// `[from_us, until_us)` and delivered after the heal.
+    Partition {
+        /// One side of the cut.
+        group_a: Vec<u16>,
+        /// The other side; validators in neither group talk to everyone.
+        group_b: Vec<u16>,
+        /// Window start (inclusive, µs).
+        from_us: u64,
+        /// Heal time (exclusive, µs).
+        until_us: u64,
+    },
+}
+
+/// An unrunnable fault schedule (contradictory or liveness-destroying).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultScheduleError(String);
+
+impl fmt::Display for FaultScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for FaultScheduleError {}
+
+/// The full fault schedule of a run: an ordered list of [`FaultEvent`]s.
+///
+/// Event order is preserved through lowering, so two schedules with the
+/// same events in the same order produce bit-identical simulations.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Appends a crash event.
+    #[must_use]
+    pub fn crash(mut self, node: u16, at_us: u64) -> Self {
+        self.events.push(FaultEvent::Crash { node, at_us });
+        self
+    }
+
+    /// Crashes `nodes` at simulation start (the Fig. 2 configuration).
+    #[must_use]
+    pub fn crash_from_start<I: IntoIterator<Item = u16>>(mut self, nodes: I) -> Self {
+        for node in nodes {
+            self.events.push(FaultEvent::Crash { node, at_us: 0 });
+        }
+        self
+    }
+
+    /// Appends a recovery event.
+    #[must_use]
+    pub fn recover(mut self, node: u16, at_us: u64) -> Self {
+        self.events.push(FaultEvent::Recover { node, at_us });
+        self
+    }
+
+    /// Appends a bounded slowdown window.
+    #[must_use]
+    pub fn slowdown(mut self, node: u16, from_us: u64, until_us: u64, extra_us: u64) -> Self {
+        self.events.push(FaultEvent::Slowdown { node, from_us, until_us, extra_us });
+        self
+    }
+
+    /// Appends an open-ended slowdown (degraded until the end of the run)
+    /// — the §1 incident's shape.
+    #[must_use]
+    pub fn slowdown_from(self, node: u16, from_us: u64, extra_us: u64) -> Self {
+        self.slowdown(node, from_us, u64::MAX, extra_us)
+    }
+
+    /// Appends a partition window.
+    #[must_use]
+    pub fn partition(
+        mut self,
+        group_a: Vec<u16>,
+        group_b: Vec<u16>,
+        from_us: u64,
+        until_us: u64,
+    ) -> Self {
+        self.events.push(FaultEvent::Partition { group_a, group_b, from_us, until_us });
+        self
+    }
+
+    /// Crash the *last* `count` validators from t=0 (keeps leader slots of
+    /// early ids intact, matching "maximum tolerable faults" benchmarks).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `count >= committee_size`: crashing everyone (or more
+    /// validators than exist) leaves nothing to measure.
+    pub fn crash_last(committee_size: usize, count: usize) -> Result<Self, FaultScheduleError> {
+        if count >= committee_size {
+            return Err(FaultScheduleError(format!(
+                "crash_last: crashing the last {count} of {committee_size} validators leaves \
+                 no live validator"
+            )));
+        }
+        let first = committee_size - count;
+        Ok(FaultSchedule::new().crash_from_start((first..committee_size).map(|i| i as u16)))
+    }
+
+    /// Whether the schedule contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Whether any recovery event is scheduled (such runs get WAL-backed
+    /// validator stores so `on_restart` has state to replay).
+    pub fn has_recoveries(&self) -> bool {
+        self.events.iter().any(|e| matches!(e, FaultEvent::Recover { .. }))
+    }
+
+    /// Recovery events as `(validator, at_us)`, in insertion order.
+    pub fn recoveries(&self) -> Vec<(u16, u64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::Recover { node, at_us } => Some((*node, *at_us)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Distinct validators with a crash event anywhere on the timeline,
+    /// ascending (the run's fault count).
+    pub fn crashed_nodes(&self) -> Vec<u16> {
+        let mut nodes: Vec<u16> = self
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::Crash { node, .. } => Some(*node),
+                _ => None,
+            })
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Whether `node` is crashed at `t_us`: crashed at or before, with no
+    /// recovery at or after that crash up to `t_us`.
+    ///
+    /// These are the same window semantics [`FaultPlan::crashed_at`]
+    /// implements over its sorted index — the simulator and the metrics
+    /// layer must agree on who is down. The equivalence is pinned by
+    /// `schedule_and_plan_agree_on_crash_windows` below and sampled
+    /// across random schedules by the `fault_roundtrip` property test;
+    /// change either side only in lockstep.
+    pub fn crashed_at(&self, node: u16, t_us: u64) -> bool {
+        let last_crash = self
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::Crash { node: n, at_us } if *n == node && *at_us <= t_us => {
+                    Some(*at_us)
+                }
+                _ => None,
+            })
+            .max();
+        let Some(crash_us) = last_crash else {
+            return false;
+        };
+        !self.events.iter().any(|e| {
+            matches!(e, FaultEvent::Recover { node: n, at_us }
+                if *n == node && *at_us >= crash_us && *at_us <= t_us)
+        })
+    }
+
+    /// Validator indices not crashed at `t_us`, ascending.
+    pub fn live_at(&self, committee_size: usize, t_us: u64) -> Vec<usize> {
+        (0..committee_size).filter(|i| !self.crashed_at(*i as u16, t_us)).collect()
+    }
+
+    /// Checks the schedule against a committee of `committee_size`:
+    ///
+    /// * every referenced validator exists;
+    /// * no contradictory crash/recovery sequencing — a recovery must
+    ///   follow a crash of the same node, and a node cannot crash twice
+    ///   without recovering in between;
+    /// * at most `f = (n - 1) / 3` validators are crashed at any instant
+    ///   (beyond that the protocol cannot commit and the run measures
+    ///   nothing);
+    /// * partitions have disjoint non-empty groups and non-empty windows;
+    /// * slowdowns have positive delay and non-empty windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FaultScheduleError`] naming the first violation.
+    pub fn validate(&self, committee_size: usize) -> Result<(), FaultScheduleError> {
+        let n = committee_size;
+        let in_range = |node: u16| -> Result<(), FaultScheduleError> {
+            if node as usize >= n {
+                return Err(FaultScheduleError(format!(
+                    "validator {node} is outside the committee of {n}"
+                )));
+            }
+            Ok(())
+        };
+
+        // Per-node crash/recovery sequencing.
+        let mut transitions: Vec<(u16, u64, bool)> = Vec::new(); // (node, at, is_crash)
+        for event in &self.events {
+            match event {
+                FaultEvent::Crash { node, at_us } => {
+                    in_range(*node)?;
+                    transitions.push((*node, *at_us, true));
+                }
+                FaultEvent::Recover { node, at_us } => {
+                    in_range(*node)?;
+                    transitions.push((*node, *at_us, false));
+                }
+                FaultEvent::Slowdown { node, from_us, until_us, extra_us } => {
+                    in_range(*node)?;
+                    if *extra_us == 0 {
+                        return Err(FaultScheduleError(format!(
+                            "slowdown of validator {node} has zero extra delay"
+                        )));
+                    }
+                    if *until_us <= *from_us {
+                        return Err(FaultScheduleError(format!(
+                            "slowdown window of validator {node} is empty \
+                             ({from_us}µs..{until_us}µs)"
+                        )));
+                    }
+                }
+                FaultEvent::Partition { group_a, group_b, from_us, until_us } => {
+                    if group_a.is_empty() || group_b.is_empty() {
+                        return Err(FaultScheduleError(
+                            "partition groups must both be non-empty".into(),
+                        ));
+                    }
+                    for node in group_a.iter().chain(group_b) {
+                        in_range(*node)?;
+                    }
+                    if let Some(shared) = group_a.iter().find(|x| group_b.contains(x)) {
+                        return Err(FaultScheduleError(format!(
+                            "validator {shared} is on both sides of a partition"
+                        )));
+                    }
+                    if *until_us <= *from_us {
+                        return Err(FaultScheduleError(format!(
+                            "partition window is empty ({from_us}µs..{until_us}µs)"
+                        )));
+                    }
+                }
+            }
+        }
+
+        // Sequencing: sort per node by time (a crash and recovery at the
+        // same instant order crash-first, a zero-length outage) and require
+        // strict crash/recover alternation starting with a crash.
+        transitions.sort_by_key(|(node, at, is_crash)| (*node, *at, !*is_crash));
+        let mut k = 0;
+        while k < transitions.len() {
+            let node = transitions[k].0;
+            let mut down = false;
+            while k < transitions.len() && transitions[k].0 == node {
+                let (_, at, is_crash) = transitions[k];
+                match (is_crash, down) {
+                    (true, true) => {
+                        return Err(FaultScheduleError(format!(
+                            "validator {node} crashes again at {at}µs without recovering first"
+                        )))
+                    }
+                    (false, false) => {
+                        return Err(FaultScheduleError(format!(
+                            "validator {node} recovers at {at}µs without a preceding crash"
+                        )))
+                    }
+                    (true, false) => down = true,
+                    (false, true) => down = false,
+                }
+                k += 1;
+            }
+        }
+
+        // Concurrency sweep: at no instant may more than f validators be
+        // down. A recovery at t frees its node at t (window semantics), so
+        // process recoveries before crashes at equal times.
+        let f = n.saturating_sub(1) / 3;
+        let mut sweep: Vec<(u64, bool)> =
+            transitions.iter().map(|(_, at, is_crash)| (*at, *is_crash)).collect();
+        sweep.sort_by_key(|(at, is_crash)| (*at, *is_crash));
+        let mut down = 0usize;
+        for (at, is_crash) in sweep {
+            if is_crash {
+                down += 1;
+                if down > f {
+                    return Err(FaultScheduleError(format!(
+                        "{down} validators crashed at once at {at}µs exceeds f = {f} for a \
+                         committee of {n}"
+                    )));
+                }
+            } else {
+                down = down.saturating_sub(1);
+            }
+        }
+        Ok(())
+    }
+
+    /// Lowers the schedule to the network simulator's [`FaultPlan`],
+    /// preserving event order (the simulator's event sequence numbers
+    /// follow it).
+    pub fn to_plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        for event in &self.events {
+            match event {
+                FaultEvent::Crash { node, at_us } => {
+                    plan = plan.crash(NodeId(*node as usize), SimTime(*at_us));
+                }
+                FaultEvent::Recover { node, at_us } => {
+                    plan = plan.recover(NodeId(*node as usize), SimTime(*at_us));
+                }
+                FaultEvent::Slowdown { node, from_us, until_us, extra_us } => {
+                    plan = plan.slowdown(SlowdownSpec {
+                        node: NodeId(*node as usize),
+                        from: SimTime(*from_us),
+                        until: SimTime(*until_us),
+                        extra: Duration::from_micros(*extra_us),
+                    });
+                }
+                FaultEvent::Partition { group_a, group_b, from_us, until_us } => {
+                    plan = plan.partition(PartitionSpec {
+                        group_a: group_a.iter().map(|i| NodeId(*i as usize)).collect(),
+                        group_b: group_b.iter().map(|i| NodeId(*i as usize)).collect(),
+                        from: SimTime(*from_us),
+                        until: SimTime(*until_us),
+                    });
+                }
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_last_crashes_the_tail() {
+        let s = FaultSchedule::crash_last(10, 3).expect("valid");
+        assert_eq!(s.crashed_nodes(), vec![7, 8, 9]);
+        assert!(s.crashed_at(8, 0));
+        assert!(!s.crashed_at(0, 0));
+        assert_eq!(s.live_at(10, 0), vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn crash_last_rejects_oversized_counts() {
+        assert!(FaultSchedule::crash_last(4, 5).is_err());
+        assert!(FaultSchedule::crash_last(4, 4).is_err());
+        assert!(FaultSchedule::crash_last(0, 0).is_err());
+    }
+
+    #[test]
+    fn recovery_windows_flow_into_liveness() {
+        let s = FaultSchedule::new().crash(2, 5_000_000).recover(2, 9_000_000);
+        assert!(!s.crashed_at(2, 4_999_999));
+        assert!(s.crashed_at(2, 5_000_000));
+        assert!(s.crashed_at(2, 8_999_999));
+        assert!(!s.crashed_at(2, 9_000_000));
+        assert_eq!(s.live_at(4, 6_000_000), vec![0, 1, 3]);
+        assert_eq!(s.live_at(4, 10_000_000), vec![0, 1, 2, 3]);
+        assert!(s.has_recoveries());
+        assert_eq!(s.recoveries(), vec![(2, 9_000_000)]);
+    }
+
+    #[test]
+    fn validate_accepts_a_full_dynamic_schedule() {
+        let s = FaultSchedule::new()
+            .crash(3, 2_000_000)
+            .recover(3, 6_000_000)
+            .crash(3, 9_000_000)
+            .recover(3, 12_000_000)
+            .slowdown_from(1, 4_000_000, 300_000)
+            .partition(vec![0, 1], vec![2, 3, 4, 5, 6], 3_000_000, 5_000_000);
+        assert!(s.validate(7).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_recover_before_crash() {
+        let s = FaultSchedule::new().recover(1, 5_000_000);
+        let err = s.validate(4).unwrap_err().to_string();
+        assert!(err.contains("without a preceding crash"), "{err}");
+
+        let s = FaultSchedule::new().crash(1, 8_000_000).recover(1, 5_000_000);
+        let err = s.validate(4).unwrap_err().to_string();
+        assert!(err.contains("without a preceding crash"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_double_crash() {
+        let s = FaultSchedule::new().crash(1, 1_000_000).crash(1, 2_000_000);
+        let err = s.validate(7).unwrap_err().to_string();
+        assert!(err.contains("crashes again"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_more_than_f_concurrent_crashes() {
+        // n = 7 → f = 2; three validators down at once is unrunnable ...
+        let s = FaultSchedule::new().crash(0, 0).crash(1, 0).crash(2, 1_000_000);
+        let err = s.validate(7).unwrap_err().to_string();
+        assert!(err.contains("exceeds f = 2"), "{err}");
+        // ... but fine once staggered around a recovery.
+        let s =
+            FaultSchedule::new().crash(0, 0).crash(1, 0).recover(0, 500_000).crash(2, 1_000_000);
+        assert!(s.validate(7).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_partitions_and_ranges() {
+        let overlap = FaultSchedule::new().partition(vec![0, 1], vec![1, 2], 0, 1_000_000);
+        assert!(overlap.validate(4).unwrap_err().to_string().contains("both sides"));
+
+        let empty = FaultSchedule::new().partition(vec![], vec![1], 0, 1_000_000);
+        assert!(empty.validate(4).is_err());
+
+        let inverted = FaultSchedule::new().partition(vec![0], vec![1], 2_000_000, 1_000_000);
+        assert!(inverted.validate(4).unwrap_err().to_string().contains("empty"));
+
+        let out_of_range = FaultSchedule::new().crash(9, 0);
+        assert!(out_of_range.validate(4).unwrap_err().to_string().contains("outside"));
+    }
+
+    #[test]
+    fn lowering_preserves_event_order_and_windows() {
+        let s = FaultSchedule::new()
+            .crash_from_start([2, 3])
+            .recover(3, 7_000_000)
+            .slowdown_from(1, 1_000_000, 250_000)
+            .partition(vec![0], vec![1], 2_000_000, 4_000_000);
+        let plan = s.to_plan();
+        assert_eq!(plan.crashes(), &[(NodeId(2), SimTime::ZERO), (NodeId(3), SimTime::ZERO)]);
+        assert_eq!(plan.recoveries(), &[(NodeId(3), SimTime(7_000_000))]);
+        assert!(plan.crashed_at(NodeId(2), SimTime(8_000_000)));
+        assert!(!plan.crashed_at(NodeId(3), SimTime(8_000_000)));
+        assert_eq!(
+            plan.slowdown_delay(NodeId(1), NodeId(0), SimTime(1_500_000)),
+            Duration::from_micros(250_000)
+        );
+        assert_eq!(
+            plan.partition_release(NodeId(0), NodeId(1), SimTime(3_000_000)),
+            Some(SimTime(4_000_000))
+        );
+    }
+
+    #[test]
+    fn schedule_and_plan_agree_on_crash_windows() {
+        let s = FaultSchedule::new().crash(1, 3_000_000).recover(1, 6_000_000).crash(1, 9_000_000);
+        let plan = s.to_plan();
+        for t in [0u64, 3_000_000, 4_500_000, 6_000_000, 8_999_999, 9_000_000, 20_000_000] {
+            assert_eq!(
+                s.crashed_at(1, t),
+                plan.crashed_at(NodeId(1), SimTime(t)),
+                "disagreement at {t}"
+            );
+        }
+    }
+}

@@ -9,8 +9,10 @@
 //!   each co-located with its validator;
 //! * *latency* = client submission → execution finality of the
 //!   transaction; *throughput* = distinct transactions over the run;
-//! * crash faults from t=0 (Fig. 2), slowdown faults (the §1 incident),
-//!   and arbitrary [`hh_net::FaultPlan`]s for tests;
+//! * a unified [`FaultSchedule`]: crash faults from t=0 (Fig. 2),
+//!   mid-run crashes with WAL-backed recovery, slowdown faults (the §1
+//!   incident) and partitions, validated up front and lowered to an
+//!   [`hh_net::FaultPlan`];
 //! * an agreement audit across all live validators' commit sequences after
 //!   every run (safety is checked on every experiment, not assumed).
 //!
@@ -31,6 +33,7 @@
 
 mod actor;
 mod experiment;
+mod fault_schedule;
 mod metrics;
 mod sink;
 mod timeseries;
@@ -38,9 +41,10 @@ mod timeseries;
 pub use actor::{Actor, Client, NetMessage};
 pub use experiment::{
     build_sim, collect_metrics, collect_streamed_metrics, run_experiment, run_experiment_limited,
-    run_sim_limited, run_sim_streaming, ExperimentConfig, FaultSpec, FaultSpecError, RunLimit,
-    RunResult, SimHandle, SystemKind,
+    run_sim_limited, run_sim_streaming, ExperimentConfig, RecoverySample, RunLimit, RunResult,
+    SimHandle, SystemKind,
 };
+pub use fault_schedule::{FaultEvent, FaultSchedule, FaultScheduleError};
 pub use metrics::LatencySummary;
 pub use sink::{MetricsSink, StreamingHistogram};
 pub use timeseries::{Bucket, TimeSeries};

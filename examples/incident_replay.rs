@@ -13,7 +13,7 @@
 
 use hammerhead_repro::hh_net::SimTime;
 use hammerhead_repro::hh_sim::{
-    build_sim, ExperimentConfig, FaultSpec, LatencySummary, SystemKind,
+    build_sim, ExperimentConfig, FaultSchedule, LatencySummary, SystemKind,
 };
 
 fn window_summary(
@@ -47,10 +47,9 @@ fn main() {
         let mut config = ExperimentConfig::paper(system, committee, 150);
         config.duration_secs = end_s;
         config.warmup_secs = 5;
-        config.faults = FaultSpec {
-            crashed: vec![],
-            slowdowns: (0..degraded).map(|v| (v, onset_s * 1_000_000, 800_000)).collect(),
-        };
+        config.faults = (0..degraded).fold(FaultSchedule::new(), |faults, v| {
+            faults.slowdown_from(v, onset_s * 1_000_000, 800_000)
+        });
         let mut handle = build_sim(&config);
         handle.sim.run_until(SimTime::from_secs(end_s));
 

@@ -8,7 +8,7 @@
 
 use hammerhead_repro::hh_consensus::SchedulePolicy;
 use hammerhead_repro::hh_net::SimTime;
-use hammerhead_repro::hh_sim::{build_sim, ExperimentConfig, FaultSpec, SystemKind};
+use hammerhead_repro::hh_sim::{build_sim, ExperimentConfig, FaultSchedule, SystemKind};
 use hammerhead_repro::hh_types::ValidatorId;
 
 fn main() {
@@ -17,7 +17,8 @@ fn main() {
     config.duration_secs = 40;
     config.warmup_secs = 2;
     // v7 crashed from the start; v6 slow (+500ms) from t=10s.
-    config.faults = FaultSpec { crashed: vec![7], slowdowns: vec![(6, 10_000_000, 500_000)] };
+    config.faults =
+        FaultSchedule::new().crash_from_start([7]).slowdown_from(6, 10_000_000, 500_000);
 
     println!("8 validators: v7 crashed from t=0, v6 slowed (+500ms) from t=10s\n");
     let mut handle = build_sim(&config);
