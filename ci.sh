@@ -9,9 +9,12 @@
 # smoke run, a determinism gate checking that --jobs 1 and --jobs 4
 # emit byte-identical JSON for a fixed seed, a recovery smoke asserting
 # the WAL-replay + reinclusion path (non-empty reinclusion block, no
-# recovery_divergence), a hotpath bench smoke refreshing
-# BENCH_hotpath.json, and a gate checking that --profile leaves the
-# JSON report byte-identical.
+# recovery_divergence), a saturation smoke gating the goodput knee
+# (monotone up to the knee, flat/declining past it, zero shed below
+# it), a bursty-workload smoke asserting the report's workload goodput
+# block, a docs gate failing on broken relative links in README.md and
+# docs/*.md, a hotpath bench smoke refreshing BENCH_hotpath.json, and a
+# gate checking that --profile leaves the JSON report byte-identical.
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -58,6 +61,61 @@ if grep -q '"recovery_divergence": true' target/ci-recovery.json; then
 fi
 grep -q '"restarts": 1' target/ci-recovery.json \
     || { echo "recovery run did not restart the crashed validator"; exit 1; }
+
+step "saturation smoke: goodput knee is monotone, nothing shed below it"
+./target/release/hh-cli run scenarios/saturation.toml --quick \
+    --set systems.run=hammerhead --json > target/ci-saturation.json
+awk '
+/"goodput_tps":/ { gsub(/[",]/, ""); g[++n] = $2 }
+/"load_tps":/    { gsub(/[",]/, ""); l[++m] = $2 }
+/"shed":/        { gsub(/[",]/, ""); s[++k] = $2 }
+END {
+  if (n < 3) { print "saturation: expected >= 3 runs, got " n; exit 1 }
+  peak = 1
+  for (i = 2; i <= n; i++) if (g[i] > g[peak]) peak = i
+  if (peak == 1) { print "saturation: goodput never rose above the first load"; exit 1 }
+  for (i = 1; i < peak; i++)
+    if (g[i] > g[i + 1] * 1.03) {
+      print "saturation: goodput not monotone below the knee: " g[i] " -> " g[i + 1]; exit 1
+    }
+  for (i = peak + 1; i <= n; i++)
+    if (g[i] > g[peak] * 1.03) {
+      print "saturation: goodput rose past the knee: " g[i] " > peak " g[peak]; exit 1
+    }
+  for (i = 1; i < peak; i++)
+    if (s[i] != 0) { print "saturation: " s[i] " shed below the knee (load " l[i] ")"; exit 1 }
+  if (g[n] >= l[n] * 0.9) {
+    print "saturation: top load did not saturate (goodput " g[n] " vs offered " l[n] ")"; exit 1
+  }
+  printf "saturation knee at load %s: goodput %.0f tx/s over %d points\n", l[peak], g[peak], n
+}' target/ci-saturation.json
+
+step "bursty smoke: workload goodput block present, crash recovered"
+./target/release/hh-cli run scenarios/bursty.toml --quick --json > target/ci-bursty.json
+grep -q '"goodput_tps"' target/ci-bursty.json \
+    || { echo "bursty report is missing the workload goodput block"; exit 1; }
+grep -q '"shed_rate"' target/ci-bursty.json \
+    || { echo "bursty report is missing the shed rate"; exit 1; }
+grep -q '"restarts": 1' target/ci-bursty.json \
+    || { echo "bursty run did not restart the crashed validator"; exit 1; }
+
+step "docs: every relative link in README.md and docs/*.md resolves"
+# No links in a page is fine (|| true guards grep's exit 1 under
+# pipefail); a relative link whose target does not exist is not.
+for doc in README.md docs/*.md; do
+    dir=$(dirname "$doc")
+    for link in $(grep -oE '\]\([^)]+\)' "$doc" | sed 's/^](//; s/)$//' || true); do
+        case "$link" in
+            http://*|https://*|\#*) continue ;;
+        esac
+        target="${link%%#*}"
+        [ -n "$target" ] || continue
+        if [ ! -e "$dir/$target" ]; then
+            echo "broken link in $doc: $link"
+            exit 1
+        fi
+    done
+done
 
 step "hotpath bench smoke (BENCH_hotpath.json, commit-walk regression floor)"
 ./target/release/hotpath_smoke --out BENCH_hotpath.json --min-speedup 2

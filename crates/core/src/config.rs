@@ -175,6 +175,13 @@ pub struct ValidatorConfig {
     pub leader_timeout_us: u64,
     /// Max transactions per vertex.
     pub max_block_txs: usize,
+    /// Max modeled wire bytes per vertex block (transaction headers plus
+    /// payloads). The proposer stops batching once the next transaction
+    /// would cross this bound, except that a block always carries at
+    /// least one transaction (an oversized single transaction must not
+    /// wedge the pool). `usize::MAX` — the default — disables the bound,
+    /// leaving `max_block_txs` as the only batch limit.
+    pub max_block_bytes: usize,
     /// Transaction pool capacity; submissions beyond it are shed.
     pub pool_capacity: usize,
     /// Backpressure budget: own transactions proposed but not yet committed
@@ -209,6 +216,7 @@ impl Default for ValidatorConfig {
             // latency degradation factors in the paper's range.
             leader_timeout_us: 600_000,
             max_block_txs: 2_000,
+            max_block_bytes: usize::MAX,
             pool_capacity: 20_000,
             max_uncommitted_txs: 10_000,
             exec_rate_tps: 4_200,

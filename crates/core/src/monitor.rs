@@ -31,6 +31,8 @@ pub fn gauges<B: LogBackend>(validator: &Validator<B>) -> Vec<Gauge> {
         Gauge { name: "hammerhead_txs_shed_total", value: m.txs_shed as f64 },
         Gauge { name: "hammerhead_own_txs_committed_total", value: m.own_txs_committed as f64 },
         Gauge { name: "hammerhead_proposals_total", value: m.proposals as f64 },
+        Gauge { name: "hammerhead_bytes_proposed_total", value: m.bytes_proposed as f64 },
+        Gauge { name: "hammerhead_bytes_committed_total", value: m.bytes_committed as f64 },
         Gauge { name: "hammerhead_leader_timeouts_total", value: m.leader_timeouts as f64 },
         Gauge { name: "hammerhead_restarts_total", value: m.restarts as f64 },
         Gauge { name: "hammerhead_storage_errors_total", value: m.storage_errors as f64 },
@@ -121,6 +123,8 @@ mod tests {
             "hammerhead_current_round",
             "hammerhead_commits_total",
             "hammerhead_leader_timeouts_total",
+            "hammerhead_bytes_proposed_total",
+            "hammerhead_bytes_committed_total",
             "hammerhead_schedule_epoch",
         ] {
             assert!(names.contains(&expected), "{expected} missing");

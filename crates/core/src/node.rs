@@ -99,6 +99,9 @@ pub struct ExecRecord {
     pub committed_at: u64,
     /// Execution completion time (µs) — the paper's "finality" instant.
     pub executed_at: u64,
+    /// Modeled wire bytes of the transaction (header + payload) — the
+    /// unit behind byte-goodput metrics.
+    pub bytes: u32,
 }
 
 /// Counters exposed for the experiment harness and monitoring.
@@ -112,6 +115,11 @@ pub struct ValidatorMetrics {
     pub own_txs_committed: u64,
     /// Vertices proposed.
     pub proposals: u64,
+    /// Modeled wire bytes batched into own proposals.
+    pub bytes_proposed: u64,
+    /// Modeled wire bytes across all committed transactions (every
+    /// validator's blocks, not just our own).
+    pub bytes_committed: u64,
     /// Leader-await deadlines that expired (anchor never arrived in time).
     pub leader_timeouts: u64,
     /// Committed sub-DAGs observed.
@@ -582,12 +590,16 @@ impl<B: LogBackend> Validator<B> {
                 let start = self.exec_free_at.max(now);
                 let finish = start + tx_interval_us;
                 self.exec_free_at = finish;
+                if !self.replaying {
+                    self.metrics.bytes_committed += tx.wire_bytes() as u64;
+                }
                 if own && !self.replaying {
                     self.metrics.own_txs_committed += 1;
                     self.metrics.exec_records.push(ExecRecord {
                         submitted_at: tx.submitted_at,
                         committed_at: now,
                         executed_at: finish,
+                        bytes: tx.wire_bytes().min(u32::MAX as usize) as u32,
                     });
                     // Finality confirmation to the submitting client.
                     if let Some(addr) = self.client_addr.get(&tx.id.client) {
@@ -689,9 +701,25 @@ impl<B: LogBackend> Validator<B> {
         // Backpressure: stop pulling from the pool once too many of our
         // transactions sit uncommitted.
         let budget = (self.config.max_uncommitted_txs as u64).saturating_sub(self.uncommitted_txs);
-        let take = self.tx_pool.len().min(self.config.max_block_txs).min(budget as usize);
+        let max_take = self.tx_pool.len().min(self.config.max_block_txs).min(budget as usize);
+        // Byte bound: batch until the next transaction would overflow
+        // `max_block_bytes`; the first transaction always fits so an
+        // oversized one cannot wedge the pool.
+        let mut take = 0;
+        let mut batch_bytes = 0usize;
+        while take < max_take {
+            let wire = self.tx_pool[take].wire_bytes();
+            if take > 0 && batch_bytes.saturating_add(wire) > self.config.max_block_bytes {
+                break;
+            }
+            batch_bytes += wire;
+            take += 1;
+        }
         let batch: Vec<Transaction> = self.tx_pool.drain(..take).collect();
         self.uncommitted_txs += batch.len() as u64;
+        if !batch.is_empty() {
+            self.metrics.bytes_proposed += batch_bytes as u64;
+        }
 
         let vertex = Vertex::new(round, self.id, Block::new(batch), parents, &self.keypair);
         self.metrics.proposals += 1;
@@ -983,6 +1011,57 @@ mod tests {
         assert!(!v.is_halted());
         assert!(!out.is_empty(), "restart resumes the protocol");
         assert!(!v.metrics().recovery_divergence);
+    }
+
+    #[test]
+    fn block_bytes_cap_bounds_batches_by_payload() {
+        // 1000-byte payloads (1020 wire bytes each) under a 4 KiB block
+        // cap: at most 4 transactions fit a block, although
+        // max_block_txs would allow all 10 at once.
+        let config = ValidatorConfig {
+            max_block_bytes: 4_096,
+            max_block_txs: 100,
+            min_round_delay_us: 100_000,
+            ..fast_config()
+        };
+        let mut pump = SoloPump::new(config, None);
+        pump.start();
+        for i in 0..10 {
+            pump.submit(Transaction::with_payload(0, i, 0, 1_000));
+        }
+        pump.run_until(2_000_000);
+        let m = pump.v.metrics();
+        assert_eq!(m.own_txs_committed, 10, "everything commits across several blocks");
+        assert_eq!(m.bytes_proposed, 10 * 1_020, "all batched bytes are accounted");
+        assert_eq!(m.bytes_committed, 10 * 1_020);
+        for rec in &m.exec_records {
+            assert_eq!(rec.bytes, 1_020);
+        }
+        // With 100 ms pacing and all 10 txs pooled up front, an
+        // unbounded proposer drains the pool into one block (one commit
+        // instant); the byte cap forces several blocks across rounds.
+        let commit_instants = m
+            .exec_records
+            .iter()
+            .map(|r| r.committed_at)
+            .collect::<std::collections::BTreeSet<_>>();
+        assert!(
+            commit_instants.len() >= 2,
+            "payloads must spread across blocks, got commit instants {commit_instants:?}"
+        );
+    }
+
+    #[test]
+    fn oversized_transaction_still_ships_alone() {
+        // One transaction bigger than the whole block cap must still be
+        // proposed (alone) instead of wedging the pool forever.
+        let config = ValidatorConfig { max_block_bytes: 64, max_block_txs: 100, ..fast_config() };
+        let mut pump = SoloPump::new(config, None);
+        pump.start();
+        pump.submit(Transaction::with_payload(0, 0, 0, 10_000));
+        pump.submit(Transaction::with_payload(0, 1, 0, 10_000));
+        pump.run_until(1_000_000);
+        assert_eq!(pump.v.metrics().own_txs_committed, 2);
     }
 
     #[test]

@@ -115,6 +115,10 @@ pub struct ScenarioReport {
     pub figure: Option<String>,
     /// Stop rule the runs used.
     pub limit: RunLimit,
+    /// Whether the scenario declared a `[workload]` table; gates the
+    /// per-run workload goodput block in rows and JSON (undeclared
+    /// workloads keep legacy report bytes).
+    pub workload_declared: bool,
     /// One row per run, in plan order.
     pub rows: Vec<RunRow>,
 }
@@ -204,6 +208,7 @@ fn build_report(
         description: plan.description.clone(),
         figure: plan.figure.clone(),
         limit,
+        workload_declared: plan.workload_declared,
         rows,
     }
 }
@@ -318,7 +323,30 @@ fn latency_json(latency: &LatencySummary) -> Json {
         .with("max_s", Json::Float(latency.max))
 }
 
-fn row_json(row: &RunRow) -> Json {
+/// The per-run workload block: offered vs accepted vs committed
+/// goodput, shed rate, byte goodput. Only rendered for scenarios that
+/// declared a `[workload]` table.
+fn workload_json(row: &RunRow) -> Json {
+    let r = &row.result;
+    let offered = r.submitted + r.client_skipped;
+    let accepted = r.submitted.saturating_sub(r.shed);
+    let elapsed = r.elapsed_secs.max(1e-6);
+    let shed_rate = if r.submitted > 0 { r.shed as f64 / r.submitted as f64 } else { 0.0 };
+    Json::object()
+        .with("offered", Json::Int(offered as i64))
+        .with("offered_tps", Json::Float(offered as f64 / elapsed))
+        .with("submitted", Json::Int(r.submitted as i64))
+        .with("accepted", Json::Int(accepted as i64))
+        .with("committed", Json::Int(r.executed as i64))
+        .with("goodput_tps", Json::Float(r.throughput_tps))
+        .with("shed_rate", Json::Float(shed_rate))
+        .with("payload_bytes", Json::Int(row.run.config.workload.payload_bytes as i64))
+        .with("bytes_submitted", Json::Int(r.bytes_submitted as i64))
+        .with("bytes_committed", Json::Int(r.bytes_committed as i64))
+        .with("goodput_bytes_per_sec", Json::Float(r.bytes_committed as f64 / elapsed))
+}
+
+fn row_json(row: &RunRow, workload_declared: bool) -> Json {
     // Only inherently numeric labels render as JSON numbers; free-form
     // labels (variant, scoring, exclusion) stay strings even when they
     // happen to look numeric, so consumers see stable types.
@@ -349,6 +377,9 @@ fn row_json(row: &RunRow) -> Json {
         .with("schedule_epochs", Json::Int(r.schedule_epochs as i64))
         .with("agreement_ok", Json::Bool(r.agreement_ok))
         .with("chain_hash", Json::Str(r.chain_hash.to_string()));
+    if workload_declared {
+        metrics = metrics.with("workload", workload_json(row));
+    }
     // Recovery counters appear only for runs that actually restarted (or
     // diverged), so fault-free reports keep their exact bytes.
     if r.restarts > 0 || r.recovery_divergence {
@@ -447,7 +478,12 @@ pub fn report_json(report: &ScenarioReport) -> Json {
             },
         )
         .with("limit", limit)
-        .with("runs", Json::Array(report.rows.iter().map(row_json).collect()))
+        .with(
+            "runs",
+            Json::Array(
+                report.rows.iter().map(|row| row_json(row, report.workload_declared)).collect(),
+            ),
+        )
 }
 
 #[cfg(test)]

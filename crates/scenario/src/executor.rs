@@ -397,6 +397,7 @@ model = "flat"
             figure: None,
             runs: vec![good.runs[0].clone(), bad],
             analysis: AnalysisSpec::default(),
+            workload_declared: false,
         };
 
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {

@@ -61,10 +61,10 @@ pub use executor::{Executor, PooledExecutor, SerialExecutor};
 pub use hh_sim::RunLimit;
 pub use json::Json;
 pub use spec::{
-    parse_scoring, scoring_name, AnalysisSpec, CountExpr, ExclusionSpec, FaultsSpec, NetworkSpec,
-    NodeSel, PartitionEntry, PartitionSel, PlanOptions, PlannedRun, QuickSpec, ScenarioError,
-    ScenarioPlan, ScenarioSpec, SlowdownEntry, SystemSpec, TimedFaultEntry, VariantSpec, WhenSpec,
-    WindowSpec,
+    parse_scoring, scoring_name, AnalysisSpec, ArrivalSpec, CountExpr, ExclusionSpec, FaultsSpec,
+    NetworkSpec, NodeSel, PartitionEntry, PartitionSel, PlanOptions, PlannedRun, QuickSpec,
+    RateSpec, ScenarioError, ScenarioPlan, ScenarioSpec, SlowdownEntry, SystemSpec,
+    TimedFaultEntry, VariantSpec, WhenSpec, WindowSpec, WorkloadPhaseSpec, WorkloadSpec,
 };
 
 use std::path::{Path, PathBuf};

@@ -11,8 +11,11 @@
 
 use crate::toml::{self, TomlError, Value};
 use hammerhead::{HammerheadConfig, ScheduleConfig, ScoringRule};
-use hh_sim::{ExperimentConfig, FaultSchedule, SystemKind};
-use hh_types::{Committee, Stake, ValidatorId};
+use hh_sim::{
+    Arrival, ExperimentConfig, FaultSchedule, Phase, SubmissionMode, SystemKind, Workload,
+    MAX_PAYLOAD_BYTES,
+};
+use hh_types::{Committee, Stake, ValidatorId, TX_HEADER_BYTES};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -316,6 +319,161 @@ pub struct FaultsSpec {
     pub partitions: Vec<PartitionEntry>,
 }
 
+/// The arrival process of a `[workload]` table or `[[workload.phase]]`
+/// entry — the declarative form of [`hh_sim::Arrival`], with rates as
+/// scales on the run's `[load] tps` axis.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrivalSpec {
+    /// Fixed-rate with ±10% jitter (the `[load] tps` sugar).
+    Constant,
+    /// Exponential inter-arrivals at the same mean rate.
+    Poisson,
+    /// `burst_secs` on at the scaled rate, `idle_secs` off, repeating.
+    OnOff {
+        /// Burst length, seconds.
+        burst_secs: f64,
+        /// Idle gap, seconds.
+        idle_secs: f64,
+    },
+    /// Rate interpolated linearly across the phase (or whole run).
+    Ramp {
+        /// Scale at the phase start (default 0).
+        from_scale: f64,
+        /// Scale at the phase end.
+        to_scale: f64,
+    },
+}
+
+/// The rate of one workload phase, relative or absolute.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RateSpec {
+    /// A multiplier on the run's `[load] tps` value (sweeps with the
+    /// load axis).
+    Scale(f64),
+    /// An absolute rate in tx/s (divided by the run's load to recover
+    /// the scale; requires a non-zero load).
+    Tps(u64),
+}
+
+/// One `[[workload.phase]]` entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadPhaseSpec {
+    /// Phase start (`from_secs` / `from_frac`); the first phase must
+    /// start at 0.
+    pub from: WhenSpec,
+    /// The phase's rate (ignored by [`ArrivalSpec::Ramp`], which
+    /// carries its own scales).
+    pub rate: RateSpec,
+    /// The arrival process in force.
+    pub arrival: ArrivalSpec,
+}
+
+/// The `[workload]` table — the declarative form of
+/// [`hh_sim::Workload`], resolved per planned run (duration fixes
+/// `from_frac` instants, the load axis fixes absolute `tps` rates).
+///
+/// A scenario without this table desugars to a constant closed-loop
+/// workload at the `[load] tps` rate — the historical client, bit for
+/// bit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadSpec {
+    /// Whether the scenario wrote a `[workload]` table at all. Only
+    /// declared workloads add the per-run `workload` block (offered vs
+    /// accepted vs committed goodput, shed rate, byte goodput) to the
+    /// report, keeping legacy scenario JSON byte-identical.
+    pub declared: bool,
+    /// Open- vs closed-loop submission.
+    pub mode: SubmissionMode,
+    /// Modeled payload bytes per transaction.
+    pub payload_bytes: u32,
+    /// Heaviest/lightest per-client rate ratio (1 = uniform).
+    pub spread: f64,
+    /// Proposer block byte bound, when set.
+    pub block_bytes: Option<u64>,
+    /// Single-phase arrival process (used when `phases` is empty).
+    pub arrival: ArrivalSpec,
+    /// Multi-phase timeline; non-empty replaces `arrival`.
+    pub phases: Vec<WorkloadPhaseSpec>,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            declared: false,
+            mode: SubmissionMode::Closed,
+            payload_bytes: 0,
+            spread: 1.0,
+            block_bytes: None,
+            arrival: ArrivalSpec::Constant,
+            phases: Vec::new(),
+        }
+    }
+}
+
+impl WorkloadSpec {
+    fn lower_arrival(arrival: &ArrivalSpec, scale: f64) -> Arrival {
+        match *arrival {
+            ArrivalSpec::Constant => Arrival::Constant { scale },
+            ArrivalSpec::Poisson => Arrival::Poisson { scale },
+            ArrivalSpec::OnOff { burst_secs, idle_secs } => {
+                Arrival::OnOff { scale, burst_secs, idle_secs }
+            }
+            ArrivalSpec::Ramp { from_scale, to_scale } => Arrival::Ramp { from_scale, to_scale },
+        }
+    }
+
+    /// Resolves the declarative workload against a run of `duration`
+    /// seconds at `load_tps` offered load into the concrete
+    /// [`hh_sim::Workload`], and validates the result. An undeclared
+    /// workload lowers to exactly [`Workload::constant`] — the `[load]
+    /// tps` sugar.
+    pub fn build(&self, duration: u64, load_tps: u64) -> Result<Workload, ScenarioError> {
+        let duration_us = duration.saturating_mul(1_000_000);
+        let phases = if self.phases.is_empty() {
+            vec![Phase { from_us: 0, arrival: Self::lower_arrival(&self.arrival, 1.0) }]
+        } else {
+            let mut phases = Vec::with_capacity(self.phases.len());
+            for spec in &self.phases {
+                let scale = match spec.rate {
+                    RateSpec::Scale(s) => s,
+                    RateSpec::Tps(tps) => {
+                        if load_tps == 0 {
+                            return Err(ScenarioError::Invalid(
+                                "a workload phase gives an absolute tps but the load axis \
+                                 is 0 — use `scale`, or set [load] tps"
+                                    .into(),
+                            ));
+                        }
+                        tps as f64 / load_tps as f64
+                    }
+                };
+                phases.push(Phase {
+                    from_us: spec.from.resolve_us(duration),
+                    arrival: Self::lower_arrival(&spec.arrival, scale),
+                });
+            }
+            // Ordering of the resolved starts (mixed secs/frac pairs
+            // escape the parse-time check) is enforced by
+            // `Workload::validate` below.
+            if let Some(late) = phases.iter().find(|p| p.from_us >= duration_us) {
+                return Err(ScenarioError::Invalid(format!(
+                    "workload phase at {} µs starts at or after the {duration}s run ends",
+                    late.from_us
+                )));
+            }
+            phases
+        };
+        let workload = Workload {
+            phases,
+            mode: self.mode,
+            payload_bytes: self.payload_bytes,
+            spread: self.spread,
+        };
+        workload.validate().map_err(|e| ScenarioError::Invalid(format!("workload: {e}")))?;
+        Ok(workload)
+    }
+}
+
 /// A named latency-measurement window over submission times.
 #[derive(Clone, Debug, PartialEq)]
 pub struct WindowSpec {
@@ -397,6 +555,9 @@ pub struct ScenarioSpec {
     /// (the production leader-swap-table semantics; required for
     /// crash-recovery re-inclusion to be observable).
     pub swap_from_base: bool,
+    /// The workload shape (`[workload]`; defaults to the `[load] tps`
+    /// constant-rate sugar).
+    pub workload: WorkloadSpec,
     /// Explicit variants; when non-empty they replace the systems ×
     /// hammerhead-knob axes.
     pub variants: Vec<VariantSpec>,
@@ -632,6 +793,64 @@ fn get_id_list(
     }
 }
 
+/// Keys that configure an arrival process, shared by `[workload]` and
+/// `[[workload.phase]]`.
+const ARRIVAL_PARAM_KEYS: &[&str] =
+    &["burst_secs", "idle_secs", "ramp_from_scale", "ramp_to_scale"];
+
+/// Reads the arrival process of a `[workload]` table or phase entry.
+fn get_arrival(
+    table: &BTreeMap<String, Value>,
+    context: &str,
+) -> Result<ArrivalSpec, ScenarioError> {
+    let name = get_str(table, "arrival", context)?.unwrap_or_else(|| "constant".into());
+    let forbid = |keys: &[&str]| -> Result<(), ScenarioError> {
+        for key in keys {
+            if table.contains_key(*key) {
+                return Err(ScenarioError::Schema(format!(
+                    "`{context}.{key}` does not apply to arrival = \"{name}\""
+                )));
+            }
+        }
+        Ok(())
+    };
+    match name.as_str() {
+        "constant" => {
+            forbid(ARRIVAL_PARAM_KEYS)?;
+            Ok(ArrivalSpec::Constant)
+        }
+        "poisson" => {
+            forbid(ARRIVAL_PARAM_KEYS)?;
+            Ok(ArrivalSpec::Poisson)
+        }
+        "onoff" => {
+            forbid(&["ramp_from_scale", "ramp_to_scale"])?;
+            let burst_secs = get_f64(table, "burst_secs", context)?.ok_or_else(|| {
+                ScenarioError::Schema(format!("{context} arrival = \"onoff\" requires burst_secs"))
+            })?;
+            let idle_secs = get_f64(table, "idle_secs", context)?.ok_or_else(|| {
+                ScenarioError::Schema(format!("{context} arrival = \"onoff\" requires idle_secs"))
+            })?;
+            Ok(ArrivalSpec::OnOff { burst_secs, idle_secs })
+        }
+        "ramp" => {
+            forbid(&["burst_secs", "idle_secs"])?;
+            let to_scale = get_f64(table, "ramp_to_scale", context)?.ok_or_else(|| {
+                ScenarioError::Schema(format!(
+                    "{context} arrival = \"ramp\" requires ramp_to_scale"
+                ))
+            })?;
+            Ok(ArrivalSpec::Ramp {
+                from_scale: get_f64(table, "ramp_from_scale", context)?.unwrap_or(0.0),
+                to_scale,
+            })
+        }
+        other => Err(ScenarioError::Schema(format!(
+            "unknown arrival process `{other}` (expected constant, poisson, onoff or ramp)"
+        ))),
+    }
+}
+
 fn axis_u64_value(xs: &[u64]) -> Value {
     if xs.len() == 1 {
         Value::Int(xs[0] as i64)
@@ -669,6 +888,7 @@ impl ScenarioSpec {
                 "network",
                 "systems",
                 "hammerhead",
+                "workload",
                 "variant",
                 "faults",
                 "analysis",
@@ -829,6 +1049,116 @@ impl ScenarioSpec {
                 }
                 None => (vec![20], vec![ExclusionSpec::F], vec![ScoringRule::VoteBased], 0, false),
             };
+
+        // [workload]
+        let workload = match get_table(root, "workload")? {
+            Some(t) => {
+                check_keys(
+                    t,
+                    "[workload]",
+                    &[
+                        "arrival",
+                        "mode",
+                        "payload_bytes",
+                        "spread",
+                        "block_bytes",
+                        "burst_secs",
+                        "idle_secs",
+                        "ramp_from_scale",
+                        "ramp_to_scale",
+                        "phase",
+                    ],
+                )?;
+                let mode = match get_str(t, "mode", "workload")?.as_deref() {
+                    None | Some("closed") => SubmissionMode::Closed,
+                    Some("open") => SubmissionMode::Open,
+                    Some(other) => {
+                        return Err(ScenarioError::Schema(format!(
+                            "unknown workload mode `{other}` (expected closed or open)"
+                        )))
+                    }
+                };
+                let payload_bytes = match get_u64(t, "payload_bytes", "workload")? {
+                    Some(b) if b > MAX_PAYLOAD_BYTES as u64 => {
+                        return Err(ScenarioError::Invalid(format!(
+                            "workload payload_bytes {b} exceeds the {MAX_PAYLOAD_BYTES}-byte cap"
+                        )))
+                    }
+                    Some(b) => b as u32,
+                    None => 0,
+                };
+                let mut phases = Vec::new();
+                for p in get_entry_tables(t, "phase", "[[workload.phase]]")? {
+                    check_keys(
+                        p,
+                        "[[workload.phase]]",
+                        &[
+                            "from_secs",
+                            "from_frac",
+                            "scale",
+                            "tps",
+                            "arrival",
+                            "burst_secs",
+                            "idle_secs",
+                            "ramp_from_scale",
+                            "ramp_to_scale",
+                        ],
+                    )?;
+                    let arrival = get_arrival(p, "[[workload.phase]]")?;
+                    let scale = get_f64(p, "scale", "workload.phase")?;
+                    let tps = get_u64(p, "tps", "workload.phase")?;
+                    if matches!(arrival, ArrivalSpec::Ramp { .. })
+                        && (scale.is_some() || tps.is_some())
+                    {
+                        return Err(ScenarioError::Schema(
+                            "ramp phases take ramp_from_scale / ramp_to_scale, not scale or tps"
+                                .into(),
+                        ));
+                    }
+                    let rate = match (scale, tps) {
+                        (Some(_), Some(_)) => {
+                            return Err(ScenarioError::Schema(
+                                "[[workload.phase]] sets both `scale` and `tps`".into(),
+                            ))
+                        }
+                        (Some(s), None) => RateSpec::Scale(s),
+                        (None, Some(t)) => RateSpec::Tps(t),
+                        (None, None) => RateSpec::Scale(1.0),
+                    };
+                    phases.push(WorkloadPhaseSpec {
+                        from: get_when(p, "from", "[[workload.phase]]")?
+                            .unwrap_or(WhenSpec::Secs(0)),
+                        rate,
+                        arrival,
+                    });
+                }
+                if !phases.is_empty() {
+                    for key in ["arrival"].iter().chain(ARRIVAL_PARAM_KEYS) {
+                        if t.contains_key(*key) {
+                            return Err(ScenarioError::Schema(format!(
+                                "`workload.{key}` conflicts with an explicit \
+                                 [[workload.phase]] timeline"
+                            )));
+                        }
+                    }
+                }
+                let arrival = if phases.is_empty() {
+                    get_arrival(t, "[workload]")?
+                } else {
+                    ArrivalSpec::Constant
+                };
+                WorkloadSpec {
+                    declared: true,
+                    mode,
+                    payload_bytes,
+                    spread: get_f64(t, "spread", "workload")?.unwrap_or(1.0),
+                    block_bytes: get_u64(t, "block_bytes", "workload")?,
+                    arrival,
+                    phases,
+                }
+            }
+            None => WorkloadSpec::default(),
+        };
 
         // [[variant]]
         let variants = match root.get("variant") {
@@ -1098,6 +1428,7 @@ impl ScenarioSpec {
             scoring,
             schedule_seed,
             swap_from_base,
+            workload,
             variants,
             faults,
             analysis,
@@ -1169,6 +1500,7 @@ impl ScenarioSpec {
             }
             Ok(())
         }
+        self.validate_workload()?;
         for s in &self.faults.slowdowns {
             if s.extra_ms == 0 {
                 return Err(ScenarioError::Invalid("slowdown extra_ms must be positive".into()));
@@ -1197,6 +1529,126 @@ impl ScenarioSpec {
                         "validator {shared} is on both sides of a partition"
                     )));
                 }
+            }
+        }
+        Ok(())
+    }
+
+    /// Structural validation of the `[workload]` table: value ranges and
+    /// timeline ordering that need no per-run resolution (mixed
+    /// secs/frac phase starts are ordered in [`ScenarioSpec::plan`],
+    /// mirroring the fault-schedule grammar).
+    fn validate_workload(&self) -> Result<(), ScenarioError> {
+        let w = &self.workload;
+        if w.spread < 1.0 || !w.spread.is_finite() {
+            return Err(ScenarioError::Invalid(format!(
+                "workload spread must be ≥ 1, got {}",
+                w.spread
+            )));
+        }
+        if let Some(block_bytes) = w.block_bytes {
+            let one_tx = (TX_HEADER_BYTES as u64) + w.payload_bytes as u64;
+            if block_bytes < one_tx {
+                return Err(ScenarioError::Invalid(format!(
+                    "workload block_bytes {block_bytes} cannot fit one \
+                     {one_tx}-byte transaction"
+                )));
+            }
+        }
+        fn check_arrival(a: &ArrivalSpec, what: &str) -> Result<(), ScenarioError> {
+            match *a {
+                ArrivalSpec::Constant | ArrivalSpec::Poisson => Ok(()),
+                ArrivalSpec::OnOff { burst_secs, idle_secs } => {
+                    // The sim truncates bursts to whole µs; anything
+                    // below that would be silently idle forever.
+                    if burst_secs * 1e6 < 1.0 || !burst_secs.is_finite() {
+                        return Err(ScenarioError::Invalid(format!(
+                            "{what} burst_secs must be at least 1 µs"
+                        )));
+                    }
+                    if idle_secs < 0.0 || !idle_secs.is_finite() {
+                        return Err(ScenarioError::Invalid(format!(
+                            "{what} idle_secs must be non-negative"
+                        )));
+                    }
+                    Ok(())
+                }
+                ArrivalSpec::Ramp { from_scale, to_scale } => {
+                    if from_scale < 0.0
+                        || to_scale < 0.0
+                        || !from_scale.is_finite()
+                        || !to_scale.is_finite()
+                    {
+                        return Err(ScenarioError::Invalid(format!(
+                            "{what} ramp scales must be non-negative"
+                        )));
+                    }
+                    if from_scale == 0.0 && to_scale == 0.0 {
+                        return Err(ScenarioError::Invalid(format!(
+                            "{what} ramp never leaves zero"
+                        )));
+                    }
+                    Ok(())
+                }
+            }
+        }
+        fn check_frac(when: WhenSpec, what: &str) -> Result<(), ScenarioError> {
+            if let WhenSpec::Frac(frac) = when {
+                if !(0.0..=1.0).contains(&frac) {
+                    return Err(ScenarioError::Invalid(format!(
+                        "{what} fraction must be within [0, 1]"
+                    )));
+                }
+            }
+            Ok(())
+        }
+        if w.phases.is_empty() {
+            check_arrival(&w.arrival, "workload")?;
+            return Ok(());
+        }
+        let first_at_zero = match w.phases[0].from {
+            WhenSpec::Secs(s) => s == 0,
+            WhenSpec::Frac(f) => f == 0.0,
+        };
+        if !first_at_zero {
+            return Err(ScenarioError::Invalid(format!(
+                "the first workload phase must start at 0, got {:?}",
+                w.phases[0].from
+            )));
+        }
+        let mut any_active = false;
+        for (i, phase) in w.phases.iter().enumerate() {
+            check_frac(phase.from, "workload phase from")?;
+            check_arrival(&phase.arrival, "workload phase")?;
+            let peak = match (phase.rate, phase.arrival) {
+                (_, ArrivalSpec::Ramp { from_scale, to_scale }) => from_scale.max(to_scale),
+                (RateSpec::Scale(s), _) => s,
+                (RateSpec::Tps(t), _) => t as f64,
+            };
+            if peak < 0.0 || !peak.is_finite() {
+                return Err(ScenarioError::Invalid(format!(
+                    "workload phase {i} has a bad rate ({peak})"
+                )));
+            }
+            any_active |= peak > 0.0;
+        }
+        if !any_active {
+            return Err(ScenarioError::Invalid(
+                "every workload phase has zero rate — nothing ever arrives".into(),
+            ));
+        }
+        // Same-kind starts can be ordered here; mixed secs/frac pairs are
+        // checked after per-run resolution.
+        for pair in w.phases.windows(2) {
+            let out_of_order = match (pair[0].from, pair[1].from) {
+                (WhenSpec::Secs(a), WhenSpec::Secs(b)) => a >= b,
+                (WhenSpec::Frac(a), WhenSpec::Frac(b)) => a >= b,
+                _ => false,
+            };
+            if out_of_order {
+                return Err(ScenarioError::Invalid(
+                    "workload phase starts must be strictly ascending".into(),
+                ));
             }
         }
         Ok(())
@@ -1296,6 +1748,79 @@ impl ScenarioSpec {
             hammerhead.insert("swap_from_base".into(), Value::Bool(true));
         }
         root.insert("hammerhead".into(), Value::Table(hammerhead));
+
+        if self.workload.declared {
+            fn insert_arrival(t: &mut BTreeMap<String, Value>, arrival: &ArrivalSpec) {
+                match *arrival {
+                    ArrivalSpec::Constant => {}
+                    ArrivalSpec::Poisson => {
+                        t.insert("arrival".into(), Value::Str("poisson".into()));
+                    }
+                    ArrivalSpec::OnOff { burst_secs, idle_secs } => {
+                        t.insert("arrival".into(), Value::Str("onoff".into()));
+                        t.insert("burst_secs".into(), Value::Float(burst_secs));
+                        t.insert("idle_secs".into(), Value::Float(idle_secs));
+                    }
+                    ArrivalSpec::Ramp { from_scale, to_scale } => {
+                        t.insert("arrival".into(), Value::Str("ramp".into()));
+                        if from_scale != 0.0 {
+                            t.insert("ramp_from_scale".into(), Value::Float(from_scale));
+                        }
+                        t.insert("ramp_to_scale".into(), Value::Float(to_scale));
+                    }
+                }
+            }
+            let w = &self.workload;
+            let mut workload = BTreeMap::new();
+            workload.insert(
+                "mode".into(),
+                Value::Str(
+                    match w.mode {
+                        SubmissionMode::Closed => "closed",
+                        SubmissionMode::Open => "open",
+                    }
+                    .into(),
+                ),
+            );
+            if w.payload_bytes != 0 {
+                workload.insert("payload_bytes".into(), Value::Int(w.payload_bytes as i64));
+            }
+            if w.spread != 1.0 {
+                workload.insert("spread".into(), Value::Float(w.spread));
+            }
+            if let Some(block_bytes) = w.block_bytes {
+                workload.insert("block_bytes".into(), Value::Int(block_bytes as i64));
+            }
+            if w.phases.is_empty() {
+                insert_arrival(&mut workload, &w.arrival);
+            } else {
+                let items = w
+                    .phases
+                    .iter()
+                    .map(|p| {
+                        let mut t = BTreeMap::new();
+                        insert_when(&mut t, "from", p.from, true);
+                        if !matches!(p.arrival, ArrivalSpec::Ramp { .. }) {
+                            match p.rate {
+                                // Scale 1.0 is the parse-side default.
+                                RateSpec::Scale(s) => {
+                                    if s != 1.0 {
+                                        t.insert("scale".into(), Value::Float(s));
+                                    }
+                                }
+                                RateSpec::Tps(tps) => {
+                                    t.insert("tps".into(), Value::Int(tps as i64));
+                                }
+                            }
+                        }
+                        insert_arrival(&mut t, &p.arrival);
+                        Value::Table(t)
+                    })
+                    .collect();
+                workload.insert("phase".into(), Value::Array(items));
+            }
+            root.insert("workload".into(), Value::Table(workload));
+        }
 
         if !self.variants.is_empty() {
             let items = self
@@ -1541,6 +2066,9 @@ pub struct ScenarioPlan {
     pub runs: Vec<PlannedRun>,
     /// Analyses to compute per run.
     pub analysis: AnalysisSpec,
+    /// Whether the scenario declared a `[workload]` table — only then
+    /// does the report add the per-run workload goodput block.
+    pub workload_declared: bool,
 }
 
 /// The variants in force after merging the axis defaults.
@@ -1697,6 +2225,7 @@ impl ScenarioSpec {
             figure: self.figure.clone(),
             runs,
             analysis: self.analysis.clone(),
+            workload_declared: self.workload.declared,
         })
     }
 
@@ -1792,6 +2321,8 @@ impl ScenarioSpec {
             config.schedule_override = Some(ScheduleConfig::StaticLeader(ValidatorId(leader)));
         }
 
+        config.workload = self.workload.build(duration, load)?;
+        config.max_block_bytes = self.workload.block_bytes.map(|b| b as usize);
         config.faults = self.build_fault_schedule(n, crashed, duration)?;
         Ok(config)
     }
@@ -2247,6 +2778,201 @@ tps = [250]
         let plan = spec.plan(&PlanOptions::default()).unwrap();
         // Equal-stake committee of 10: total stake 10, 30% → 3 = f.
         assert_eq!(plan.runs[0].config.hammerhead.max_excluded_stake, Some(Stake(3)));
+    }
+
+    #[test]
+    fn undeclared_workload_is_the_constant_sugar() {
+        let spec = ScenarioSpec::parse(MINIMAL).unwrap();
+        assert!(!spec.workload.declared);
+        let plan = spec.plan(&PlanOptions::default()).unwrap();
+        assert!(!plan.workload_declared);
+        let config = &plan.runs[0].config;
+        assert_eq!(config.workload, Workload::constant(), "sugar lowers to the exact default");
+        assert_eq!(config.max_block_bytes, None);
+    }
+
+    #[test]
+    fn workload_table_parses_and_lowers() {
+        let spec = ScenarioSpec::parse(
+            r#"
+name = "wl"
+[load]
+tps = 1000
+[run]
+duration_secs = 40
+[workload]
+arrival = "poisson"
+mode = "open"
+payload_bytes = 512
+spread = 2.5
+block_bytes = 65536
+"#,
+        )
+        .unwrap();
+        assert!(spec.workload.declared);
+        let plan = spec.plan(&PlanOptions::default()).unwrap();
+        assert!(plan.workload_declared);
+        let config = &plan.runs[0].config;
+        assert_eq!(
+            config.workload.phases,
+            vec![Phase { from_us: 0, arrival: Arrival::Poisson { scale: 1.0 } }]
+        );
+        assert_eq!(config.workload.mode, SubmissionMode::Open);
+        assert_eq!(config.workload.payload_bytes, 512);
+        assert_eq!(config.workload.spread, 2.5);
+        assert_eq!(config.max_block_bytes, Some(65536));
+    }
+
+    #[test]
+    fn workload_phases_resolve_fracs_and_absolute_rates() {
+        let spec = ScenarioSpec::parse(
+            r#"
+name = "phased"
+[load]
+tps = 500
+[run]
+duration_secs = 40
+[[workload.phase]]
+scale = 0.5
+[[workload.phase]]
+from_frac = 0.25
+arrival = "onoff"
+burst_secs = 2.0
+idle_secs = 2.0
+[[workload.phase]]
+from_secs = 30
+tps = 1500
+arrival = "poisson"
+"#,
+        )
+        .unwrap();
+        let plan = spec.plan(&PlanOptions::default()).unwrap();
+        let workload = &plan.runs[0].config.workload;
+        assert_eq!(
+            workload.phases,
+            vec![
+                Phase { from_us: 0, arrival: Arrival::Constant { scale: 0.5 } },
+                Phase {
+                    from_us: 10_000_000,
+                    arrival: Arrival::OnOff { scale: 1.0, burst_secs: 2.0, idle_secs: 2.0 },
+                },
+                // tps 1500 against the 500 load axis → scale 3.
+                Phase { from_us: 30_000_000, arrival: Arrival::Poisson { scale: 3.0 } },
+            ]
+        );
+    }
+
+    #[test]
+    fn workload_schema_rejections() {
+        for (doc, needle) in [
+            ("name = \"x\"\n[workload]\narrival = \"sawtooth\"\n", "unknown arrival"),
+            ("name = \"x\"\n[workload]\nmode = \"half-open\"\n", "unknown workload mode"),
+            ("name = \"x\"\n[workload]\narrival = \"onoff\"\n", "requires burst_secs"),
+            ("name = \"x\"\n[workload]\narrival = \"ramp\"\n", "requires ramp_to_scale"),
+            (
+                "name = \"x\"\n[workload]\narrival = \"constant\"\nburst_secs = 1.0\n",
+                "does not apply",
+            ),
+            (
+                "name = \"x\"\n[workload]\narrival = \"poisson\"\n[[workload.phase]]\nscale = 1.0\n",
+                "conflicts with an explicit",
+            ),
+            (
+                "name = \"x\"\n[[workload.phase]]\nscale = 1.0\ntps = 100\n",
+                "both `scale` and `tps`",
+            ),
+            (
+                "name = \"x\"\n[[workload.phase]]\narrival = \"ramp\"\nramp_to_scale = 2.0\nscale = 1.0\n",
+                "ramp phases take",
+            ),
+            ("name = \"x\"\n[workload]\ntypo = 1\n", "unknown key"),
+        ] {
+            let err = ScenarioSpec::parse(doc).unwrap_err();
+            assert!(err.to_string().contains(needle), "doc {doc:?} gave {err}");
+        }
+    }
+
+    #[test]
+    fn workload_value_rejections() {
+        for (doc, needle) in [
+            ("name = \"x\"\n[workload]\nspread = 0.5\n", "spread"),
+            ("name = \"x\"\n[workload]\npayload_bytes = 2097152\n", "payload_bytes"),
+            (
+                "name = \"x\"\n[workload]\npayload_bytes = 512\nblock_bytes = 100\n",
+                "cannot fit one",
+            ),
+            (
+                "name = \"x\"\n[[workload.phase]]\nscale = 0.0\n",
+                "zero rate",
+            ),
+            (
+                "name = \"x\"\n[[workload.phase]]\nfrom_secs = 5\nscale = 1.0\n",
+                "must start at 0",
+            ),
+            (
+                "name = \"x\"\n[[workload.phase]]\nscale = 1.0\n[[workload.phase]]\nfrom_secs = 0\nscale = 2.0\n",
+                "ascending",
+            ),
+            (
+                "name = \"x\"\n[workload]\narrival = \"onoff\"\nburst_secs = 0.0\nidle_secs = 1.0\n",
+                "burst_secs",
+            ),
+        ] {
+            let err = ScenarioSpec::parse(doc).unwrap_err();
+            assert!(err.to_string().contains(needle), "doc {doc:?} gave {err}");
+        }
+    }
+
+    #[test]
+    fn workload_phase_beyond_duration_rejected_at_plan_time() {
+        let spec = ScenarioSpec::parse(
+            "name = \"x\"\n[run]\nduration_secs = 10\n\
+             [[workload.phase]]\nscale = 1.0\n[[workload.phase]]\nfrom_secs = 20\nscale = 2.0\n",
+        )
+        .unwrap();
+        let err = spec.plan(&PlanOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("starts at or after"), "{err}");
+    }
+
+    #[test]
+    fn workload_round_trips_through_toml() {
+        let doc = r#"
+name = "wl-round"
+[load]
+tps = 800
+[run]
+duration_secs = 30
+[workload]
+mode = "open"
+payload_bytes = 128
+spread = 3.0
+block_bytes = 32768
+[[workload.phase]]
+scale = 0.5
+[[workload.phase]]
+from_frac = 0.3
+arrival = "onoff"
+burst_secs = 1.5
+idle_secs = 2.5
+[[workload.phase]]
+from_secs = 20
+tps = 1200
+arrival = "poisson"
+[[workload.phase]]
+from_frac = 0.9
+arrival = "ramp"
+ramp_from_scale = 1.0
+ramp_to_scale = 2.0
+"#;
+        let spec = ScenarioSpec::parse(doc).unwrap();
+        let text = spec.to_toml();
+        let again = ScenarioSpec::parse(&text).unwrap();
+        assert_eq!(spec, again, "canonical form:\n{text}");
+        // And the declared flag itself round-trips for a minimal table.
+        let minimal = ScenarioSpec::parse("name = \"x\"\n[workload]\n").unwrap();
+        assert!(minimal.workload.declared);
+        let again = ScenarioSpec::parse(&minimal.to_toml()).unwrap();
+        assert_eq!(minimal, again);
     }
 
     #[test]

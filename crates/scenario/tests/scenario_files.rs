@@ -17,8 +17,9 @@ fn checked_in_scenarios() -> Vec<PathBuf> {
     files.sort();
     assert_eq!(
         files.len(),
-        9,
-        "expected the seven paper scenarios plus recovery + partition, found {files:?}"
+        11,
+        "expected the seven paper scenarios plus recovery, partition, saturation and bursty, \
+         found {files:?}"
     );
     files
 }

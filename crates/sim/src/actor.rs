@@ -1,5 +1,6 @@
 //! Adapters putting validators and clients on the discrete-event network.
 
+use crate::workload::{ArrivalKind, RateNow, SubmissionMode, Workload};
 use hammerhead::{Output, Validator, ValidatorMessage};
 use hh_net::{Context, Node, NodeId};
 use hh_storage::MemBackend;
@@ -15,24 +16,47 @@ pub type NetMessage = Arc<ValidatorMessage>;
 /// tokens, which are < 100).
 const TOKEN_CLIENT_SUBMIT: u64 = 1_000;
 
+/// The floor on a closed-loop client's in-flight window.
+///
+/// Commits deliver confirmations in bursty per-anchor batches, so a
+/// low-rate client whose nominal window (`rate × window_secs`) is only a
+/// handful of transactions would throttle on that batching pattern
+/// rather than on real latency — an artifact of the confirmation
+/// cadence, not a property of the system. The paper's clients (350 tx/s
+/// against seconds of latency) ran with thousands in flight; the floor
+/// keeps scaled-down runs in the same regime.
+pub const MIN_CLIENT_WINDOW: u64 = 64;
+
 /// A load generator (§5: "benchmark clients submitting transactions at a
 /// fixed rate"), co-located with one validator.
 ///
-/// The generator is open-loop up to a bounded in-flight window: it fires at
-/// its configured rate while fewer than `window` of its transactions await
-/// finality confirmation, and skips ticks beyond that — how real benchmark
-/// drivers (and the Sui orchestrator's clients) behave. By Little's law the
-/// window converts latency degradation into the throughput loss the
-/// paper's Figure 2 shows for Bullshark under faults.
+/// The client executes a [`Workload`]: its timeline of arrival processes
+/// (constant, Poisson, on/off bursts, linear ramps) decides *when* the
+/// next transaction fires, and its [`SubmissionMode`] decides whether
+/// ticks are gated by a bounded in-flight window (closed loop — how real
+/// benchmark drivers and the Sui orchestrator's clients behave; by
+/// Little's law the window converts latency degradation into the
+/// throughput loss the paper's Figure 2 shows for Bullshark under
+/// faults) or fire unconditionally (open loop — the saturation-sweep
+/// mode, where offered load must not depend on observed latency).
+///
+/// The default [`Workload::constant`] reproduces the historical
+/// fixed-rate windowed client bit for bit, including its RNG draw
+/// sequence.
 #[derive(Debug)]
 pub struct Client {
     /// This client's id (tags its transactions).
     client_id: u32,
     /// The validator it submits to.
     target: NodeId,
-    /// Inter-arrival time between transactions, µs.
-    interval_us: u64,
-    /// Maximum unconfirmed transactions in flight.
+    /// This client's share of the run's offered rate (scale 1.0), tx/s.
+    base_tps: f64,
+    /// The workload shape being executed.
+    workload: Workload,
+    /// Nominal run length (µs), bounding the last phase for ramps.
+    duration_us: u64,
+    /// Maximum unconfirmed transactions in flight (`u64::MAX` when the
+    /// workload is open-loop).
     window: u64,
     /// Next sequence number.
     seq: u64,
@@ -40,34 +64,64 @@ pub struct Client {
     submitted: u64,
     /// Ticks skipped because the window was full.
     skipped: u64,
+    /// Modeled wire bytes of all submitted transactions.
+    bytes_submitted: u64,
     /// Currently unconfirmed transactions.
     outstanding: u64,
+    /// Sub-microsecond remainder carried between high-rate ticks (see
+    /// [`Client::jittered_delay_us`]).
+    carry_ns: u64,
     /// Future execution-completion instants from confirmations.
     confirm_queue: std::collections::BinaryHeap<std::cmp::Reverse<u64>>,
 }
 
 impl Client {
-    /// A client submitting `rate_tps` transactions per second to `target`
-    /// with an in-flight window of `rate × window_secs` transactions.
+    /// A client submitting a constant `rate_tps` transactions per second
+    /// to `target` with an in-flight window of `rate × window_secs`
+    /// transactions — the historical shape, equivalent to
+    /// [`Client::with_workload`] over [`Workload::constant`].
     ///
     /// # Panics
     ///
     /// Panics if `rate_tps` is zero.
     pub fn new(client_id: u32, target: NodeId, rate_tps: f64, window_secs: f64) -> Self {
+        Client::with_workload(client_id, target, rate_tps, window_secs, Workload::constant(), 0)
+    }
+
+    /// A client executing `workload` at a base rate of `rate_tps` (phase
+    /// scales multiply it) for a run of `duration_us` simulated
+    /// microseconds. `window_secs` sizes the in-flight window when the
+    /// workload is closed-loop; open-loop workloads ignore it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_tps` is zero.
+    pub fn with_workload(
+        client_id: u32,
+        target: NodeId,
+        rate_tps: f64,
+        window_secs: f64,
+        workload: Workload,
+        duration_us: u64,
+    ) -> Self {
         assert!(rate_tps > 0.0, "client rate must be positive");
+        let window = match workload.mode {
+            SubmissionMode::Closed => ((rate_tps * window_secs) as u64).max(MIN_CLIENT_WINDOW),
+            SubmissionMode::Open => u64::MAX,
+        };
         Client {
             client_id,
             target,
-            interval_us: (1e6 / rate_tps).max(1.0) as u64,
-            // The floor keeps low-rate clients from throttling on the
-            // bursty per-anchor confirmation pattern; the paper's clients
-            // (350 tx/s, seconds of latency) ran with ~thousands in
-            // flight, so per-tick windows this small would be an artifact.
-            window: ((rate_tps * window_secs) as u64).max(64),
+            base_tps: rate_tps,
+            workload,
+            duration_us,
+            window,
             seq: 0,
             submitted: 0,
             skipped: 0,
+            bytes_submitted: 0,
             outstanding: 0,
+            carry_ns: 0,
             confirm_queue: std::collections::BinaryHeap::new(),
         }
     }
@@ -80,6 +134,26 @@ impl Client {
     /// Ticks skipped with a full window (latency-throttled demand).
     pub fn skipped(&self) -> u64 {
         self.skipped
+    }
+
+    /// Transactions the workload offered: submitted plus window-skipped.
+    pub fn offered(&self) -> u64 {
+        self.submitted + self.skipped
+    }
+
+    /// Modeled wire bytes of everything submitted.
+    pub fn bytes_submitted(&self) -> u64 {
+        self.bytes_submitted
+    }
+
+    /// The tick interval the start-stagger draws over: the inter-arrival
+    /// of the workload's rate at t = 0 (the base rate if t = 0 is idle).
+    fn initial_interval_us(&self) -> u64 {
+        let tps = match self.workload.rate_at(self.base_tps, 0, self.duration_us) {
+            RateNow::Active { tps, .. } => tps,
+            RateNow::Idle { .. } => self.base_tps,
+        };
+        (1e6 / tps).max(1.0) as u64
     }
 
     fn on_confirm(&mut self, executed_at: u64, now: u64) {
@@ -95,26 +169,96 @@ impl Client {
         }
     }
 
+    /// The next inter-arrival delay for a jittered (constant-family)
+    /// process at `tps`, in µs.
+    ///
+    /// At intervals of 10 µs and above this is the historical
+    /// computation, bit for bit: truncate the interval to µs, jitter
+    /// ±10% of the truncated value with one uniform draw. Below 10 µs
+    /// (rates above ~100k tx/s per client) that integer jitter
+    /// truncated to zero — silently disabling jitter — and the
+    /// truncated interval overstated the rate by up to 2×; here both
+    /// are derived from the f64 rate in nanoseconds and the sub-µs
+    /// remainder carries across ticks, so jitter survives and the
+    /// long-run rate stays exact.
+    fn jittered_delay_us(&mut self, tps: f64, rng: &mut rand::StdRng) -> u64 {
+        let interval_f = (1e6 / tps).max(1.0);
+        let interval_us = interval_f as u64;
+        let jitter = interval_us / 10;
+        if jitter > 0 {
+            return interval_us - jitter + rng.gen_range(0..=2 * jitter);
+        }
+        let interval_ns = (interval_f * 1000.0) as u64;
+        let jitter_ns = interval_ns / 10;
+        let drawn = if jitter_ns > 0 {
+            interval_ns - jitter_ns + rng.gen_range(0..=2 * jitter_ns)
+        } else {
+            interval_ns
+        };
+        self.carry_to_us(drawn)
+    }
+
+    /// The next inter-arrival delay for a Poisson process at `tps`:
+    /// exponential with mean `1/tps`, via inverse CDF on one uniform
+    /// draw. The same ns carry as the jittered path keeps the realized
+    /// mean exact — flooring each exponential to µs independently would
+    /// shave ~0.5 µs per arrival, overstating high rates just like the
+    /// truncation bug the jittered path fixes.
+    fn exponential_delay_us(&mut self, tps: f64, rng: &mut rand::StdRng) -> u64 {
+        let u: f64 = rng.gen();
+        let delay_ns = -(1.0 - u).ln() * (1e9 / tps);
+        self.carry_to_us(delay_ns.min(u64::MAX as f64) as u64)
+    }
+
+    /// Converts a drawn delay in ns to µs, carrying the sub-µs
+    /// remainder to the next tick so long-run rates stay exact.
+    fn carry_to_us(&mut self, drawn_ns: u64) -> u64 {
+        let total = drawn_ns + self.carry_ns;
+        if total < 1_000 {
+            // The µs timer grain forces a 1 µs sleep; dropping the
+            // remainder bounds the error instead of accumulating debt.
+            self.carry_ns = 0;
+            1
+        } else {
+            self.carry_ns = total % 1_000;
+            total / 1_000
+        }
+    }
+
     fn tick(&mut self, ctx: &mut Context<'_, NetMessage>) {
         let now = ctx.now().as_micros();
-        self.drain_confirms(now);
-        if self.outstanding < self.window {
-            let tx = Transaction::new(self.client_id, self.seq, now);
-            self.seq += 1;
-            self.submitted += 1;
-            self.outstanding += 1;
-            ctx.send(self.target, Arc::new(ValidatorMessage::Submit(tx)));
-        } else {
-            self.skipped += 1;
+        match self.workload.rate_at(self.base_tps, now, self.duration_us) {
+            RateNow::Idle { until_us } => {
+                // No demand (off-burst gap or zero-rate phase): sleep to
+                // the next activity instant. Idle gaps cost zero RNG
+                // draws — part of the determinism contract.
+                let delay = until_us.saturating_sub(now).max(1);
+                ctx.set_timer(hh_net::Duration::from_micros(delay), TOKEN_CLIENT_SUBMIT);
+            }
+            RateNow::Active { tps, process } => {
+                self.drain_confirms(now);
+                if self.outstanding < self.window {
+                    let tx = Transaction::with_payload(
+                        self.client_id,
+                        self.seq,
+                        now,
+                        self.workload.payload_bytes,
+                    );
+                    self.seq += 1;
+                    self.submitted += 1;
+                    self.outstanding += 1;
+                    self.bytes_submitted += tx.wire_bytes() as u64;
+                    ctx.send(self.target, Arc::new(ValidatorMessage::Submit(tx)));
+                } else {
+                    self.skipped += 1;
+                }
+                let delay = match process {
+                    ArrivalKind::Jittered => self.jittered_delay_us(tps, ctx.rng()),
+                    ArrivalKind::Exponential => self.exponential_delay_us(tps, ctx.rng()),
+                };
+                ctx.set_timer(hh_net::Duration::from_micros(delay.max(1)), TOKEN_CLIENT_SUBMIT);
+            }
         }
-        // Small deterministic jitter (±10%) desynchronizes clients.
-        let jitter = self.interval_us / 10;
-        let delay = if jitter > 0 {
-            self.interval_us - jitter + ctx.rng().gen_range(0..=2 * jitter)
-        } else {
-            self.interval_us
-        };
-        ctx.set_timer(hh_net::Duration::from_micros(delay.max(1)), TOKEN_CLIENT_SUBMIT);
     }
 }
 
@@ -196,7 +340,7 @@ impl Node for Actor {
             Actor::Client(c) => {
                 // Stagger client starts across one interval to avoid a
                 // synchronized burst at t=0.
-                let offset = ctx.rng().gen_range(0..=c.interval_us);
+                let offset = ctx.rng().gen_range(0..=c.initial_interval_us());
                 ctx.set_timer(hh_net::Duration::from_micros(offset.max(1)), TOKEN_CLIENT_SUBMIT);
             }
         }
@@ -248,9 +392,11 @@ impl Node for Actor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workload::{Arrival, Phase};
     use hammerhead::ValidatorConfig;
     use hh_net::{NetworkConfig, SimTime, Simulator};
     use hh_types::Committee;
+    use rand::SeedableRng;
 
     #[test]
     fn four_validators_commit_on_a_flat_network() {
@@ -297,5 +443,157 @@ mod tests {
         // The client's transactions flowed through to execution records.
         let recs = sim.node(NodeId(0)).as_validator().unwrap().metrics().exec_records.len();
         assert!(recs > 100, "exec records: {recs}");
+    }
+
+    /// Regression for the jitter bug: `interval_us / 10` truncates to
+    /// zero below 10 µs, which silently disabled jitter for per-client
+    /// rates above ~100k tx/s. Deriving jitter from the f64 rate (in ns,
+    /// with a carry) must produce varying delays whose mean tracks the
+    /// true interval — not the truncated one.
+    #[test]
+    fn sub_10us_intervals_keep_jitter_and_exact_rate() {
+        // 150k tx/s: true interval 6.667 µs, truncated 6 µs (an 11% rate
+        // error under the old code), jitter formerly zero.
+        let mut client = Client::new(0, NodeId(0), 150_000.0, 2.0);
+        let mut rng = rand::StdRng::seed_from_u64(7);
+        let n = 10_000u64;
+        let mut sum = 0u64;
+        let mut distinct = std::collections::BTreeSet::new();
+        for _ in 0..n {
+            let d = client.jittered_delay_us(150_000.0, &mut rng);
+            sum += d;
+            distinct.insert(d);
+        }
+        assert!(distinct.len() >= 2, "jitter must survive sub-10µs intervals: {distinct:?}");
+        let mean = sum as f64 / n as f64;
+        let true_interval = 1e6 / 150_000.0;
+        assert!(
+            (mean - true_interval).abs() / true_interval < 0.01,
+            "mean inter-arrival {mean:.4} µs must track the true {true_interval:.4} µs"
+        );
+    }
+
+    /// The Poisson sampler must not lose the sub-µs part of each draw:
+    /// flooring exponentials independently shaves ~0.5 µs per arrival,
+    /// which at high rates overstates the offered load the same way the
+    /// old jitter truncation did. The ns carry keeps the realized mean
+    /// on the true interval.
+    #[test]
+    fn exponential_delays_keep_an_exact_mean_at_high_rates() {
+        let rate = 125_000.0; // true interval 8 µs
+        let mut client = Client::new(0, NodeId(0), rate, 2.0);
+        let mut rng = rand::StdRng::seed_from_u64(9);
+        let n = 200_000u64;
+        let sum: u64 = (0..n).map(|_| client.exponential_delay_us(rate, &mut rng)).sum();
+        let mean = sum as f64 / n as f64;
+        let true_interval = 1e6 / rate;
+        assert!(
+            (mean - true_interval).abs() / true_interval < 0.01,
+            "mean exponential delay {mean:.4} µs must track the true {true_interval:.4} µs"
+        );
+    }
+
+    /// The ≥10 µs path must stay the historical computation bit for bit
+    /// (fig2 byte-identity rides on this): same truncated interval, same
+    /// `interval/10` jitter bound, same single draw.
+    #[test]
+    fn legacy_jitter_path_is_bit_identical() {
+        let rate = 350.0;
+        let mut client = Client::new(0, NodeId(0), rate, 2.0);
+        let mut rng = rand::StdRng::seed_from_u64(42);
+        let mut oracle_rng = rand::StdRng::seed_from_u64(42);
+        for _ in 0..1_000 {
+            let got = client.jittered_delay_us(rate, &mut rng);
+            // The historical computation, verbatim.
+            let interval_us = (1e6 / rate).max(1.0) as u64;
+            let jitter = interval_us / 10;
+            let expected = interval_us - jitter + oracle_rng.gen_range(0..=2 * jitter);
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn open_loop_client_never_skips() {
+        let workload = Workload { mode: crate::SubmissionMode::Open, ..Workload::constant() };
+        let client = Client::with_workload(0, NodeId(0), 100.0, 2.0, workload, 10_000_000);
+        assert_eq!(client.window, u64::MAX, "open loop has no in-flight bound");
+    }
+
+    #[test]
+    fn closed_loop_window_has_the_historical_floor() {
+        let client = Client::new(0, NodeId(0), 10.0, 2.0);
+        assert_eq!(client.window, MIN_CLIENT_WINDOW, "10 tx/s × 2 s = 20 floors to 64");
+        let client = Client::new(0, NodeId(0), 1_000.0, 2.0);
+        assert_eq!(client.window, 2_000);
+    }
+
+    /// Drives one client alone on the network and returns its submission
+    /// count after `secs` simulated seconds.
+    fn run_solo_client(workload: Workload, base_tps: f64, secs: u64, seed: u64) -> u64 {
+        // A validator to receive submissions (it need not commit).
+        let committee = Committee::new_equal_stake(1);
+        let v = Validator::new(committee, ValidatorId(0), ValidatorConfig::default(), None);
+        let client = Client::with_workload(0, NodeId(0), base_tps, 2.0, workload, secs * 1_000_000);
+        let actors = vec![Actor::Validator(Box::new(v)), Actor::Client(client)];
+        let net = NetworkConfig {
+            latency: hh_net::LatencyModel::Constant(hh_net::Duration::from_millis(1)),
+            ..NetworkConfig::default()
+        };
+        let mut sim = Simulator::new(actors, net, seed);
+        sim.run_until(SimTime::from_secs(secs));
+        sim.node(NodeId(1)).as_client().unwrap().submitted()
+    }
+
+    #[test]
+    fn poisson_arrivals_track_the_configured_rate() {
+        let workload = Workload {
+            phases: vec![Phase { from_us: 0, arrival: Arrival::Poisson { scale: 1.0 } }],
+            mode: crate::SubmissionMode::Open,
+            ..Workload::constant()
+        };
+        let submitted = run_solo_client(workload, 500.0, 20, 3);
+        let expected = 500.0 * 20.0;
+        assert!(
+            (submitted as f64 - expected).abs() / expected < 0.05,
+            "poisson client submitted {submitted}, expected ≈{expected}"
+        );
+    }
+
+    #[test]
+    fn onoff_bursts_submit_roughly_the_duty_cycle() {
+        let workload = Workload {
+            phases: vec![Phase {
+                from_us: 0,
+                arrival: Arrival::OnOff { scale: 1.0, burst_secs: 1.0, idle_secs: 1.0 },
+            }],
+            mode: crate::SubmissionMode::Open,
+            ..Workload::constant()
+        };
+        let submitted = run_solo_client(workload, 400.0, 20, 5);
+        // 50% duty cycle: about half the constant volume.
+        let expected = 400.0 * 20.0 * 0.5;
+        assert!(
+            (submitted as f64 - expected).abs() / expected < 0.1,
+            "on/off client submitted {submitted}, expected ≈{expected}"
+        );
+    }
+
+    #[test]
+    fn ramp_submits_the_integral_of_the_rate() {
+        let workload = Workload {
+            phases: vec![Phase {
+                from_us: 0,
+                arrival: Arrival::Ramp { from_scale: 0.0, to_scale: 2.0 },
+            }],
+            mode: crate::SubmissionMode::Open,
+            ..Workload::constant()
+        };
+        // Linear 0 → 800 tx/s over 20 s: integral = 800/2 × 20 = 8000.
+        let submitted = run_solo_client(workload, 400.0, 20, 11);
+        let expected = 8_000.0;
+        assert!(
+            (submitted as f64 - expected).abs() / expected < 0.1,
+            "ramp client submitted {submitted}, expected ≈{expected}"
+        );
     }
 }

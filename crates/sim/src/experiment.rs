@@ -5,6 +5,7 @@ use crate::actor::{Actor, Client};
 use crate::fault_schedule::FaultSchedule;
 use crate::metrics::LatencySummary;
 use crate::sink::MetricsSink;
+use crate::workload::Workload;
 use hammerhead::{HammerheadConfig, ScheduleConfig, Validator, ValidatorConfig};
 use hh_consensus::SchedulePolicy;
 use hh_crypto::Digest;
@@ -46,6 +47,15 @@ pub struct ExperimentConfig {
     /// Total offered load, transactions per second, split across one
     /// client per live validator.
     pub load_tps: u64,
+    /// The workload shape the clients execute: arrival-process timeline,
+    /// open- vs closed-loop submission, modeled payload size, per-client
+    /// heterogeneity. [`Workload::constant`] (the default) reproduces
+    /// the historical fixed-rate windowed client bit for bit.
+    pub workload: Workload,
+    /// Overrides the proposer's block byte bound
+    /// ([`hammerhead::ValidatorConfig::max_block_bytes`]); `None` keeps
+    /// the validator config's value (unbounded by default).
+    pub max_block_bytes: Option<usize>,
     /// Measured run length (simulated seconds).
     pub duration_secs: u64,
     /// Initial window excluded from latency statistics.
@@ -86,6 +96,8 @@ impl ExperimentConfig {
             system,
             hammerhead: HammerheadConfig::default(),
             load_tps,
+            workload: Workload::constant(),
+            max_block_bytes: None,
             duration_secs: 60,
             warmup_secs: 10,
             faults: FaultSchedule::default(),
@@ -107,6 +119,8 @@ impl ExperimentConfig {
             system,
             hammerhead: HammerheadConfig { period_rounds: 8, ..HammerheadConfig::default() },
             load_tps: 200,
+            workload: Workload::constant(),
+            max_block_bytes: None,
             duration_secs: 3,
             warmup_secs: 0,
             faults: FaultSchedule::default(),
@@ -144,6 +158,9 @@ impl ExperimentConfig {
                 SystemKind::Hammerhead => ScheduleConfig::Hammerhead(self.hammerhead.clone()),
             },
         };
+        if let Some(bytes) = self.max_block_bytes {
+            config.max_block_bytes = bytes;
+        }
         config
     }
 }
@@ -154,6 +171,9 @@ pub struct RunResult {
     /// Distinct transactions reaching execution finality, divided by the
     /// run duration (the paper's throughput metric).
     pub throughput_tps: f64,
+    /// Distinct transactions reaching execution finality (the numerator
+    /// of `throughput_tps`).
+    pub executed: u64,
     /// End-to-end latency (submission → execution finality), post-warmup.
     pub latency: LatencySummary,
     /// Submission → consensus commit latency, post-warmup.
@@ -169,6 +189,13 @@ pub struct RunResult {
     pub client_skipped: u64,
     /// Transactions shed by full pools (backpressure).
     pub shed: u64,
+    /// Modeled wire bytes submitted by clients.
+    pub bytes_submitted: u64,
+    /// Modeled wire bytes reaching execution finality (byte goodput).
+    pub bytes_committed: u64,
+    /// The measured window in seconds (actual stop time — shorter than
+    /// `duration_secs` for round-limited runs).
+    pub elapsed_secs: f64,
     /// Highest HammerHead epoch reached (0 for the baseline).
     pub schedule_epochs: u64,
     /// Restarts executed across live validators (crash-recovery runs).
@@ -249,6 +276,12 @@ pub fn build_sim(config: &ExperimentConfig) -> SimHandle {
     // Clients attach to validators that are up at t=0.
     let live: Vec<usize> = config.faults.live_at(n, 0);
     assert!(!live.is_empty(), "at least one live validator required");
+    // The scenario layer validates workloads at plan time; programmatic
+    // configs get the same up-front rejection here instead of a
+    // mid-run surprise.
+    if let Err(e) = config.workload.validate() {
+        panic!("{e}");
+    }
     let persist = config.faults.has_recoveries();
 
     // Validators at ids 0..n, one client per live validator above them.
@@ -262,14 +295,17 @@ pub fn build_sim(config: &ExperimentConfig) -> SimHandle {
             )))
         })
         .collect();
-    let per_client = config.load_tps as f64 / live.len() as f64;
+    let rates = config.workload.client_rates(config.load_tps as f64, live.len());
+    let duration_us = config.duration_secs.saturating_mul(1_000_000);
     for (k, v) in live.iter().enumerate() {
-        if per_client > 0.0 {
-            actors.push(Actor::Client(Client::new(
+        if rates[k] > 0.0 {
+            actors.push(Actor::Client(Client::with_workload(
                 k as u32,
                 NodeId(*v),
-                per_client,
+                rates[k],
                 config.client_window_secs,
+                config.workload.clone(),
+                duration_us,
             )));
         }
     }
@@ -520,10 +556,12 @@ pub fn collect_streamed_metrics(
 
     let mut submitted = 0u64;
     let mut client_skipped = 0u64;
+    let mut bytes_submitted = 0u64;
     for i in handle.n_validators..handle.sim.len() {
         if let Some(c) = handle.sim.node(NodeId(i)).as_client() {
             submitted += c.submitted();
             client_skipped += c.skipped();
+            bytes_submitted += c.bytes_submitted();
         }
     }
 
@@ -552,6 +590,7 @@ pub fn collect_streamed_metrics(
 
     RunResult {
         throughput_tps: sink.executed() as f64 / (end_us as f64 / 1e6).max(1e-6),
+        executed: sink.executed(),
         latency: sink.latency_summary(),
         commit_latency: sink.commit_latency_summary(),
         commits,
@@ -559,6 +598,9 @@ pub fn collect_streamed_metrics(
         submitted,
         client_skipped,
         shed,
+        bytes_submitted,
+        bytes_committed: sink.executed_bytes(),
+        elapsed_secs: end_us as f64 / 1e6,
         schedule_epochs: epochs,
         restarts,
         recovery_divergence,
@@ -649,6 +691,20 @@ mod tests {
         let full = run_experiment(&config);
         assert!(full.commits > r.commits, "full {} vs limited {}", full.commits, r.commits);
         assert!(r.throughput_tps > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid workload")]
+    fn build_sim_rejects_unvalidated_workloads_up_front() {
+        // A programmatic config can skip the scenario layer; the sim
+        // must still refuse a malformed workload at build time instead
+        // of underflowing mid-run.
+        let mut config = ExperimentConfig::quick_test(SystemKind::Bullshark);
+        config.workload.phases = vec![crate::Phase {
+            from_us: 5_000_000,
+            arrival: crate::Arrival::Constant { scale: 1.0 },
+        }];
+        build_sim(&config);
     }
 
     #[test]

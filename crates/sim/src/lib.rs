@@ -1,14 +1,20 @@
 //! Whole-system simulation harness.
 //!
-//! Assembles [`hammerhead::Validator`] nodes and open-loop load generators
-//! on the deterministic discrete-event network (`hh-net`), reproducing the
-//! paper's measurement methodology (§5):
+//! Assembles [`hammerhead::Validator`] nodes and workload-driven load
+//! generators on the deterministic discrete-event network (`hh-net`),
+//! reproducing — and generalizing — the paper's measurement methodology
+//! (§5):
 //!
 //! * geo-distributed validators (13 AWS regions, round-robin assignment);
-//! * benchmark clients submitting at a fixed rate to live validators,
-//!   each co-located with its validator;
+//! * benchmark clients co-located with live validators, driven by a
+//!   [`Workload`]: a timeline of deterministic arrival processes
+//!   (constant, Poisson, on/off bursts, linear ramps), closed-loop
+//!   (windowed) or open-loop submission, configurable modeled payload
+//!   bytes and per-client heterogeneity — the paper's fixed-rate client
+//!   is [`Workload::constant`], the default;
 //! * *latency* = client submission → execution finality of the
 //!   transaction; *throughput* = distinct transactions over the run;
+//!   byte goodput weighs each transaction by its modeled wire size;
 //! * a unified [`FaultSchedule`]: crash faults from t=0 (Fig. 2),
 //!   mid-run crashes with WAL-backed recovery, slowdown faults (the §1
 //!   incident) and partitions, validated up front and lowered to an
@@ -28,6 +34,27 @@
 //! assert!(result.agreement_ok);
 //! assert!(result.commits > 0);
 //! ```
+//!
+//! Shaping the load instead of fixing a rate:
+//!
+//! ```
+//! use hh_sim::{
+//!     run_experiment, Arrival, ExperimentConfig, Phase, SubmissionMode, SystemKind, Workload,
+//! };
+//!
+//! let mut config = ExperimentConfig::quick_test(SystemKind::Hammerhead);
+//! config.workload = Workload {
+//!     // Open-loop Poisson arrivals with 256-byte payloads.
+//!     phases: vec![Phase { from_us: 0, arrival: Arrival::Poisson { scale: 1.0 } }],
+//!     mode: SubmissionMode::Open,
+//!     payload_bytes: 256,
+//!     spread: 1.0,
+//! };
+//! config.workload.validate().expect("runnable workload");
+//! let result = run_experiment(&config);
+//! assert!(result.agreement_ok);
+//! assert!(result.bytes_committed > 0);
+//! ```
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
@@ -37,8 +64,9 @@ mod fault_schedule;
 mod metrics;
 mod sink;
 mod timeseries;
+mod workload;
 
-pub use actor::{Actor, Client, NetMessage};
+pub use actor::{Actor, Client, NetMessage, MIN_CLIENT_WINDOW};
 pub use experiment::{
     build_sim, collect_metrics, collect_streamed_metrics, run_experiment, run_experiment_limited,
     run_sim_limited, run_sim_streaming, ExperimentConfig, RecoverySample, RunLimit, RunResult,
@@ -48,3 +76,7 @@ pub use fault_schedule::{FaultEvent, FaultSchedule, FaultScheduleError};
 pub use metrics::LatencySummary;
 pub use sink::{MetricsSink, StreamingHistogram};
 pub use timeseries::{Bucket, TimeSeries};
+pub use workload::{
+    Arrival, ArrivalKind, Phase, RateNow, SubmissionMode, Workload, WorkloadError,
+    MAX_PAYLOAD_BYTES,
+};

@@ -172,6 +172,7 @@ struct WindowSink {
 pub struct MetricsSink {
     warmup_us: u64,
     executed: u64,
+    executed_bytes: u64,
     latency: StreamingHistogram,
     commit_latency: StreamingHistogram,
     windows: Vec<WindowSink>,
@@ -185,6 +186,7 @@ impl MetricsSink {
         MetricsSink {
             warmup_us,
             executed: 0,
+            executed_bytes: 0,
             latency: StreamingHistogram::new(),
             commit_latency: StreamingHistogram::new(),
             windows: Vec::new(),
@@ -220,6 +222,7 @@ impl MetricsSink {
 
     fn ingest(&mut self, rec: &ExecRecord) {
         self.executed += 1;
+        self.executed_bytes += rec.bytes as u64;
         if rec.submitted_at < self.warmup_us {
             return;
         }
@@ -248,6 +251,11 @@ impl MetricsSink {
     /// Transactions that reached execution finality inside the run.
     pub fn executed(&self) -> u64 {
         self.executed
+    }
+
+    /// Modeled wire bytes of those transactions (byte goodput).
+    pub fn executed_bytes(&self) -> u64 {
+        self.executed_bytes
     }
 
     /// Post-warmup end-to-end latency summary.
@@ -320,7 +328,16 @@ mod tests {
     }
 
     fn rec(submitted_at: u64, committed_at: u64, executed_at: u64) -> ExecRecord {
-        ExecRecord { submitted_at, committed_at, executed_at }
+        ExecRecord { submitted_at, committed_at, executed_at, bytes: 20 }
+    }
+
+    #[test]
+    fn sink_accumulates_executed_bytes() {
+        let mut sink = MetricsSink::new(0);
+        sink.observe(&rec(0, 50, 100), u64::MAX);
+        sink.observe(&rec(10, 60, 200), u64::MAX);
+        sink.finalize(u64::MAX);
+        assert_eq!(sink.executed_bytes(), 40);
     }
 
     #[test]

@@ -11,6 +11,8 @@ pub struct Bucket {
     /// Transactions whose submission fell in this bucket and that reached
     /// execution finality.
     pub count: u64,
+    /// Their modeled wire bytes (byte goodput per bucket).
+    pub bytes: u64,
     /// Sum of their end-to-end latencies (µs).
     pub latency_sum_us: u64,
     /// Worst latency in the bucket (µs).
@@ -56,6 +58,7 @@ impl TimeSeries {
             if let Some(b) = buckets.get_mut(idx) {
                 let latency = rec.executed_at.saturating_sub(rec.submitted_at);
                 b.count += 1;
+                b.bytes += rec.bytes as u64;
                 b.latency_sum_us += latency;
                 b.latency_max_us = b.latency_max_us.max(latency);
             }
@@ -77,6 +80,12 @@ impl TimeSeries {
     pub fn throughput(&self) -> Vec<f64> {
         let secs = self.bucket_us as f64 / 1e6;
         self.buckets.iter().map(|b| b.count as f64 / secs).collect()
+    }
+
+    /// Per-bucket byte goodput (modeled wire bytes per second).
+    pub fn throughput_bytes(&self) -> Vec<f64> {
+        let secs = self.bucket_us as f64 / 1e6;
+        self.buckets.iter().map(|b| b.bytes as f64 / secs).collect()
     }
 
     /// Per-bucket mean latency (s).
@@ -110,6 +119,7 @@ mod tests {
             submitted_at: submitted_s * 1_000_000,
             committed_at: submitted_s * 1_000_000 + latency_ms * 500,
             executed_at: submitted_s * 1_000_000 + latency_ms * 1_000,
+            bytes: 100,
         }
     }
 
@@ -131,6 +141,7 @@ mod tests {
         let ts = TimeSeries::from_records(&records, 2, 4);
         assert_eq!(ts.buckets().len(), 2);
         assert_eq!(ts.throughput(), vec![1.0, 1.0]); // 2 txs / 2 s
+        assert_eq!(ts.throughput_bytes(), vec![100.0, 100.0]); // 200 B / 2 s
     }
 
     #[test]

@@ -42,7 +42,7 @@ mod vertex;
 pub use committee::{Committee, CommitteeBuilder, Stake, ValidatorId, ValidatorInfo};
 pub use error::TypeError;
 pub use hash::{DigestHasher, DigestMap, DigestSet};
-pub use transaction::{Transaction, TxId};
+pub use transaction::{Transaction, TxId, TX_HEADER_BYTES};
 pub use vertex::{Block, Round, Vertex, VertexRef};
 
 pub use hh_crypto::Digest;

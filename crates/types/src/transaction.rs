@@ -25,6 +25,11 @@ impl fmt::Display for TxId {
     }
 }
 
+/// The encoded size of a transaction's fixed header — client id (4),
+/// sequence (8), submission timestamp (8) — and thus the wire weight of
+/// a payloadless transaction.
+pub const TX_HEADER_BYTES: usize = 20;
+
 /// A client transaction as carried in a [`crate::Block`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Transaction {
@@ -33,13 +38,33 @@ pub struct Transaction {
     /// Client submission timestamp, in simulation microseconds. Used by the
     /// metrics pipeline; consensus itself never reads it.
     pub submitted_at: u64,
+    /// Modeled payload size in bytes (the counter-increment argument the
+    /// paper's benchmark transactions carry, generalized to configurable
+    /// sizes by the workload subsystem). This is an *accounting weight*:
+    /// proposers bound blocks by [`Transaction::wire_bytes`] and the
+    /// metrics pipeline reports byte goodput from it, but the codec —
+    /// and therefore vertex digests, signatures and the WAL — carries
+    /// only the [`TX_HEADER_BYTES`] header, so the modeled size can
+    /// never change a run's chain hashes. A transaction decoded from the
+    /// wire or replayed from the WAL reports a zero payload.
+    pub payload_bytes: u32,
 }
 
 impl Transaction {
     /// Creates a transaction submitted by `client` with sequence `seq` at
-    /// time `submitted_at` (µs).
+    /// time `submitted_at` (µs), with no modeled payload.
     pub fn new(client: u32, seq: u64, submitted_at: u64) -> Self {
-        Transaction { id: TxId { client, seq }, submitted_at }
+        Transaction::with_payload(client, seq, submitted_at, 0)
+    }
+
+    /// Creates a transaction carrying `payload_bytes` of modeled payload.
+    pub fn with_payload(client: u32, seq: u64, submitted_at: u64, payload_bytes: u32) -> Self {
+        Transaction { id: TxId { client, seq }, submitted_at, payload_bytes }
+    }
+
+    /// The modeled wire size: fixed header plus payload.
+    pub fn wire_bytes(&self) -> usize {
+        TX_HEADER_BYTES + self.payload_bytes as usize
     }
 }
 
@@ -61,7 +86,7 @@ impl Encode for Transaction {
     }
 
     fn decode(d: &mut Decoder<'_>) -> Result<Self, TypeError> {
-        Ok(Transaction { id: TxId::decode(d)?, submitted_at: d.take_u64()? })
+        Ok(Transaction { id: TxId::decode(d)?, submitted_at: d.take_u64()?, payload_bytes: 0 })
     }
 }
 
@@ -76,6 +101,20 @@ mod tests {
         let bytes = encode_to_vec(&tx);
         let back: Transaction = decode_from_slice(&bytes).unwrap();
         assert_eq!(tx, back);
+    }
+
+    #[test]
+    fn payload_is_accounting_only_and_never_reaches_the_wire() {
+        let plain = Transaction::new(7, 42, 123_456);
+        let heavy = Transaction::with_payload(7, 42, 123_456, 4_096);
+        assert_eq!(plain.wire_bytes(), TX_HEADER_BYTES);
+        assert_eq!(heavy.wire_bytes(), TX_HEADER_BYTES + 4_096);
+        // Identical encodings: the modeled payload cannot perturb
+        // digests, signatures, or any checked-in scenario's chain hash.
+        assert_eq!(encode_to_vec(&plain), encode_to_vec(&heavy));
+        assert_eq!(encode_to_vec(&plain).len(), TX_HEADER_BYTES);
+        let back: Transaction = decode_from_slice(&encode_to_vec(&heavy)).unwrap();
+        assert_eq!(back.payload_bytes, 0, "decode reports no modeled payload");
     }
 
     #[test]
