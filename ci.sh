@@ -9,7 +9,9 @@
 # smoke run, a determinism gate checking that --jobs 1 and --jobs 4
 # emit byte-identical JSON for a fixed seed, a recovery smoke asserting
 # the WAL-replay + reinclusion path (non-empty reinclusion block, no
-# recovery_divergence), a saturation smoke gating the goodput knee
+# recovery_divergence), a byzantine smoke asserting the adversary
+# analysis block and that reputation scheduling demotes a lazy leader
+# round-robin never touches, a saturation smoke gating the goodput knee
 # (monotone up to the knee, flat/declining past it, zero shed below
 # it), a bursty-workload smoke asserting the report's workload goodput
 # block, a docs gate failing on broken relative links in README.md and
@@ -61,6 +63,37 @@ if grep -q '"recovery_divergence": true' target/ci-recovery.json; then
 fi
 grep -q '"restarts": 1' target/ci-recovery.json \
     || { echo "recovery run did not restart the crashed validator"; exit 1; }
+
+step "byzantine smoke: adversary analysis present, HH demotes the lazy leader"
+./target/release/hh-cli run scenarios/byzantine.toml --quick --json > target/ci-byzantine.json
+grep -q '"adversary": \[' target/ci-byzantine.json \
+    || { echo "byzantine report is missing the adversary block"; exit 1; }
+grep -q '"rounds_to_demotion"' target/ci-byzantine.json \
+    || { echo "adversary block is empty"; exit 1; }
+# Demotion-speed differential: the vote scorers must demote the lazy
+# leader at some finite round; round-robin must never demote it. Keys
+# render in insertion order, so the first rounds_to_demotion after a
+# lazy_leader strategy line belongs to that attacker.
+awk '
+/"variant":/  { gsub(/[",]/, ""); variant = $2 }
+/"strategy": "lazy_leader"/ { lazy = 1; next }
+/"rounds_to_demotion":/ {
+  if (!lazy) next
+  gsub(/,/, ""); val = $2; lazy = 0
+  if (variant == "round-robin" && val != "null") {
+    print "byzantine: round-robin demoted the lazy leader (round " val ")"; exit 1
+  }
+  if (variant == "vote-based" || variant == "vote-ema-30") {
+    if (val == "null") { print "byzantine: " variant " never demoted the lazy leader"; exit 1 }
+    demoted++
+  }
+}
+END {
+  if (demoted < 2) {
+    print "byzantine: expected lazy-leader demotion under both vote scorers, got " demoted; exit 1
+  }
+  print "byzantine: lazy leader demoted under " demoted " vote scorers, never under round-robin"
+}' target/ci-byzantine.json
 
 step "saturation smoke: goodput knee is monotone, nothing shed below it"
 ./target/release/hh-cli run scenarios/saturation.toml --quick \

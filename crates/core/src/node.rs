@@ -28,7 +28,7 @@ use hh_consensus::{
     StaticLeaderPolicy,
 };
 use hh_crypto::{Digest, Keypair, Sha256};
-use hh_dag::Dag;
+use hh_dag::{Dag, EvidenceLedger};
 use hh_rbc::{Rbc, RbcMessage};
 use hh_storage::{LogBackend, ValidatorStore};
 use hh_types::{Block, Committee, Round, Transaction, ValidatorId, Vertex};
@@ -228,6 +228,11 @@ pub struct Validator<B: LogBackend> {
     client_addr: std::collections::HashMap<u32, ValidatorId>,
 
     metrics: ValidatorMetrics,
+    /// Deduplicated equivocation evidence observed by this node. Like
+    /// `metrics`, it survives [`Validator::on_restart`]: crash-recovery
+    /// replay inserts straight into the DAG, so replayed vertices can
+    /// never re-count evidence.
+    evidence: EvidenceLedger,
 }
 
 impl<B: LogBackend> Validator<B> {
@@ -259,6 +264,7 @@ impl<B: LogBackend> Validator<B> {
             halted: false,
             client_addr: std::collections::HashMap::new(),
             metrics: ValidatorMetrics::default(),
+            evidence: EvidenceLedger::new(),
             committee,
             config,
         }
@@ -310,6 +316,13 @@ impl<B: LogBackend> Validator<B> {
     /// The local DAG (inspection).
     pub fn dag(&self) -> &Dag {
         &self.dag
+    }
+
+    /// Deduplicated equivocation evidence observed by this node: each
+    /// distinct twin pair per `(round, author)` slot is charged exactly
+    /// once, no matter how often it is retransmitted.
+    pub fn equivocation_evidence(&self) -> &EvidenceLedger {
+        &self.evidence
     }
 
     /// Number of commits observed.
@@ -528,6 +541,9 @@ impl<B: LogBackend> Validator<B> {
         }
         for msg in fx.broadcast {
             out.push(Output::Broadcast(ValidatorMessage::Rbc(msg)));
+        }
+        for ev in &fx.evidence {
+            self.evidence.observe_evidence(ev);
         }
         for vertex in fx.delivered {
             self.on_delivered(vertex, now, out);

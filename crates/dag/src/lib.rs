@@ -38,7 +38,9 @@
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
+mod evidence;
 mod store;
 pub mod testkit;
 
+pub use evidence::{EquivocationEvidence, EvidenceLedger};
 pub use store::{Dag, DagError, InsertOutcome, SubDagScratch, DEFAULT_REACH_WINDOW};

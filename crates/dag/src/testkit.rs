@@ -7,8 +7,35 @@
 //! exactly the invariants production DAGs do.
 
 use crate::store::Dag;
-use hh_crypto::Digest;
+use hh_crypto::{Digest, Keypair};
 use hh_types::{Block, Committee, Round, Transaction, ValidatorId, Vertex};
+
+/// Builds the deterministic *twin* of `vertex`: same round, author and
+/// parents, but a different block — hence a different digest — signed
+/// with the author's key.
+///
+/// This is the canonical equivocation artifact: a DAG holding `vertex`
+/// rejects the twin with `DagError::Equivocation`, and the certified
+/// broadcast layer refuses to ack it after the original. Used by the
+/// simulator's `equivocate` adversary and the evidence oracle tests, so
+/// twins in tests and twins under attack are byte-for-byte the same
+/// construction.
+///
+/// The twin's block is a single marker transaction whose client id is
+/// `u32::MAX` — outside any real client's id space — so the twin can
+/// never collide with an honestly proposed block.
+pub fn twin_of(vertex: &Vertex, keypair: &Keypair) -> Vertex {
+    let marker = Transaction::new(u32::MAX, vertex.round().0, 0);
+    let twin = Vertex::new(
+        vertex.round(),
+        vertex.author(),
+        Block::new(vec![marker]),
+        vertex.parents().to_vec(),
+        keypair,
+    );
+    debug_assert_ne!(twin.digest(), vertex.digest(), "twin must differ from the original");
+    twin
+}
 
 /// Builds structured DAGs for tests.
 ///
@@ -126,6 +153,23 @@ impl DagBuilder {
         self.next_round = round.next();
         self
     }
+
+    /// The twin (see [`twin_of`]) of the vertex `author` holds in `round`.
+    ///
+    /// The twin is *returned, not inserted*: the DAG enforces one vertex
+    /// per `(round, author)`, so feeding the twin back through
+    /// `try_insert` is exactly the equivocation rejection tests exercise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `author` has no vertex in `round`.
+    pub fn twin_for(&self, round: Round, author: ValidatorId) -> Vertex {
+        let original = self
+            .dag
+            .vertex_by_author(round, author)
+            .unwrap_or_else(|| panic!("no vertex by {author} in round {round}"));
+        twin_of(original, &self.committee.keypair(author))
+    }
 }
 
 #[cfg(test)]
@@ -170,5 +214,35 @@ mod tests {
         b.extend_full_rounds(1);
         // Excluding 2 of 4 parents leaves stake 2 < quorum 3.
         b.extend_round_excluding(&[ValidatorId(0), ValidatorId(1)]);
+    }
+
+    #[test]
+    fn twin_shares_slot_but_not_digest() {
+        let committee = Committee::new_equal_stake(4);
+        let mut b = DagBuilder::new(committee.clone());
+        b.extend_full_rounds(2);
+        let original = b.dag().vertex_by_author(Round(1), ValidatorId(2)).unwrap().clone();
+        let twin = b.twin_for(Round(1), ValidatorId(2));
+        assert_eq!(twin.round(), original.round());
+        assert_eq!(twin.author(), original.author());
+        assert_eq!(twin.parents(), original.parents());
+        assert_ne!(twin.digest(), original.digest());
+        // Signed with the real key: the structural validation path accepts
+        // it, so only the one-vertex-per-slot rule can reject it.
+        assert!(twin.verify(committee.validator(ValidatorId(2)).unwrap().public_key()));
+        // Deterministic: the same slot always yields the same twin.
+        assert_eq!(b.twin_for(Round(1), ValidatorId(2)).digest(), twin.digest());
+    }
+
+    #[test]
+    fn twin_is_rejected_as_equivocation() {
+        let mut b = DagBuilder::new(Committee::new_equal_stake(4));
+        b.extend_full_rounds(2);
+        let twin = b.twin_for(Round(1), ValidatorId(0));
+        let mut dag = b.into_dag();
+        assert!(matches!(
+            dag.try_insert(twin),
+            Err(crate::DagError::Equivocation { author: ValidatorId(0), round: Round(1) })
+        ));
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::cert::{Certificate, ACK_CONTEXT};
 use hh_crypto::{Digest, Keypair, Signature};
-use hh_dag::{Dag, DagError, InsertOutcome};
+use hh_dag::{Dag, DagError, EquivocationEvidence, InsertOutcome};
 use hh_types::{Committee, DigestMap, Round, Stake, ValidatorId, Vertex, VertexRef};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
@@ -72,6 +72,11 @@ pub struct RbcEffects {
     pub send: Vec<(ValidatorId, RbcMessage)>,
     /// Messages to broadcast to every other validator.
     pub broadcast: Vec<RbcMessage>,
+    /// Equivocations witnessed during this invocation: a second distinct
+    /// vertex (or header) for a `(round, author)` slot this node already
+    /// holds. Raw observations — retransmits of the same twin reappear
+    /// here; feed them to an `EvidenceLedger` for deduplicated counts.
+    pub evidence: Vec<EquivocationEvidence>,
 }
 
 impl RbcEffects {
@@ -79,6 +84,7 @@ impl RbcEffects {
         self.delivered.extend(other.delivered);
         self.send.extend(other.send);
         self.broadcast.extend(other.broadcast);
+        self.evidence.extend(other.evidence);
     }
 }
 
@@ -323,6 +329,12 @@ impl Rbc {
             Some(prev) if *prev != v.digest() => {
                 // Second distinct header this round: equivocation attempt.
                 self.equivocation_attempts += 1;
+                fx.evidence.push(EquivocationEvidence {
+                    round: v.round(),
+                    author: v.author(),
+                    stored: *prev,
+                    offending: v.digest(),
+                });
                 return fx;
             }
             _ => {}
@@ -447,6 +459,14 @@ impl Rbc {
                 }
                 Err(DagError::Equivocation { .. }) => {
                     self.equivocation_attempts += 1;
+                    if let Some(stored) = dag.vertex_by_author(v.round(), author) {
+                        fx.evidence.push(EquivocationEvidence {
+                            round: v.round(),
+                            author,
+                            stored: stored.digest(),
+                            offending: digest,
+                        });
+                    }
                 }
                 Err(_) => {
                     // Structurally invalid or below GC: drop.
@@ -828,12 +848,55 @@ mod tests {
 
         let fx_a = rbc1.handle(ValidatorId(0), RbcMessage::Propose(v_a.clone()), &mut dag1);
         assert_eq!(fx_a.send.len(), 1, "first header acked");
-        let fx_b = rbc1.handle(ValidatorId(0), RbcMessage::Propose(v_b), &mut dag1);
+        let fx_b = rbc1.handle(ValidatorId(0), RbcMessage::Propose(v_b.clone()), &mut dag1);
         assert!(fx_b.send.is_empty(), "second distinct header refused");
         assert_eq!(rbc1.equivocation_attempts(), 1);
+        // The refusal carries evidence naming both headers.
+        assert_eq!(
+            fx_b.evidence,
+            vec![EquivocationEvidence {
+                round: Round(0),
+                author: ValidatorId(0),
+                stored: v_a.digest(),
+                offending: v_b.digest(),
+            }]
+        );
         // Re-proposing the same first header is fine (retransmission).
         let fx_a2 = rbc1.handle(ValidatorId(0), RbcMessage::Propose(v_a), &mut dag1);
         assert_eq!(fx_a2.send.len(), 1);
+        assert!(fx_a2.evidence.is_empty());
+    }
+
+    #[test]
+    fn best_effort_twin_push_surfaces_evidence() {
+        let c = committee4();
+        let (mut rbc1, mut dag1) = node(&c, 1, BroadcastMode::BestEffort);
+        let v_a = make_vertex(&c, 0, 0, vec![]);
+        let v_b = Vertex::new(
+            Round(0),
+            ValidatorId(0),
+            Block::new(vec![hh_types::Transaction::new(9, 9, 9)]),
+            vec![],
+            &c.keypair(ValidatorId(0)),
+        );
+        let fx_a = rbc1.handle(ValidatorId(0), RbcMessage::Vertex(v_a.clone()), &mut dag1);
+        assert_eq!(fx_a.delivered.len(), 1);
+        assert!(fx_a.evidence.is_empty());
+        // A twin push is rejected by the DAG and surfaced as evidence —
+        // every time it is retransmitted (deduplication is the ledger's job).
+        for _ in 0..2 {
+            let fx_b = rbc1.handle(ValidatorId(2), RbcMessage::Vertex(v_b.clone()), &mut dag1);
+            assert!(fx_b.delivered.is_empty());
+            assert_eq!(
+                fx_b.evidence,
+                vec![EquivocationEvidence {
+                    round: Round(0),
+                    author: ValidatorId(0),
+                    stored: v_a.digest(),
+                    offending: v_b.digest(),
+                }]
+            );
+        }
     }
 
     #[test]

@@ -53,6 +53,36 @@ pub struct ReinclusionRow {
     pub score_trajectory: Vec<u64>,
 }
 
+/// Adversary measurements for one byzantine validator: how fast the
+/// reputation mechanism pushed the attacker out of the leader schedule,
+/// and what the attack cost everyone while it lasted.
+#[derive(Clone, Debug)]
+pub struct AdversaryRow {
+    /// The attacker.
+    pub validator: u16,
+    /// Its strategy label(s) from the schedule (`+`-joined when a node
+    /// runs different strategies in different windows).
+    pub strategy: String,
+    /// Round at which the first schedule excluding the attacker took
+    /// effect; `None` if it was never demoted (always for round-robin).
+    pub rounds_to_demotion: Option<u64>,
+    /// Epoch whose closing scores first excluded the attacker.
+    pub epochs_to_demotion: Option<u64>,
+    /// Completed epochs whose closing scores excluded the attacker.
+    pub exclusions: u64,
+    /// Fraction of anchor (even) rounds up to the last committed anchor
+    /// where the schedule named the attacker leader. Round-robin pins
+    /// this near `1/n`; a demoting scorer drives it toward zero.
+    pub leader_share_overall: f64,
+    /// The same share per completed epoch, oldest first (HammerHead
+    /// runs; empty for the baseline) — the attacker's slot share decaying
+    /// over time.
+    pub leader_share_by_epoch: Vec<f64>,
+    /// Equivocation evidence units charged to the attacker in the
+    /// observer's ledger (non-zero only for equivocating strategies).
+    pub evidence_units: u64,
+}
+
 /// Extra per-run analysis results.
 #[derive(Clone, Debug, Default)]
 pub struct AnalysisRow {
@@ -69,6 +99,9 @@ pub struct AnalysisRow {
     /// One entry per recovery event, when the `reinclusion` analysis is
     /// requested (`Some([])` for runs whose schedule has no recoveries).
     pub reinclusion: Option<Vec<ReinclusionRow>>,
+    /// One entry per byzantine validator, when the `adversary` analysis
+    /// is requested (`Some([])` for runs with no byzantine schedule).
+    pub adversary: Option<Vec<AdversaryRow>>,
 }
 
 /// Execution-cost sample for one run, rendered only under `--profile`.
@@ -280,6 +313,24 @@ pub fn render_row(row: &RunRow) -> String {
             );
         }
     }
+    if let Some(adversary) = &row.analysis.adversary {
+        for a in adversary {
+            let demotion = match (a.epochs_to_demotion, a.rounds_to_demotion) {
+                (Some(e), Some(r)) => format!("demoted after epoch {e} (round {r})"),
+                _ => "never demoted".to_string(),
+            };
+            let _ = write!(
+                line,
+                "\n      adversary v{} ({}): {demotion} | excluded {}x | \
+                 slot share {:.1}% | evidence {}",
+                a.validator,
+                a.strategy,
+                a.exclusions,
+                a.leader_share_overall * 100.0,
+                a.evidence_units,
+            );
+        }
+    }
     line
 }
 
@@ -397,6 +448,7 @@ fn row_json(row: &RunRow, workload_declared: bool) -> Json {
         || a.skipped_rounds.is_some()
         || a.bg_churn.is_some()
         || a.reinclusion.is_some()
+        || a.adversary.is_some()
     {
         let mut analysis = Json::object();
         if !a.windows.is_empty() {
@@ -451,6 +503,39 @@ fn row_json(row: &RunRow, workload_declared: bool) -> Json {
                                             .collect(),
                                     ),
                                 )
+                        })
+                        .collect(),
+                ),
+            );
+        }
+        if let Some(adversary) = &a.adversary {
+            let opt_int = |x: Option<u64>| match x {
+                Some(v) => Json::Int(v as i64),
+                None => Json::Null,
+            };
+            analysis = analysis.with(
+                "adversary",
+                Json::Array(
+                    adversary
+                        .iter()
+                        .map(|adv| {
+                            Json::object()
+                                .with("validator", Json::Int(adv.validator as i64))
+                                .with("strategy", Json::Str(adv.strategy.clone()))
+                                .with("rounds_to_demotion", opt_int(adv.rounds_to_demotion))
+                                .with("epochs_to_demotion", opt_int(adv.epochs_to_demotion))
+                                .with("exclusions", Json::Int(adv.exclusions as i64))
+                                .with("leader_share_overall", Json::Float(adv.leader_share_overall))
+                                .with(
+                                    "leader_share_by_epoch",
+                                    Json::Array(
+                                        adv.leader_share_by_epoch
+                                            .iter()
+                                            .map(|s| Json::Float(*s))
+                                            .collect(),
+                                    ),
+                                )
+                                .with("evidence_units", Json::Int(adv.evidence_units as i64))
                         })
                         .collect(),
                 ),

@@ -17,7 +17,7 @@
 //! audit, above all — aborts the pool and is re-raised with the failing
 //! run's labels attached.
 
-use crate::engine::{AnalysisRow, ReinclusionRow, RunProfile, RunRow, WindowRow};
+use crate::engine::{AdversaryRow, AnalysisRow, ReinclusionRow, RunProfile, RunRow, WindowRow};
 use crate::spec::{AnalysisSpec, PlannedRun, ScenarioPlan};
 use hh_sim::{collect_streamed_metrics, run_sim_streaming, MetricsSink, RunLimit, SimHandle};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -116,7 +116,98 @@ fn analyze(spec: &AnalysisSpec, run: &PlannedRun, handle: &SimHandle, end_us: u6
         analysis.reinclusion = Some(reinclusion_rows(&live, handle));
     }
 
+    if spec.adversary {
+        analysis.adversary = Some(adversary_rows(run, &live, handle));
+    }
+
     analysis
+}
+
+/// The adversary analysis: for every byzantine validator, how fast the
+/// schedule demoted it (rounds and epochs to its first exclusion), how
+/// its leader-slot share evolved across epochs, and how much
+/// equivocation evidence the network holds against it.
+///
+/// Judged through the most advanced live validator's view, like the
+/// re-inclusion analysis: its schedule history resolves `leader_at` for
+/// every committed round and its evidence ledger is as complete as any
+/// honest node's.
+fn adversary_rows(run: &PlannedRun, live: &[usize], handle: &SimHandle) -> Vec<AdversaryRow> {
+    let observer_index = live
+        .iter()
+        .copied()
+        .max_by_key(|i| (handle.validator(*i).commit_count(), std::cmp::Reverse(*i)));
+    let Some(observer_index) = observer_index else {
+        return Vec::new();
+    };
+    let observer = handle.validator(observer_index);
+    let last_anchor_round = observer.committed_anchors().last().map(|a| a.round.0).unwrap_or(0);
+    let schedule = &run.config.byzantine;
+
+    // Leader-slot share of `v` over the even (anchor) rounds in
+    // `[from, until)`.
+    let share_over = |from: u64, until: u64, v: hh_types::ValidatorId| -> f64 {
+        let from = from + (from % 2);
+        let slots = (from..until).step_by(2);
+        let (mut held, mut total) = (0u64, 0u64);
+        for r in slots {
+            total += 1;
+            if observer.leader_at(hh_types::Round(r)) == v {
+                held += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            held as f64 / total as f64
+        }
+    };
+
+    schedule
+        .nodes()
+        .into_iter()
+        .map(|node| {
+            let v = hh_types::ValidatorId(node);
+            let mut labels: Vec<&str> = schedule
+                .entries()
+                .iter()
+                .filter(|e| e.node == node)
+                .map(|e| e.strategy.label())
+                .collect();
+            labels.dedup();
+            let mut rounds_to_demotion = None;
+            let mut epochs_to_demotion = None;
+            let mut exclusions = 0u64;
+            let mut leader_share_by_epoch = Vec::new();
+            if let Some(p) = observer.hammerhead_policy() {
+                // Epoch k's schedule governs the rounds between boundary
+                // k-1's new round and boundary k's.
+                let mut span_start = 0u64;
+                for summary in p.epoch_history() {
+                    let boundary = summary.new_initial_round.0;
+                    leader_share_by_epoch.push(share_over(span_start, boundary, v));
+                    if summary.excluded.contains(&v) {
+                        exclusions += 1;
+                        if epochs_to_demotion.is_none() {
+                            epochs_to_demotion = Some(summary.epoch);
+                            rounds_to_demotion = Some(boundary);
+                        }
+                    }
+                    span_start = boundary;
+                }
+            }
+            AdversaryRow {
+                validator: node,
+                strategy: labels.join("+"),
+                rounds_to_demotion,
+                epochs_to_demotion,
+                exclusions,
+                leader_share_overall: share_over(0, last_anchor_round + 1, v),
+                leader_share_by_epoch,
+                evidence_units: observer.equivocation_evidence().count_for(v),
+            }
+        })
+        .collect()
 }
 
 /// The re-inclusion analysis: for every recovered validator, how long the

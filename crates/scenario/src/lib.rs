@@ -54,17 +54,18 @@ mod spec;
 pub mod toml;
 
 pub use engine::{
-    render_header, render_profile, render_row, report_json, run_plan, run_plan_with, AnalysisRow,
-    ExecOptions, ReinclusionRow, RunProfile, RunRow, ScenarioReport, WindowRow,
+    render_header, render_profile, render_row, report_json, run_plan, run_plan_with, AdversaryRow,
+    AnalysisRow, ExecOptions, ReinclusionRow, RunProfile, RunRow, ScenarioReport, WindowRow,
 };
 pub use executor::{Executor, PooledExecutor, SerialExecutor};
 pub use hh_sim::RunLimit;
 pub use json::Json;
 pub use spec::{
-    parse_scoring, scoring_name, AnalysisSpec, ArrivalSpec, CountExpr, ExclusionSpec, FaultsSpec,
-    NetworkSpec, NodeSel, PartitionEntry, PartitionSel, PlanOptions, PlannedRun, QuickSpec,
-    RateSpec, ScenarioError, ScenarioPlan, ScenarioSpec, SlowdownEntry, SystemSpec,
-    TimedFaultEntry, VariantSpec, WhenSpec, WindowSpec, WorkloadPhaseSpec, WorkloadSpec,
+    parse_scoring, scoring_name, AnalysisSpec, ArrivalSpec, ByzantineEntrySpec,
+    ByzantineStrategySpec, CountExpr, ExclusionSpec, FaultsSpec, NetworkSpec, NodeSel,
+    PartitionEntry, PartitionSel, PlanOptions, PlannedRun, QuickSpec, RateSpec, ScenarioError,
+    ScenarioPlan, ScenarioSpec, SlowdownEntry, SystemSpec, TimedFaultEntry, VariantSpec, WhenSpec,
+    WindowSpec, WorkloadPhaseSpec, WorkloadSpec,
 };
 
 use std::path::{Path, PathBuf};

@@ -12,8 +12,8 @@
 use crate::toml::{self, TomlError, Value};
 use hammerhead::{HammerheadConfig, ScheduleConfig, ScoringRule};
 use hh_sim::{
-    Arrival, ExperimentConfig, FaultSchedule, Phase, SubmissionMode, SystemKind, Workload,
-    MAX_PAYLOAD_BYTES,
+    Arrival, ByzantineSchedule, ExperimentConfig, FaultSchedule, Phase, SubmissionMode, SystemKind,
+    Workload, MAX_PAYLOAD_BYTES,
 };
 use hh_types::{Committee, Stake, ValidatorId, TX_HEADER_BYTES};
 use std::collections::BTreeMap;
@@ -299,6 +299,46 @@ pub struct PartitionEntry {
     pub until: WhenSpec,
 }
 
+/// The strategy of one `[[faults.byzantine]]` entry — the declarative
+/// form of [`hh_sim::ByzantineStrategy`], with times in scenario units
+/// (ms delays, whole-second flip periods).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ByzantineStrategySpec {
+    /// Broadcast a conflicting twin before every own vertex.
+    Equivocate,
+    /// Drop inbound vertex pushes from `targets`, forcing own proposals
+    /// to wait for the slowest quorum.
+    WithholdVotes {
+        /// Victim validators whose pushes are ignored (≤ f of them).
+        targets: Vec<u16>,
+    },
+    /// Hold every own broadcast back by a fixed delay.
+    LazyLeader {
+        /// Delay in milliseconds.
+        delay_ms: u64,
+    },
+    /// Alternate honest and lazy half-periods.
+    FlipFlop {
+        /// Half-period length in seconds.
+        flip_secs: u64,
+        /// Delay in milliseconds during lazy half-periods.
+        delay_ms: u64,
+    },
+}
+
+/// One byzantine window (`[[faults.byzantine]]`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ByzantineEntrySpec {
+    /// The attacker.
+    pub node: u16,
+    /// What it does.
+    pub strategy: ByzantineStrategySpec,
+    /// Window start.
+    pub from: WhenSpec,
+    /// Window end (`None` = until the run ends).
+    pub until: Option<WhenSpec>,
+}
+
 /// The scenario's fault schedule — the declarative form of
 /// [`hh_sim::FaultSchedule`], resolved per planned run (committee size
 /// and duration fix the `n/k` counts and `*_frac` times).
@@ -317,6 +357,8 @@ pub struct FaultsSpec {
     pub recovers: Vec<TimedFaultEntry>,
     /// Partition windows.
     pub partitions: Vec<PartitionEntry>,
+    /// Byzantine strategy windows (the adversary suite).
+    pub byzantine: Vec<ByzantineEntrySpec>,
 }
 
 /// The arrival process of a `[workload]` table or `[[workload.phase]]`
@@ -499,6 +541,10 @@ pub struct AnalysisSpec {
     /// post-recovery leader slot and first committed anchor, plus its
     /// score trajectory across epochs (HammerHead runs).
     pub reinclusion: bool,
+    /// Per byzantine validator: rounds and epochs until first demotion,
+    /// leader-slot share over time, equivocation evidence, and the
+    /// honest commit latency alongside (runs with `[[faults.byzantine]]`).
+    pub adversary: bool,
 }
 
 /// Scaled-down axis overrides applied by `--quick`.
@@ -1221,7 +1267,15 @@ impl ScenarioSpec {
                 check_keys(
                     t,
                     "[faults]",
-                    &["crashed", "crash_last", "slowdown", "crash", "recover", "partition"],
+                    &[
+                        "crashed",
+                        "crash_last",
+                        "slowdown",
+                        "crash",
+                        "recover",
+                        "partition",
+                        "byzantine",
+                    ],
                 )?;
                 let crashed = get_u64_axis(t, "crashed", "faults")?
                     .unwrap_or_default()
@@ -1334,7 +1388,97 @@ impl ScenarioSpec {
                     });
                 }
 
-                FaultsSpec { crashed, crash_last, slowdowns, crashes, recovers, partitions }
+                let mut byzantine = Vec::new();
+                for b in get_entry_tables(t, "byzantine", "[[faults.byzantine]]")? {
+                    check_keys(
+                        b,
+                        "[[faults.byzantine]]",
+                        &[
+                            "node",
+                            "strategy",
+                            "from_secs",
+                            "from_frac",
+                            "until_secs",
+                            "until_frac",
+                            "targets",
+                            "delay_ms",
+                            "flip_secs",
+                        ],
+                    )?;
+                    let node = get_u64(b, "node", "faults.byzantine")?.ok_or_else(|| {
+                        ScenarioError::Schema("[[faults.byzantine]] requires `node`".into())
+                    })? as u16;
+                    let name = get_str(b, "strategy", "faults.byzantine")?.ok_or_else(|| {
+                        ScenarioError::Schema("[[faults.byzantine]] requires `strategy`".into())
+                    })?;
+                    let targets = get_id_list(b, "targets", "faults.byzantine")?;
+                    let delay_ms = get_u64(b, "delay_ms", "faults.byzantine")?;
+                    let flip_secs = get_u64(b, "flip_secs", "faults.byzantine")?;
+                    let forbid = |key: &str, present: bool| {
+                        if present {
+                            Err(ScenarioError::Schema(format!(
+                                "`{key}` does not apply to the `{name}` strategy"
+                            )))
+                        } else {
+                            Ok(())
+                        }
+                    };
+                    let require = |key: &str| {
+                        ScenarioError::Schema(format!("the `{name}` strategy requires `{key}`"))
+                    };
+                    let strategy = match name.as_str() {
+                        "equivocate" => {
+                            forbid("targets", targets.is_some())?;
+                            forbid("delay_ms", delay_ms.is_some())?;
+                            forbid("flip_secs", flip_secs.is_some())?;
+                            ByzantineStrategySpec::Equivocate
+                        }
+                        "withhold_votes" => {
+                            forbid("delay_ms", delay_ms.is_some())?;
+                            forbid("flip_secs", flip_secs.is_some())?;
+                            ByzantineStrategySpec::WithholdVotes {
+                                targets: targets.ok_or_else(|| require("targets"))?,
+                            }
+                        }
+                        "lazy_leader" => {
+                            forbid("targets", targets.is_some())?;
+                            forbid("flip_secs", flip_secs.is_some())?;
+                            ByzantineStrategySpec::LazyLeader {
+                                delay_ms: delay_ms.ok_or_else(|| require("delay_ms"))?,
+                            }
+                        }
+                        "flip_flop" => {
+                            forbid("targets", targets.is_some())?;
+                            ByzantineStrategySpec::FlipFlop {
+                                flip_secs: flip_secs.ok_or_else(|| require("flip_secs"))?,
+                                delay_ms: delay_ms.ok_or_else(|| require("delay_ms"))?,
+                            }
+                        }
+                        other => {
+                            return Err(ScenarioError::Schema(format!(
+                                "unknown byzantine strategy `{other}` (expected equivocate, \
+                                 withhold_votes, lazy_leader or flip_flop)"
+                            )))
+                        }
+                    };
+                    byzantine.push(ByzantineEntrySpec {
+                        node,
+                        strategy,
+                        from: get_when(b, "from", "[[faults.byzantine]]")?
+                            .unwrap_or(WhenSpec::Secs(0)),
+                        until: get_when(b, "until", "[[faults.byzantine]]")?,
+                    });
+                }
+
+                FaultsSpec {
+                    crashed,
+                    crash_last,
+                    slowdowns,
+                    crashes,
+                    recovers,
+                    partitions,
+                    byzantine,
+                }
             }
             None => FaultsSpec::default(),
         };
@@ -1345,7 +1489,7 @@ impl ScenarioSpec {
                 check_keys(
                     t,
                     "[analysis]",
-                    &["skipped_rounds", "schedule_churn", "reinclusion", "window"],
+                    &["skipped_rounds", "schedule_churn", "reinclusion", "adversary", "window"],
                 )?;
                 let windows = match t.get("window") {
                     None => Vec::new(),
@@ -1385,6 +1529,7 @@ impl ScenarioSpec {
                     skipped_rounds: get_bool(t, "skipped_rounds", "analysis")?.unwrap_or(false),
                     schedule_churn: get_bool(t, "schedule_churn", "analysis")?.unwrap_or(false),
                     reinclusion: get_bool(t, "reinclusion", "analysis")?.unwrap_or(false),
+                    adversary: get_bool(t, "adversary", "analysis")?.unwrap_or(false),
                 }
             }
             None => AnalysisSpec::default(),
@@ -1958,6 +2103,45 @@ impl ScenarioSpec {
                 .collect();
             faults.insert("partition".into(), Value::Array(items));
         }
+        if !self.faults.byzantine.is_empty() {
+            let items = self
+                .faults
+                .byzantine
+                .iter()
+                .map(|b| {
+                    let mut t = BTreeMap::new();
+                    t.insert("node".into(), Value::Int(b.node as i64));
+                    let name = match &b.strategy {
+                        ByzantineStrategySpec::Equivocate => "equivocate",
+                        ByzantineStrategySpec::WithholdVotes { targets } => {
+                            t.insert(
+                                "targets".into(),
+                                Value::Array(
+                                    targets.iter().map(|i| Value::Int(*i as i64)).collect(),
+                                ),
+                            );
+                            "withhold_votes"
+                        }
+                        ByzantineStrategySpec::LazyLeader { delay_ms } => {
+                            t.insert("delay_ms".into(), Value::Int(*delay_ms as i64));
+                            "lazy_leader"
+                        }
+                        ByzantineStrategySpec::FlipFlop { flip_secs, delay_ms } => {
+                            t.insert("delay_ms".into(), Value::Int(*delay_ms as i64));
+                            t.insert("flip_secs".into(), Value::Int(*flip_secs as i64));
+                            "flip_flop"
+                        }
+                    };
+                    t.insert("strategy".into(), Value::Str(name.into()));
+                    insert_when(&mut t, "from", b.from, true);
+                    if let Some(until) = b.until {
+                        insert_when(&mut t, "until", until, false);
+                    }
+                    Value::Table(t)
+                })
+                .collect();
+            faults.insert("byzantine".into(), Value::Array(items));
+        }
         if !faults.is_empty() {
             root.insert("faults".into(), Value::Table(faults));
         }
@@ -1971,6 +2155,9 @@ impl ScenarioSpec {
         }
         if self.analysis.reinclusion {
             analysis.insert("reinclusion".into(), Value::Bool(true));
+        }
+        if self.analysis.adversary {
+            analysis.insert("adversary".into(), Value::Bool(true));
         }
         if !self.analysis.windows.is_empty() {
             let items = self
@@ -2324,7 +2511,47 @@ impl ScenarioSpec {
         config.workload = self.workload.build(duration, load)?;
         config.max_block_bytes = self.workload.block_bytes.map(|b| b as usize);
         config.faults = self.build_fault_schedule(n, crashed, duration)?;
+        config.byzantine = self.build_byzantine_schedule(n, duration)?;
         Ok(config)
+    }
+
+    /// Resolves the `[[faults.byzantine]]` entries against a committee of
+    /// `n` and a run of `duration` seconds into the concrete
+    /// [`hh_sim::ByzantineSchedule`], and validates the result (more than
+    /// `f` attackers, out-of-range nodes or targets, and overlapping
+    /// windows per node are all rejected here).
+    fn build_byzantine_schedule(
+        &self,
+        n: usize,
+        duration: u64,
+    ) -> Result<ByzantineSchedule, ScenarioError> {
+        let mut schedule = ByzantineSchedule::new();
+        for entry in &self.faults.byzantine {
+            let from_us = entry.from.resolve_us(duration);
+            let until_us = entry.until.map(|u| u.resolve_us(duration)).unwrap_or(u64::MAX);
+            schedule = match &entry.strategy {
+                ByzantineStrategySpec::Equivocate => {
+                    schedule.equivocate(entry.node, from_us, until_us)
+                }
+                ByzantineStrategySpec::WithholdVotes { targets } => {
+                    schedule.withhold_votes(entry.node, targets.clone(), from_us, until_us)
+                }
+                ByzantineStrategySpec::LazyLeader { delay_ms } => {
+                    schedule.lazy_leader(entry.node, delay_ms * 1_000, from_us, until_us)
+                }
+                ByzantineStrategySpec::FlipFlop { flip_secs, delay_ms } => schedule.flip_flop(
+                    entry.node,
+                    flip_secs * 1_000_000,
+                    delay_ms * 1_000,
+                    from_us,
+                    until_us,
+                ),
+            };
+        }
+        schedule
+            .validate(n)
+            .map_err(|e| ScenarioError::Invalid(format!("byzantine schedule: {e}")))?;
+        Ok(schedule)
     }
 
     /// Resolves the declarative fault spec against a committee of `n` and

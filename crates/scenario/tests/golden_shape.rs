@@ -47,9 +47,14 @@ duration_secs = 3
 warmup_secs = 1
 [network]
 model = "flat"
+[[faults.byzantine]]
+node = 3
+strategy = "lazy_leader"
+delay_ms = 200
 [analysis]
 skipped_rounds = true
 schedule_churn = true
+adversary = true
 [[analysis.window]]
 name = "whole"
 from_frac = 0.0

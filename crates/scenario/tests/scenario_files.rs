@@ -17,9 +17,9 @@ fn checked_in_scenarios() -> Vec<PathBuf> {
     files.sort();
     assert_eq!(
         files.len(),
-        11,
-        "expected the seven paper scenarios plus recovery, partition, saturation and bursty, \
-         found {files:?}"
+        12,
+        "expected the seven paper scenarios plus recovery, partition, saturation, bursty \
+         and byzantine, found {files:?}"
     );
     files
 }

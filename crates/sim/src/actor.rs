@@ -1,5 +1,6 @@
 //! Adapters putting validators and clients on the discrete-event network.
 
+use crate::byzantine::ByzantineBehavior;
 use crate::workload::{ArrivalKind, RateNow, SubmissionMode, Workload};
 use hammerhead::{Output, Validator, ValidatorMessage};
 use hh_net::{Context, Node, NodeId};
@@ -266,18 +267,28 @@ impl Client {
 ///
 /// Validators occupy node ids `0..n`; clients live above them. Broadcasts
 /// from validators go to validators only.
+///
+/// A validator may carry a [`ByzantineBehavior`]: the adversarial shim
+/// that filters its inbound messages and rewrites its outbound ones. The
+/// validator logic itself stays honest — the behavior models what a real
+/// attacker controls, the network boundary.
 pub enum Actor {
-    /// A consensus validator.
-    Validator(Box<Validator<MemBackend>>),
+    /// A consensus validator, optionally byzantine.
+    Validator(Box<Validator<MemBackend>>, Option<Box<ByzantineBehavior>>),
     /// A load generator.
     Client(Client),
 }
 
 impl Actor {
+    /// An honest validator actor.
+    pub fn honest(v: Validator<MemBackend>) -> Self {
+        Actor::Validator(Box::new(v), None)
+    }
+
     /// The validator inside, if this actor is one.
     pub fn as_validator(&self) -> Option<&Validator<MemBackend>> {
         match self {
-            Actor::Validator(v) => Some(v),
+            Actor::Validator(v, _) => Some(v),
             Actor::Client(_) => None,
         }
     }
@@ -286,7 +297,15 @@ impl Actor {
     /// (streaming harnesses draining latency records mid-run).
     pub fn as_validator_mut(&mut self) -> Option<&mut Validator<MemBackend>> {
         match self {
-            Actor::Validator(v) => Some(v),
+            Actor::Validator(v, _) => Some(v),
+            Actor::Client(_) => None,
+        }
+    }
+
+    /// The byzantine behavior attached to this validator, if any.
+    pub fn behavior(&self) -> Option<&ByzantineBehavior> {
+        match self {
+            Actor::Validator(_, b) => b.as_deref(),
             Actor::Client(_) => None,
         }
     }
@@ -295,7 +314,7 @@ impl Actor {
     pub fn as_client(&self) -> Option<&Client> {
         match self {
             Actor::Client(c) => Some(c),
-            Actor::Validator(_) => None,
+            Actor::Validator(_, _) => None,
         }
     }
 }
@@ -332,9 +351,13 @@ impl Node for Actor {
 
     fn on_start(&mut self, ctx: &mut Context<'_, NetMessage>) {
         match self {
-            Actor::Validator(v) => {
+            Actor::Validator(v, behavior) => {
                 let n = v.dag().committee().size();
-                let out = v.on_start(ctx.now().as_micros());
+                let now = ctx.now().as_micros();
+                let mut out = v.on_start(now);
+                if let Some(b) = behavior {
+                    out = b.process_outbound(out, now);
+                }
                 emit(out, n, ctx);
             }
             Actor::Client(c) => {
@@ -348,10 +371,21 @@ impl Node for Actor {
 
     fn on_message(&mut self, from: NodeId, msg: NetMessage, ctx: &mut Context<'_, NetMessage>) {
         match self {
-            Actor::Validator(v) => {
+            Actor::Validator(v, behavior) => {
                 let n = v.dag().committee().size();
+                let now = ctx.now().as_micros();
+                if let Some(b) = behavior {
+                    if !b.allows_inbound(&msg, now) {
+                        // A withholding attacker pretends it never saw
+                        // this vertex.
+                        return;
+                    }
+                }
                 let sender = ValidatorId(from.0.min(u16::MAX as usize) as u16);
-                let out = v.on_message(sender, (*msg).clone(), ctx.now().as_micros());
+                let mut out = v.on_message(sender, (*msg).clone(), now);
+                if let Some(b) = behavior {
+                    out = b.process_outbound(out, now);
+                }
                 emit(out, n, ctx);
             }
             Actor::Client(c) => {
@@ -364,9 +398,22 @@ impl Node for Actor {
 
     fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, NetMessage>) {
         match self {
-            Actor::Validator(v) => {
+            Actor::Validator(v, behavior) => {
                 let n = v.dag().committee().size();
-                let out = v.on_timer(token, ctx.now().as_micros());
+                let now = ctx.now().as_micros();
+                if ByzantineBehavior::owns_token(token) {
+                    // A release timer: emit the held outputs verbatim —
+                    // they were already processed when first produced.
+                    if let Some(b) = behavior {
+                        let held = b.release(token);
+                        emit(held, n, ctx);
+                    }
+                    return;
+                }
+                let mut out = v.on_timer(token, now);
+                if let Some(b) = behavior {
+                    out = b.process_outbound(out, now);
+                }
                 emit(out, n, ctx);
             }
             Actor::Client(c) => {
@@ -379,9 +426,13 @@ impl Node for Actor {
 
     fn on_restart(&mut self, ctx: &mut Context<'_, NetMessage>) {
         match self {
-            Actor::Validator(v) => {
+            Actor::Validator(v, behavior) => {
                 let n = v.dag().committee().size();
-                let out = v.on_restart(ctx.now().as_micros());
+                let now = ctx.now().as_micros();
+                let mut out = v.on_restart(now);
+                if let Some(b) = behavior {
+                    out = b.process_outbound(out, now);
+                }
                 emit(out, n, ctx);
             }
             Actor::Client(_) => self.on_start(ctx),
@@ -409,12 +460,12 @@ mod tests {
         };
         let mut actors: Vec<Actor> = (0..4)
             .map(|i| {
-                Actor::Validator(Box::new(Validator::new(
+                Actor::honest(Validator::new(
                     committee.clone(),
                     ValidatorId(i),
                     config.clone(),
                     None,
-                )))
+                ))
             })
             .collect();
         // One client targeting validator 0.
@@ -534,7 +585,7 @@ mod tests {
         let committee = Committee::new_equal_stake(1);
         let v = Validator::new(committee, ValidatorId(0), ValidatorConfig::default(), None);
         let client = Client::with_workload(0, NodeId(0), base_tps, 2.0, workload, secs * 1_000_000);
-        let actors = vec![Actor::Validator(Box::new(v)), Actor::Client(client)];
+        let actors = vec![Actor::honest(v), Actor::Client(client)];
         let net = NetworkConfig {
             latency: hh_net::LatencyModel::Constant(hh_net::Duration::from_millis(1)),
             ..NetworkConfig::default()

@@ -2,6 +2,7 @@
 //! rows.
 
 use crate::actor::{Actor, Client};
+use crate::byzantine::ByzantineSchedule;
 use crate::fault_schedule::FaultSchedule;
 use crate::metrics::LatencySummary;
 use crate::sink::MetricsSink;
@@ -62,6 +63,11 @@ pub struct ExperimentConfig {
     pub warmup_secs: u64,
     /// The fault schedule: crashes, recoveries, slowdowns, partitions.
     pub faults: FaultSchedule,
+    /// The byzantine schedule: strategic adversaries (equivocation, vote
+    /// withholding, lazy leadership, flip-flopping) attacking the
+    /// reputation mechanism. Empty by default — and an empty schedule
+    /// changes nothing about the run, bit for bit.
+    pub byzantine: ByzantineSchedule,
     /// Use the 13-region AWS latency matrix (`true`, the paper's setting)
     /// or a flat network (`false`, fast unit tests).
     pub geo: bool,
@@ -101,6 +107,7 @@ impl ExperimentConfig {
             duration_secs: 60,
             warmup_secs: 10,
             faults: FaultSchedule::default(),
+            byzantine: ByzantineSchedule::default(),
             geo: true,
             flat_latency_ms: 5,
             validator_config: None,
@@ -124,6 +131,7 @@ impl ExperimentConfig {
             duration_secs: 3,
             warmup_secs: 0,
             faults: FaultSchedule::default(),
+            byzantine: ByzantineSchedule::default(),
             geo: false,
             flat_latency_ms: 5,
             validator_config: Some(ValidatorConfig {
@@ -271,7 +279,16 @@ impl SimHandle {
 pub fn build_sim(config: &ExperimentConfig) -> SimHandle {
     let n = config.committee_size;
     let committee = Committee::new_equal_stake(n);
-    let validator_config = config.derive_validator_config();
+    let mut validator_config = config.derive_validator_config();
+    if let Err(e) = config.byzantine.validate(n) {
+        panic!("invalid byzantine schedule: {e}");
+    }
+    if config.byzantine.has_equivocation() {
+        // Equivocation is only a *detected* attack in certified mode,
+        // where honest validators ack one header per (round, author) and
+        // the twin can never gather a certificate.
+        validator_config.broadcast_mode = hh_rbc::BroadcastMode::Certified;
+    }
 
     // Clients attach to validators that are up at t=0.
     let live: Vec<usize> = config.faults.live_at(n, 0);
@@ -287,12 +304,16 @@ pub fn build_sim(config: &ExperimentConfig) -> SimHandle {
     // Validators at ids 0..n, one client per live validator above them.
     let mut actors: Vec<Actor> = (0..n)
         .map(|i| {
-            Actor::Validator(Box::new(Validator::new(
-                committee.clone(),
-                ValidatorId(i as u16),
-                validator_config.clone(),
-                persist.then(MemBackend::new),
-            )))
+            let id = ValidatorId(i as u16);
+            Actor::Validator(
+                Box::new(Validator::new(
+                    committee.clone(),
+                    id,
+                    validator_config.clone(),
+                    persist.then(MemBackend::new),
+                )),
+                config.byzantine.behavior_for(id, &committee),
+            )
         })
         .collect();
     let rates = config.workload.client_rates(config.load_tps as f64, live.len());
@@ -841,6 +862,263 @@ mod tests {
         // And the streaming run leaves no records buffered on live
         // validators — the bounded-memory property.
         assert!(handle.validator(0).metrics().exec_records.is_empty());
+    }
+
+    /// Rounds the attacker held leader slots: under round-robin that is
+    /// every round where the static schedule elects it; under HammerHead
+    /// epochs where the attacker sits in the excluded set contribute
+    /// nothing. Computed from the epoch history so past epochs keep their
+    /// own schedules (the active schedule only describes the present).
+    fn attacker_slot_rounds(handle: &SimHandle, observer: usize, attacker: u16, n: usize) -> u64 {
+        let v = handle.validator(observer);
+        let last_round = v.committed_anchors().last().map(|a| a.round.0).unwrap_or(0);
+        match v.hammerhead_policy() {
+            None => last_round / n as u64,
+            Some(p) => {
+                // Epoch k spans [boundary k-1's new round, boundary k's).
+                // The attacker holds ~1/n of the rounds of every epoch
+                // whose *schedule* includes it, i.e. where the previous
+                // boundary did not exclude it.
+                let mut held = 0u64;
+                let mut span_start = 0u64;
+                let mut excluded_now = false;
+                for summary in p.epoch_history() {
+                    let span = summary.new_initial_round.0.saturating_sub(span_start);
+                    if !excluded_now {
+                        held += span / n as u64;
+                    }
+                    excluded_now = summary.excluded.contains(&ValidatorId(attacker));
+                    span_start = summary.new_initial_round.0;
+                }
+                if !excluded_now {
+                    held += last_round.saturating_sub(span_start) / n as u64;
+                }
+                held
+            }
+        }
+    }
+
+    /// How often each validator was excluded across the epoch history.
+    fn exclusion_counts(handle: &SimHandle, observer: usize, n: usize) -> Vec<u64> {
+        let mut counts = vec![0u64; n];
+        if let Some(p) = handle.validator(observer).hammerhead_policy() {
+            for summary in p.epoch_history() {
+                for v in &summary.excluded {
+                    counts[v.0 as usize] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Satellite: for each strategy, HammerHead must strip the attacker
+    /// of leader slots strictly faster than round-robin under the same
+    /// seed — round-robin never demotes, so the attacker keeps its slot
+    /// share for the whole run there.
+    fn assert_demoted_faster_than_round_robin(
+        schedule: ByzantineSchedule,
+        duration_secs: u64,
+        label: &str,
+    ) {
+        let attacker: u16 = 3;
+        let mut base = ExperimentConfig::quick_test(SystemKind::Bullshark);
+        base.duration_secs = duration_secs;
+        base.hammerhead = HammerheadConfig { period_rounds: 6, ..HammerheadConfig::default() };
+        base.byzantine = schedule;
+        base.byzantine.validate(base.committee_size).expect("runnable byzantine schedule");
+
+        let (rr_handle, rr_end) = run_sim_limited(&base, RunLimit::Duration);
+        let rr = collect_metrics(&base, &rr_handle, rr_end);
+
+        let mut hh_config = base.clone();
+        hh_config.system = SystemKind::Hammerhead;
+        let (hh_handle, hh_end) = run_sim_limited(&hh_config, RunLimit::Duration);
+        let hh = collect_metrics(&hh_config, &hh_handle, hh_end);
+
+        assert!(rr.agreement_ok && hh.agreement_ok, "{label}: safety must hold under attack");
+        assert!(hh.schedule_epochs >= 2, "{label}: epochs: {}", hh.schedule_epochs);
+
+        // The observer is the most advanced honest validator.
+        let observer = (0..3usize)
+            .max_by_key(|i| hh_handle.validator(*i).commit_count())
+            .expect("honest validators exist");
+        let n = base.committee_size;
+        let rr_rounds = attacker_slot_rounds(&rr_handle, observer, attacker, n);
+        let hh_rounds = attacker_slot_rounds(&hh_handle, observer, attacker, n);
+        assert!(
+            hh_rounds < rr_rounds,
+            "{label}: hammerhead must strip the attacker's slots faster \
+             (hh {hh_rounds} vs rr {rr_rounds} rounds held)"
+        );
+
+        // And the demotions must actually target the attacker: it is
+        // excluded more often than any honest validator.
+        let counts = exclusion_counts(&hh_handle, observer, n);
+        for honest in 0..3usize {
+            assert!(
+                counts[attacker as usize] > counts[honest],
+                "{label}: attacker excluded {} times vs honest {honest}'s {} — \
+                 the mechanism must single out the attacker ({counts:?})",
+                counts[attacker as usize],
+                counts[honest]
+            );
+        }
+    }
+
+    #[test]
+    fn equivocator_is_demoted_faster_than_round_robin() {
+        let s = ByzantineSchedule::new().equivocate(3, 0, u64::MAX);
+        assert_demoted_faster_than_round_robin(s, 8, "equivocate");
+    }
+
+    #[test]
+    fn lazy_leader_is_demoted_faster_than_round_robin() {
+        let s = ByzantineSchedule::new().lazy_leader(3, 400_000, 0, u64::MAX);
+        assert_demoted_faster_than_round_robin(s, 8, "lazy_leader");
+    }
+
+    #[test]
+    fn flip_flopper_is_demoted_faster_than_round_robin() {
+        // 1-second phases: honest, lazy, honest, lazy... The lazy epochs
+        // must drag the attacker's score under the honest floor.
+        let s = ByzantineSchedule::new().flip_flop(3, 1_000_000, 400_000, 0, u64::MAX);
+        assert_demoted_faster_than_round_robin(s, 10, "flip_flop");
+    }
+
+    #[test]
+    fn vote_withholder_is_demoted_faster_than_round_robin() {
+        // Withholding constrains the attacker's parent choice to a fixed
+        // quorum — it must await specific vertices where honest nodes take
+        // the fastest quorum, so its own proposals run systematically
+        // late. The geo network makes that lateness visible to scoring.
+        let mut base = ExperimentConfig::quick_test(SystemKind::Bullshark);
+        base.committee_size = 7;
+        base.geo = true;
+        base.validator_config = None; // paper-calibrated vote windows
+        base.duration_secs = 20;
+        base.load_tps = 100;
+        base.hammerhead = HammerheadConfig { period_rounds: 6, ..HammerheadConfig::default() };
+        let attacker: u16 = 6;
+        base.byzantine = ByzantineSchedule::new().withhold_votes(attacker, vec![0, 1], 0, u64::MAX);
+        base.byzantine.validate(base.committee_size).expect("runnable byzantine schedule");
+
+        let (rr_handle, rr_end) = run_sim_limited(&base, RunLimit::Duration);
+        let rr = collect_metrics(&base, &rr_handle, rr_end);
+
+        let mut hh_config = base.clone();
+        hh_config.system = SystemKind::Hammerhead;
+        let (hh_handle, hh_end) = run_sim_limited(&hh_config, RunLimit::Duration);
+        let hh = collect_metrics(&hh_config, &hh_handle, hh_end);
+
+        assert!(rr.agreement_ok && hh.agreement_ok, "withhold: safety must hold under attack");
+        assert!(hh.schedule_epochs >= 2, "withhold: epochs: {}", hh.schedule_epochs);
+        let observer = (0..6usize)
+            .max_by_key(|i| hh_handle.validator(*i).commit_count())
+            .expect("honest validators exist");
+        let n = base.committee_size;
+        let rr_rounds = attacker_slot_rounds(&rr_handle, observer, attacker, n);
+        let hh_rounds = attacker_slot_rounds(&hh_handle, observer, attacker, n);
+        assert!(
+            hh_rounds < rr_rounds,
+            "withhold: hammerhead must strip the attacker's slots faster \
+             (hh {hh_rounds} vs rr {rr_rounds} rounds held)"
+        );
+    }
+
+    /// Satellite: equivocation evidence is charged exactly once per twin
+    /// pair — across RBC retransmits, garbage collection, and a WAL
+    /// recovery replay. Node 3 equivocates all run; honest node 1 crashes
+    /// and recovers mid-run, so its ledger must survive the replay
+    /// without re-counting replayed slots.
+    #[test]
+    fn equivocation_evidence_counts_each_twin_pair_exactly_once() {
+        let mut config = ExperimentConfig::quick_test(SystemKind::Hammerhead);
+        config.duration_secs = 6;
+        config.byzantine = ByzantineSchedule::new().equivocate(3, 0, u64::MAX);
+        config.faults = FaultSchedule::new().crash(1, 1_500_000).recover(1, 3_000_000);
+        config.faults.validate(config.committee_size).expect("runnable schedule");
+
+        let (handle, end_us) = run_sim_limited(&config, RunLimit::Duration);
+        let r = collect_metrics(&config, &handle, end_us);
+        assert!(r.agreement_ok, "equivocation must not break safety");
+        assert_eq!(r.restarts, 1);
+        assert!(!r.recovery_divergence);
+
+        // The attacker rebroadcast uncertified headers every sync tick, so
+        // raw twin emissions far exceed distinct twinned slots — the
+        // deduplication below is load-bearing, not vacuous.
+        let behavior =
+            handle.sim.node(NodeId(3)).behavior().expect("attacker carries its behavior");
+        assert!(behavior.twins_sent() > 0, "the attacker actually equivocated");
+
+        let attacker = ValidatorId(3);
+        for honest in [0usize, 2] {
+            let ledger = handle.validator(honest).equivocation_evidence();
+            let units = ledger.count_for(attacker);
+            assert!(units > 3, "honest {honest} must hold evidence, has {units}");
+            // A crash-recovered validator may accidentally equivocate: a
+            // proposal broadcast but not yet certified is not in the WAL,
+            // so after replay it re-proposes that round with a different
+            // block. The evidence channel cannot tell that from malice —
+            // but it is bounded by the restart count, where the attacker
+            // equivocates every round.
+            assert!(
+                ledger.total() - units <= r.restarts,
+                "honest {honest}: non-attacker evidence exceeds the restart bound \
+                 ({:?})",
+                ledger.by_author().collect::<Vec<_>>()
+            );
+            // Exactly once per twin pair: one unit per (round, author)
+            // slot, no matter how many retransmits re-delivered the pair.
+            assert_eq!(
+                ledger.slot_count() as u64,
+                ledger.total(),
+                "honest {honest}: every slot charged exactly one unit"
+            );
+        }
+        let v0 = handle.validator(0).equivocation_evidence().count_for(attacker);
+        let v2 = handle.validator(2).equivocation_evidence().count_for(attacker);
+        assert_eq!(v0, v2, "never-crashed validators observed the same twinned slots");
+
+        // The recovered validator: no loss before the crash, no
+        // double-count from the WAL replay (replay inserts straight into
+        // the DAG, never through the broadcast layer).
+        let recovered = handle.validator(1).equivocation_evidence();
+        let units = recovered.count_for(attacker);
+        assert!(units > 0, "evidence survives the restart");
+        assert!(units <= v0, "a crashed window cannot observe more than an always-up node");
+        assert_eq!(recovered.slot_count() as u64, units, "replay must not inflate any slot");
+    }
+
+    #[test]
+    fn all_honest_run_is_unchanged_by_the_byzantine_hook() {
+        // The byzantine plumbing (actor indirection, empty schedule) must
+        // leave an all-honest run bit-identical: chain hash, commits,
+        // throughput. This is the programmatic face of the scenario
+        // byte-identity gate.
+        let config = ExperimentConfig::quick_test(SystemKind::Hammerhead);
+        assert!(config.byzantine.is_empty());
+        let a = run_experiment(&config);
+        let mut with_empty = config.clone();
+        with_empty.byzantine = ByzantineSchedule::new();
+        let b = run_experiment(&with_empty);
+        assert_eq!(a.chain_hash, b.chain_hash);
+        assert_eq!(a.commits, b.commits);
+        assert_eq!(a.throughput_tps, b.throughput_tps);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid byzantine schedule")]
+    fn build_sim_rejects_invalid_byzantine_schedules_up_front() {
+        let mut config = ExperimentConfig::quick_test(SystemKind::Hammerhead);
+        // n = 4 → f = 1: two byzantine validators are unrunnable.
+        config.byzantine = ByzantineSchedule::new().equivocate(2, 0, u64::MAX).lazy_leader(
+            3,
+            400_000,
+            0,
+            u64::MAX,
+        );
+        build_sim(&config);
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //!   mid-run crashes with WAL-backed recovery, slowdown faults (the §1
 //!   incident) and partitions, validated up front and lowered to an
 //!   [`hh_net::FaultPlan`];
+//! * a [`ByzantineSchedule`] of strategic adversaries attacking the
+//!   reputation mechanism — equivocation, vote withholding, lazy
+//!   leadership, flip-flopping — lowered to [`ByzantineBehavior`] hooks
+//!   that rewrite an attacker's network boundary while its validator
+//!   logic stays honest;
 //! * an agreement audit across all live validators' commit sequences after
 //!   every run (safety is checked on every experiment, not assumed).
 //!
@@ -59,6 +64,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 mod actor;
+mod byzantine;
 mod experiment;
 mod fault_schedule;
 mod metrics;
@@ -67,6 +73,10 @@ mod timeseries;
 mod workload;
 
 pub use actor::{Actor, Client, NetMessage, MIN_CLIENT_WINDOW};
+pub use byzantine::{
+    ByzantineBehavior, ByzantineEntry, ByzantineSchedule, ByzantineScheduleError,
+    ByzantineStrategy, BYZANTINE_TOKEN_BASE,
+};
 pub use experiment::{
     build_sim, collect_metrics, collect_streamed_metrics, run_experiment, run_experiment_limited,
     run_sim_limited, run_sim_streaming, ExperimentConfig, RecoverySample, RunLimit, RunResult,

@@ -25,12 +25,10 @@ fn main() {
 
     let mut actors: Vec<Actor> = (0..4)
         .map(|i| {
-            Actor::Validator(Box::new(Validator::new(
-                committee.clone(),
-                ValidatorId(i),
-                config.clone(),
+            Actor::Validator(
+                Box::new(Validator::new(committee.clone(), ValidatorId(i), config.clone(), None)),
                 None,
-            )))
+            )
         })
         .collect();
     actors.push(Actor::Client(Client::new(0, NodeId(0), 100.0, 10.0)));
