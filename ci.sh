@@ -11,7 +11,10 @@
 # the WAL-replay + reinclusion path (non-empty reinclusion block, no
 # recovery_divergence), a byzantine smoke asserting the adversary
 # analysis block and that reputation scheduling demotes a lazy leader
-# round-robin never touches, a saturation smoke gating the goodput knee
+# round-robin never touches, a chaos smoke running the adverse-network
+# sweep across three seeds and gating zero safety-invariant violations,
+# nonzero codec rejections of corrupted frames, and a commit floor per
+# run, a saturation smoke gating the goodput knee
 # (monotone up to the knee, flat/declining past it, zero shed below
 # it), a bursty-workload smoke asserting the report's workload goodput
 # block, a docs gate failing on broken relative links in README.md and
@@ -94,6 +97,26 @@ END {
   }
   print "byzantine: lazy leader demoted under " demoted " vote scorers, never under round-robin"
 }' target/ci-byzantine.json
+
+step "chaos smoke: safety clean across seeds, codec rejects corruption, commits flow"
+for seed in 7 11 13; do
+    ./target/release/hh-cli run scenarios/chaos.toml --quick --seed "$seed" --json \
+        > "target/ci-chaos-$seed.json"
+done
+awk '
+/"commits":/           { gsub(/,/, ""); commits[++n] = $2 }
+/"corrupt_rejected":/  { gsub(/,/, ""); rejected += $2; blocks++ }
+/"safety_violations":/ {
+  gsub(/,/, "")
+  if ($2 != 0) { print "chaos: " $2 " safety invariant violation(s) reported"; exit 1 }
+}
+END {
+  if (blocks < 6) { print "chaos: expected a chaos block in all 6 runs, got " blocks; exit 1 }
+  if (rejected == 0) { print "chaos: no corrupted frame was ever rejected at the codec"; exit 1 }
+  for (i = 1; i <= n; i++)
+    if (commits[i] < 10) { print "chaos: run " i " stalled at " commits[i] " commits"; exit 1 }
+  printf "chaos: %d runs clean, %d corrupt frames rejected at the codec\n", blocks, rejected
+}' target/ci-chaos-7.json target/ci-chaos-11.json target/ci-chaos-13.json
 
 step "saturation smoke: goodput knee is monotone, nothing shed below it"
 ./target/release/hh-cli run scenarios/saturation.toml --quick \

@@ -67,7 +67,7 @@ mod schedule;
 mod scores;
 
 pub use config::{ConfigError, HammerheadConfig, ScheduleConfig, ScoringRule, ValidatorConfig};
-pub use node::{ExecRecord, Output, Validator, ValidatorMessage, ValidatorMetrics};
+pub use node::{CommitRecord, ExecRecord, Output, Validator, ValidatorMessage, ValidatorMetrics};
 pub use policy::{EpochSummary, HammerheadPolicy};
 pub use schedule::{compute_next_schedule, ScheduleChange};
 pub use scores::ReputationScores;

@@ -31,7 +31,8 @@ use hh_crypto::{Digest, Keypair, Sha256};
 use hh_dag::{Dag, EvidenceLedger};
 use hh_rbc::{Rbc, RbcMessage};
 use hh_storage::{LogBackend, ValidatorStore};
-use hh_types::{Block, Committee, Round, Transaction, ValidatorId, Vertex};
+use hh_types::codec::{Decoder, Encode, EncodeExt};
+use hh_types::{Block, Committee, Round, Transaction, TypeError, ValidatorId, Vertex, VertexRef};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -59,6 +60,58 @@ pub enum ValidatorMessage {
         /// Execution completion time (µs), or `u64::MAX` for a shed tx.
         executed_at: u64,
     },
+}
+
+impl Encode for ValidatorMessage {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ValidatorMessage::Rbc(m) => {
+                buf.put_u8(0);
+                m.encode(buf);
+            }
+            ValidatorMessage::Submit(tx) => {
+                buf.put_u8(1);
+                tx.encode(buf);
+            }
+            ValidatorMessage::Confirm { id, executed_at } => {
+                buf.put_u8(2);
+                id.encode(buf);
+                buf.put_u64(*executed_at);
+            }
+        }
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, TypeError> {
+        Ok(match d.take_u8()? {
+            0 => ValidatorMessage::Rbc(RbcMessage::decode(d)?),
+            1 => ValidatorMessage::Submit(Transaction::decode(d)?),
+            2 => ValidatorMessage::Confirm {
+                id: hh_types::TxId::decode(d)?,
+                executed_at: d.take_u64()?,
+            },
+            _ => return Err(TypeError::Decode("invalid validator message tag")),
+        })
+    }
+}
+
+/// One committed sub-DAG as this validator observed it — the unit the
+/// safety invariant checker consumes. Records are appended on every
+/// commit, *including* commits recomputed during crash-recovery replay,
+/// so the checker can hold replayed history to the same prefix the
+/// validator had already exposed before the crash.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommitRecord {
+    /// Position in the total order of commits (0-based, the engine's
+    /// `commit_index`).
+    pub index: u64,
+    /// The committed anchor.
+    pub anchor: VertexRef,
+    /// Every vertex of the sub-DAG, in commit (deterministic traversal)
+    /// order.
+    pub vertices: Vec<VertexRef>,
+    /// Whether this record was produced by crash-recovery replay rather
+    /// than live consensus.
+    pub replayed: bool,
 }
 
 /// Effects a handler asks the runtime to perform.
@@ -227,6 +280,11 @@ pub struct Validator<B: LogBackend> {
     /// range; `ValidatorId` doubles as the generic network address here.
     client_addr: std::collections::HashMap<u32, ValidatorId>,
 
+    /// Commit records awaiting collection by the safety checker (see
+    /// [`Validator::take_commit_records`]). Replay commits land here
+    /// too, flagged `replayed`.
+    commit_log: Vec<CommitRecord>,
+
     metrics: ValidatorMetrics,
     /// Deduplicated equivocation evidence observed by this node. Like
     /// `metrics`, it survives [`Validator::on_restart`]: crash-recovery
@@ -263,6 +321,7 @@ impl<B: LogBackend> Validator<B> {
             replaying: false,
             halted: false,
             client_addr: std::collections::HashMap::new(),
+            commit_log: Vec::new(),
             metrics: ValidatorMetrics::default(),
             evidence: EvidenceLedger::new(),
             committee,
@@ -316,6 +375,20 @@ impl<B: LogBackend> Validator<B> {
     /// The local DAG (inspection).
     pub fn dag(&self) -> &Dag {
         &self.dag
+    }
+
+    /// Takes the commit records accumulated since the last call, in
+    /// commit order, leaving the buffer empty. The safety invariant
+    /// checker (`hh-sim`) drains this after every run slice.
+    pub fn take_commit_records(&mut self) -> Vec<CommitRecord> {
+        std::mem::take(&mut self.commit_log)
+    }
+
+    /// Broadcast-layer retransmissions (sync re-requests + proposal
+    /// re-broadcasts) since the last restart — the self-healing
+    /// delivery's cost metric. Resets with the RBC state on restart.
+    pub fn rbc_retransmits(&self) -> u64 {
+        self.rbc.retransmits()
     }
 
     /// Deduplicated equivocation evidence observed by this node: each
@@ -593,6 +666,12 @@ impl<B: LogBackend> Validator<B> {
 
     fn on_commit(&mut self, sd: CommittedSubDag, now: u64, out: &mut Vec<Output>) {
         self.metrics.commits += 1;
+        self.commit_log.push(CommitRecord {
+            index: sd.commit_index,
+            anchor: sd.anchor,
+            vertices: sd.vertices.iter().map(|v| v.reference()).collect(),
+            replayed: self.replaying,
+        });
         let tx_interval_us = 1_000_000 / self.config.exec_rate_tps.max(1);
         for vertex in &sd.vertices {
             let own = vertex.author() == self.id;

@@ -1,0 +1,219 @@
+//! Link-level network chaos: scheduled windows of frame drop,
+//! duplication, reordering and corruption.
+//!
+//! A [`ChaosPlan`] is the lowered, validated form of a scenario's
+//! `[[faults.chaos]]` tables. Each [`ChaosWindow`] covers a set of
+//! directed links (all links, one node's links, or a single directed
+//! pair) for a half-open time interval and carries independent rates
+//! for each effect. The simulator consults [`ChaosPlan::window_at`] on
+//! every routed frame; when no window matches — in particular, in every
+//! chaos-free run — the plan draws nothing from the RNG, so existing
+//! executions stay bit-identical.
+//!
+//! Overlap on the same directed link at the same instant is rejected at
+//! schedule-validation time (in `hh-sim`), so `window_at` can return
+//! the first match without ambiguity.
+
+use crate::sim::NodeId;
+use crate::time::{Duration, SimTime};
+
+/// Which directed links a chaos window covers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosScope {
+    /// Every link between in-scope nodes.
+    AllLinks,
+    /// Every link touching `node`, inbound or outbound.
+    Node(NodeId),
+    /// The directed link `from -> to` only.
+    Pair {
+        /// Sender side.
+        from: NodeId,
+        /// Receiver side.
+        to: NodeId,
+    },
+}
+
+impl ChaosScope {
+    /// Whether the directed link `from -> to` falls under this scope.
+    pub fn covers(&self, from: NodeId, to: NodeId) -> bool {
+        match *self {
+            ChaosScope::AllLinks => true,
+            ChaosScope::Node(n) => from == n || to == n,
+            ChaosScope::Pair { from: f, to: t } => from == f && to == t,
+        }
+    }
+
+    /// Whether two scopes share at least one directed link. Any two
+    /// node scopes intersect (the link between the two nodes belongs to
+    /// both), which is what makes first-match lookup unambiguous once
+    /// time-overlapping intersecting windows are rejected.
+    pub fn intersects(&self, other: &ChaosScope) -> bool {
+        match (*self, *other) {
+            (ChaosScope::AllLinks, _) | (_, ChaosScope::AllLinks) => true,
+            (ChaosScope::Node(_), ChaosScope::Node(_)) => true,
+            (ChaosScope::Node(n), ChaosScope::Pair { from, to })
+            | (ChaosScope::Pair { from, to }, ChaosScope::Node(n)) => from == n || to == n,
+            (ChaosScope::Pair { from: f1, to: t1 }, ChaosScope::Pair { from: f2, to: t2 }) => {
+                f1 == f2 && t1 == t2
+            }
+        }
+    }
+}
+
+/// One chaos window: effect rates applied to every matching frame while
+/// `from <= now < until`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChaosWindow {
+    /// The links covered.
+    pub scope: ChaosScope,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+    /// Probability a frame is dropped outright.
+    pub drop: f64,
+    /// Probability a frame is delivered twice.
+    pub duplicate: f64,
+    /// Probability a frame's encoded bytes are flipped in flight.
+    pub corrupt: f64,
+    /// Maximum extra per-frame delay, drawn uniformly in `[0, reorder]`
+    /// — frames overtake each other when it exceeds the latency spread.
+    pub reorder: Duration,
+}
+
+/// The full chaos timeline of one run, plus the id bound separating
+/// validators from co-simulated clients.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosPlan {
+    /// Windows sorted by `from` (stable, preserving builder order among
+    /// equal starts).
+    windows: Vec<ChaosWindow>,
+    /// Chaos only touches links whose endpoints are both below this
+    /// bound; client actors ride above the validator ids and keep clean
+    /// links to their local validator.
+    scope_limit: usize,
+}
+
+impl ChaosPlan {
+    /// An empty plan: no window ever matches, no RNG draw ever happens.
+    pub fn new() -> Self {
+        ChaosPlan { windows: Vec::new(), scope_limit: usize::MAX }
+    }
+
+    /// Adds a window, keeping the list sorted by start time.
+    #[must_use]
+    pub fn window(mut self, w: ChaosWindow) -> Self {
+        let pos = self.windows.partition_point(|x| x.from <= w.from);
+        self.windows.insert(pos, w);
+        self
+    }
+
+    /// Restricts chaos to links whose endpoints are both below `n`
+    /// (the validator ids; clients sit at `n..`).
+    #[must_use]
+    pub fn restrict_to(mut self, n: usize) -> Self {
+        self.scope_limit = n;
+        self
+    }
+
+    /// Whether the plan has no windows at all.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The windows, sorted by start time.
+    pub fn windows(&self) -> &[ChaosWindow] {
+        &self.windows
+    }
+
+    /// The window governing the directed link `from -> to` at `now`,
+    /// if any. First match wins; schedule validation guarantees there
+    /// is at most one.
+    pub fn window_at(&self, from: NodeId, to: NodeId, now: SimTime) -> Option<&ChaosWindow> {
+        if self.windows.is_empty() || from.0 >= self.scope_limit || to.0 >= self.scope_limit {
+            return None;
+        }
+        let started = self.windows.partition_point(|w| w.from <= now);
+        self.windows[..started].iter().find(|w| now < w.until && w.scope.covers(from, to))
+    }
+}
+
+impl Default for ChaosPlan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(scope: ChaosScope, from_ms: u64, until_ms: u64) -> ChaosWindow {
+        ChaosWindow {
+            scope,
+            from: SimTime::from_millis(from_ms),
+            until: SimTime::from_millis(until_ms),
+            drop: 0.5,
+            duplicate: 0.0,
+            corrupt: 0.0,
+            reorder: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn scope_coverage() {
+        let all = ChaosScope::AllLinks;
+        let node = ChaosScope::Node(NodeId(2));
+        let pair = ChaosScope::Pair { from: NodeId(1), to: NodeId(3) };
+        assert!(all.covers(NodeId(0), NodeId(9)));
+        assert!(node.covers(NodeId(2), NodeId(5)));
+        assert!(node.covers(NodeId(5), NodeId(2)));
+        assert!(!node.covers(NodeId(0), NodeId(1)));
+        assert!(pair.covers(NodeId(1), NodeId(3)));
+        assert!(!pair.covers(NodeId(3), NodeId(1)), "pair scope is directed");
+    }
+
+    #[test]
+    fn scope_intersection_is_symmetric_and_link_based() {
+        let node_a = ChaosScope::Node(NodeId(0));
+        let node_b = ChaosScope::Node(NodeId(1));
+        // The link 0 -> 1 belongs to both node scopes.
+        assert!(node_a.intersects(&node_b));
+        let pair = ChaosScope::Pair { from: NodeId(2), to: NodeId(3) };
+        assert!(!node_a.intersects(&pair));
+        assert!(pair.intersects(&ChaosScope::Node(NodeId(3))));
+        let other_pair = ChaosScope::Pair { from: NodeId(3), to: NodeId(2) };
+        assert!(!pair.intersects(&other_pair), "reversed pair is a different link");
+    }
+
+    #[test]
+    fn window_at_respects_time_and_scope() {
+        let plan = ChaosPlan::new()
+            .window(window(ChaosScope::Node(NodeId(1)), 100, 200))
+            .window(window(ChaosScope::AllLinks, 300, 400));
+        assert!(plan.window_at(NodeId(0), NodeId(1), SimTime::from_millis(50)).is_none());
+        assert!(plan.window_at(NodeId(0), NodeId(1), SimTime::from_millis(150)).is_some());
+        assert!(plan.window_at(NodeId(0), NodeId(2), SimTime::from_millis(150)).is_none());
+        assert!(
+            plan.window_at(NodeId(0), NodeId(1), SimTime::from_millis(200)).is_none(),
+            "window end is exclusive"
+        );
+        assert!(plan.window_at(NodeId(5), NodeId(6), SimTime::from_millis(350)).is_some());
+    }
+
+    #[test]
+    fn scope_limit_exempts_client_links() {
+        let plan = ChaosPlan::new().window(window(ChaosScope::AllLinks, 0, 1000)).restrict_to(4);
+        assert!(plan.window_at(NodeId(0), NodeId(3), SimTime::from_millis(10)).is_some());
+        // Client 4 talking to validator 0 keeps a clean link.
+        assert!(plan.window_at(NodeId(4), NodeId(0), SimTime::from_millis(10)).is_none());
+        assert!(plan.window_at(NodeId(0), NodeId(4), SimTime::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn empty_plan_never_matches() {
+        let plan = ChaosPlan::new();
+        assert!(plan.is_empty());
+        assert!(plan.window_at(NodeId(0), NodeId(1), SimTime::from_millis(1)).is_none());
+    }
+}

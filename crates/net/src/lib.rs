@@ -50,12 +50,14 @@
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
+mod chaos;
 mod fault;
 mod latency;
 mod sim;
 pub mod threaded;
 mod time;
 
+pub use chaos::{ChaosPlan, ChaosScope, ChaosWindow};
 pub use fault::{FaultPlan, PartitionSpec, SlowdownSpec};
 pub use latency::{GeoLatency, LatencyModel, Region, REGION_COUNT};
 pub use sim::{Context, NetworkConfig, Node, NodeId, PreGstAdversary, SimStats, Simulator};

@@ -6,6 +6,7 @@
 //! bit-identical executions — the foundation for the reproducible
 //! experiments and the safety property tests.
 
+use crate::chaos::{ChaosPlan, ChaosWindow};
 use crate::fault::FaultPlan;
 use crate::latency::LatencyModel;
 use crate::time::{Duration, SimTime};
@@ -55,6 +56,20 @@ pub trait Node {
     /// their persistent storage here.
     fn on_restart(&mut self, ctx: &mut Context<'_, Self::Message>) {
         self.on_start(ctx);
+    }
+
+    /// Produces the in-flight-corrupted form of `msg` under a chaos
+    /// window, or `None` when the mangled frame would fail to decode at
+    /// the receiver — it then vanishes, counted in
+    /// [`SimStats::chaos_corrupt_rejected`], exactly like a real frame
+    /// dying at the codec. Implementations with a wire codec should
+    /// encode, flip random bytes with `rng`, and re-decode, so
+    /// corruption is only survivable when the codec genuinely accepts
+    /// the flipped bytes. The default — untyped messages carry no codec
+    /// — rejects every corruption.
+    fn corrupt_message(msg: &Self::Message, rng: &mut StdRng) -> Option<Self::Message> {
+        let _ = (msg, rng);
+        None
     }
 }
 
@@ -166,6 +181,9 @@ pub struct NetworkConfig {
     pub loopback: Duration,
     /// The fault schedule.
     pub faults: FaultPlan,
+    /// Scheduled link chaos (drop / duplicate / reorder / corrupt).
+    /// Empty by default; an empty plan draws nothing from the RNG.
+    pub chaos: ChaosPlan,
 }
 
 impl Default for NetworkConfig {
@@ -177,6 +195,7 @@ impl Default for NetworkConfig {
             pre_gst: PreGstAdversary::default(),
             loopback: Duration::from_micros(50),
             faults: FaultPlan::new(),
+            chaos: ChaosPlan::new(),
         }
     }
 }
@@ -192,6 +211,18 @@ pub struct SimStats {
     pub dropped_crashed: u64,
     /// Messages the pre-GST adversary deferred to `GST + delta`.
     pub adversary_deferred: u64,
+    /// Frames a chaos window dropped outright.
+    pub chaos_dropped: u64,
+    /// Frames a chaos window delivered twice.
+    pub chaos_duplicated: u64,
+    /// Frames a chaos window flipped bytes in (whether or not the
+    /// result decoded).
+    pub chaos_corrupted: u64,
+    /// Corrupted frames that failed to decode at the receiver and were
+    /// discarded (the codec catching the flip).
+    pub chaos_corrupt_rejected: u64,
+    /// Frames a chaos window delayed by a non-zero reorder draw.
+    pub chaos_reordered: u64,
 }
 
 #[derive(Debug)]
@@ -448,7 +479,58 @@ impl<N: Node> Simulator<N> {
             at = at.max(heal + base);
         }
 
+        if let Some(w) = self.config.chaos.window_at(from, to, self.now).copied() {
+            self.route_chaotic(from, to, msg, at, w);
+            return;
+        }
         self.push(at, EventKind::Deliver { to, from, msg });
+    }
+
+    /// Applies one chaos window to a frame already scheduled for `at`:
+    /// drop, duplicate, corrupt and reorder draws, in that fixed order.
+    /// Zero-rate effects draw nothing, so a window only perturbs the
+    /// RNG stream for the effects it actually declares.
+    fn route_chaotic(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: N::Message,
+        at: SimTime,
+        w: ChaosWindow,
+    ) {
+        if w.drop > 0.0 && self.rng.gen::<f64>() < w.drop {
+            self.stats.chaos_dropped += 1;
+            return;
+        }
+        let copies = if w.duplicate > 0.0 && self.rng.gen::<f64>() < w.duplicate {
+            self.stats.chaos_duplicated += 1;
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            let mut frame = msg.clone();
+            if w.corrupt > 0.0 && self.rng.gen::<f64>() < w.corrupt {
+                self.stats.chaos_corrupted += 1;
+                match N::corrupt_message(&frame, &mut self.rng) {
+                    Some(mangled) => frame = mangled,
+                    None => {
+                        // The flipped frame died at the receiver's codec.
+                        self.stats.chaos_corrupt_rejected += 1;
+                        continue;
+                    }
+                }
+            }
+            let mut deliver_at = at;
+            if w.reorder > Duration::ZERO {
+                let extra = self.rng.gen_range(0..=w.reorder.as_micros());
+                if extra > 0 {
+                    self.stats.chaos_reordered += 1;
+                }
+                deliver_at = at + Duration::from_micros(extra);
+            }
+            self.push(deliver_at, EventKind::Deliver { to, from, msg: frame });
+        }
     }
 }
 
@@ -621,5 +703,119 @@ mod tests {
         let mut sim: Simulator<Echo> = Simulator::new(nodes, constant_net(1), 0);
         sim.run_until(SimTime::from_secs(3));
         assert_eq!(sim.now(), SimTime::from_secs(3));
+    }
+
+    use crate::chaos::{ChaosScope, ChaosWindow};
+
+    fn chaos_window(drop: f64, duplicate: f64, corrupt: f64, reorder_ms: u64) -> ChaosWindow {
+        ChaosWindow {
+            scope: ChaosScope::AllLinks,
+            from: SimTime::ZERO,
+            until: SimTime::MAX,
+            drop,
+            duplicate,
+            corrupt,
+            reorder: Duration::from_millis(reorder_ms),
+        }
+    }
+
+    #[test]
+    fn chaos_drop_all_silences_every_link() {
+        let nodes = (0..3).map(|_| Echo::new()).collect();
+        let mut cfg = constant_net(10);
+        cfg.chaos = ChaosPlan::new().window(chaos_window(1.0, 0.0, 0.0, 0));
+        let mut sim = Simulator::new(nodes, cfg, 1);
+        sim.run_until(SimTime::from_secs(1));
+        for i in 0..3 {
+            assert!(sim.node(NodeId(i)).log.is_empty());
+        }
+        assert_eq!(sim.stats().chaos_dropped, 2, "both pings dropped");
+        assert_eq!(sim.stats().delivered, 0);
+    }
+
+    #[test]
+    fn chaos_duplicate_all_delivers_every_frame_twice() {
+        let nodes = (0..2).map(|_| Echo::new()).collect();
+        let mut cfg = constant_net(10);
+        cfg.chaos = ChaosPlan::new().window(chaos_window(0.0, 1.0, 0.0, 0));
+        let mut sim = Simulator::new(nodes, cfg, 1);
+        sim.run_until(SimTime::from_secs(1));
+        // 1 ping -> 2 copies; each ping triggers a pong -> 2 pongs, each
+        // duplicated -> 4 pongs at node 0.
+        assert_eq!(sim.node(NodeId(1)).log.len(), 2);
+        assert_eq!(sim.node(NodeId(0)).log.len(), 4);
+        assert!(sim.stats().chaos_duplicated >= 3);
+    }
+
+    #[test]
+    fn chaos_corruption_dies_at_the_default_codec() {
+        // Echo has no codec, so the default hook rejects every flip: a
+        // corrupt-all window behaves like drop-all but counts rejects.
+        let nodes = (0..3).map(|_| Echo::new()).collect();
+        let mut cfg = constant_net(10);
+        cfg.chaos = ChaosPlan::new().window(chaos_window(0.0, 0.0, 1.0, 0));
+        let mut sim = Simulator::new(nodes, cfg, 1);
+        sim.run_until(SimTime::from_secs(1));
+        for i in 1..3 {
+            assert!(sim.node(NodeId(i)).log.is_empty());
+        }
+        assert_eq!(sim.stats().chaos_corrupted, 2);
+        assert_eq!(sim.stats().chaos_corrupt_rejected, 2);
+        assert_eq!(sim.stats().delivered, 0);
+    }
+
+    #[test]
+    fn chaos_reorder_delays_within_bound() {
+        let nodes = (0..2).map(|_| Echo::new()).collect();
+        let mut cfg = constant_net(10);
+        cfg.chaos = ChaosPlan::new().window(chaos_window(0.0, 0.0, 0.0, 200));
+        let mut sim = Simulator::new(nodes, cfg, 7);
+        sim.run_until(SimTime::from_secs(1));
+        let log = &sim.node(NodeId(1)).log;
+        assert_eq!(log.len(), 1);
+        let at = log[0].0;
+        assert!(at >= SimTime::from_millis(10), "latency still applies");
+        assert!(at <= SimTime::from_millis(210), "reorder bounded, got {at}");
+    }
+
+    #[test]
+    fn chaos_windows_do_not_touch_frames_outside_them() {
+        // Window covers [5s, 6s); the ping/pong exchange at t=0 must be
+        // untouched and, with the same seed, bit-identical to a run with
+        // no chaos at all (no RNG draw happens outside the window).
+        let run = |chaos: ChaosPlan| {
+            let nodes = (0..3).map(|_| Echo::new()).collect();
+            let mut cfg = NetworkConfig {
+                latency: LatencyModel::Uniform(Duration::from_millis(1), Duration::from_millis(50)),
+                ..NetworkConfig::default()
+            };
+            cfg.chaos = chaos;
+            let mut sim = Simulator::new(nodes, cfg, 42);
+            sim.run_until(SimTime::from_secs(1));
+            sim.nodes().map(|n| n.log.clone()).collect::<Vec<_>>()
+        };
+        let late = ChaosPlan::new().window(ChaosWindow {
+            scope: ChaosScope::AllLinks,
+            from: SimTime::from_secs(5),
+            until: SimTime::from_secs(6),
+            drop: 1.0,
+            duplicate: 1.0,
+            corrupt: 1.0,
+            reorder: Duration::from_millis(100),
+        });
+        assert_eq!(run(late), run(ChaosPlan::new()));
+    }
+
+    #[test]
+    fn chaos_is_deterministic_per_seed() {
+        let run = |seed| {
+            let nodes = (0..5).map(|_| Echo::new()).collect();
+            let mut cfg = constant_net(10);
+            cfg.chaos = ChaosPlan::new().window(chaos_window(0.3, 0.3, 0.0, 50));
+            let mut sim = Simulator::new(nodes, cfg, seed);
+            sim.run_until(SimTime::from_secs(1));
+            sim.nodes().map(|n| n.log.clone()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(11), run(11));
     }
 }

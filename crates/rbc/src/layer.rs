@@ -3,12 +3,33 @@
 use crate::cert::{Certificate, ACK_CONTEXT};
 use hh_crypto::{Digest, Keypair, Signature};
 use hh_dag::{Dag, DagError, EquivocationEvidence, InsertOutcome};
-use hh_types::{Committee, DigestMap, Round, Stake, ValidatorId, Vertex, VertexRef};
+use hh_types::codec::{Decoder, Encode, EncodeExt};
+use hh_types::{Committee, DigestMap, Round, Stake, TypeError, ValidatorId, Vertex, VertexRef};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Maximum vertices returned per sync response (keeps messages bounded).
 const SYNC_RESPONSE_CAP: usize = 128;
+
+/// Maximum missing digests re-requested per tick. Bounds the burst a
+/// single tick can put on the wire while a node digs out of heavy loss;
+/// digests past the budget stay due and go out on following ticks.
+const SYNC_RETRY_BUDGET: usize = 128;
+
+/// Retries that keep the historical every-tick cadence before the
+/// exponential backoff kicks in. Healthy runs resolve their sync
+/// requests within a tick or two, so they never see the backoff at all.
+const BACKOFF_EVERY_TICK_ATTEMPTS: u32 = 2;
+
+/// Upper bound on the retry gap in ticks.
+const BACKOFF_CAP_TICKS: u64 = 8;
+
+/// Consecutive no-progress ticks before stall recovery kicks in. A
+/// healthy network advances the DAG front well inside one sync tick, so
+/// this path sends nothing there (existing runs stay bit-identical);
+/// under heavy loss it is the self-healing floor — pull whole rounds
+/// from a rotating peer and re-push our own front vertex.
+const STALL_PULL_AFTER_TICKS: u64 = 3;
 
 /// Maximum vertices buffered while awaiting ancestry.
 const PENDING_CAP: usize = 10_000;
@@ -88,10 +109,96 @@ impl RbcEffects {
     }
 }
 
+impl Encode for RbcMessage {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            RbcMessage::Vertex(v) => {
+                buf.put_u8(0);
+                v.encode(buf);
+            }
+            RbcMessage::Propose(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+            RbcMessage::Ack { vertex, sig } => {
+                buf.put_u8(2);
+                vertex.encode(buf);
+                sig.encode(buf);
+            }
+            RbcMessage::Certified(v, cert) => {
+                buf.put_u8(3);
+                v.encode(buf);
+                cert.encode(buf);
+            }
+            RbcMessage::SyncRequest(digests) => {
+                buf.put_u8(4);
+                digests.encode(buf);
+            }
+            RbcMessage::RangeRequest { from } => {
+                buf.put_u8(5);
+                from.encode(buf);
+            }
+            RbcMessage::SyncResponse(pairs) => {
+                buf.put_u8(6);
+                pairs.encode(buf);
+            }
+        }
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, TypeError> {
+        Ok(match d.take_u8()? {
+            0 => RbcMessage::Vertex(Vertex::decode(d)?),
+            1 => RbcMessage::Propose(Vertex::decode(d)?),
+            2 => RbcMessage::Ack { vertex: VertexRef::decode(d)?, sig: Signature::decode(d)? },
+            3 => RbcMessage::Certified(Vertex::decode(d)?, Certificate::decode(d)?),
+            4 => RbcMessage::SyncRequest(Vec::decode(d)?),
+            5 => RbcMessage::RangeRequest { from: Round::decode(d)? },
+            6 => RbcMessage::SyncResponse(Vec::decode(d)?),
+            _ => return Err(TypeError::Decode("invalid rbc message tag")),
+        })
+    }
+}
+
+/// Per-item retransmit state: how often we have re-asked for a missing
+/// digest, and the earliest tick the next retry may go out.
+#[derive(Clone, Copy, Debug)]
+struct RetryState {
+    attempts: u32,
+    next_due_tick: u64,
+}
+
+/// Retry gap (in ticks) after `attempts` requests have gone out: the
+/// first couple of retries fire every tick, then the gap doubles to
+/// [`BACKOFF_CAP_TICKS`]. Heavy loss converges without a retry storm;
+/// a healthy network never leaves the every-tick prefix.
+fn backoff_ticks(attempts: u32) -> u64 {
+    if attempts <= BACKOFF_EVERY_TICK_ATTEMPTS {
+        1
+    } else {
+        let exp = u64::from(attempts - BACKOFF_EVERY_TICK_ATTEMPTS).min(63);
+        (1u64 << exp.min(BACKOFF_CAP_TICKS.ilog2() as u64)).min(BACKOFF_CAP_TICKS)
+    }
+}
+
+/// Deterministic per-digest jitter added to backed-off retries so
+/// retransmits for different digests de-synchronize instead of bursting
+/// on the same tick. Zero during the every-tick prefix.
+fn jitter_ticks(digest: &Digest, attempts: u32, delay: u64) -> u64 {
+    if attempts <= BACKOFF_EVERY_TICK_ATTEMPTS || delay < 2 {
+        return 0;
+    }
+    let span = delay / 2 + 1;
+    (digest.prefix_u64() >> 32).wrapping_add(u64::from(attempts)) % span
+}
+
 struct PendingProposal {
     vertex: Vertex,
     acks: BTreeMap<ValidatorId, Signature>,
     certified: bool,
+    /// Re-broadcast attempts so far (same backoff as sync retries).
+    rebroadcasts: u32,
+    /// Earliest tick of the next re-broadcast.
+    next_due_tick: u64,
 }
 
 /// The reliable-broadcast state machine for one validator.
@@ -110,8 +217,8 @@ pub struct Rbc {
     missing_index: DigestMap<Digest, Vec<Digest>>,
     /// pending child digest → number of parents still missing.
     missing_count: DigestMap<Digest, usize>,
-    /// Outstanding sync requests: missing digest → retry attempts.
-    requested: DigestMap<Digest, u32>,
+    /// Outstanding sync requests: missing digest → retransmit state.
+    requested: DigestMap<Digest, RetryState>,
     /// Certified mode, author side: my proposals collecting acks.
     proposals: BTreeMap<Round, PendingProposal>,
     /// Certified mode, voter side: first header acked per (round, author).
@@ -122,6 +229,23 @@ pub struct Rbc {
     equivocation_attempts: u64,
     /// Range-sync requests issued so far (rotates the target peer).
     catch_up_attempts: u64,
+    /// Ticks observed (drives the retransmit backoff schedule).
+    ticks: u64,
+    /// Sync *re*-requests sent from `tick` (excludes the initial
+    /// request issued when a gap is first discovered).
+    sync_retransmits: u64,
+    /// Proposal re-broadcasts sent from `tick`.
+    proposal_rebroadcasts: u64,
+    /// DAG front at the previous tick (stall detection).
+    last_front: Round,
+    /// Consecutive ticks the front has not advanced.
+    stalled_ticks: u64,
+    /// `stalled_ticks` threshold of the next stall-recovery pull.
+    next_stall_pull: u64,
+    /// Pulls fired within the current stall (drives its backoff).
+    stall_attempts: u32,
+    /// Stall-recovery pulls sent from `tick`, all time.
+    stall_pulls: u64,
 }
 
 impl Rbc {
@@ -142,6 +266,14 @@ impl Rbc {
             certs: DigestMap::default(),
             equivocation_attempts: 0,
             catch_up_attempts: 0,
+            ticks: 0,
+            sync_retransmits: 0,
+            proposal_rebroadcasts: 0,
+            last_front: Round(0),
+            stalled_ticks: 0,
+            next_stall_pull: STALL_PULL_AFTER_TICKS,
+            stall_attempts: 0,
+            stall_pulls: 0,
         }
     }
 
@@ -158,6 +290,29 @@ impl Rbc {
     /// Equivocation attempts observed (second distinct header per round).
     pub fn equivocation_attempts(&self) -> u64 {
         self.equivocation_attempts
+    }
+
+    /// Sync re-requests sent from `tick` (the initial request when a
+    /// gap is discovered is not counted).
+    pub fn sync_retransmits(&self) -> u64 {
+        self.sync_retransmits
+    }
+
+    /// Uncertified-proposal re-broadcasts sent from `tick`.
+    pub fn proposal_rebroadcasts(&self) -> u64 {
+        self.proposal_rebroadcasts
+    }
+
+    /// Stall-recovery pulls sent from `tick`.
+    pub fn stall_pulls(&self) -> u64 {
+        self.stall_pulls
+    }
+
+    /// Total retransmissions: sync re-requests, proposal re-broadcasts
+    /// and stall-recovery pulls. The retry-storm regression gate
+    /// watches this.
+    pub fn retransmits(&self) -> u64 {
+        self.sync_retransmits + self.proposal_rebroadcasts + self.stall_pulls
     }
 
     /// Broadcasts this validator's own `vertex`.
@@ -193,7 +348,13 @@ impl Rbc {
                 self.acked.insert((round, self.me), vref.digest);
                 self.proposals.insert(
                     round,
-                    PendingProposal { vertex: vertex.clone(), acks, certified: false },
+                    PendingProposal {
+                        vertex: vertex.clone(),
+                        acks,
+                        certified: false,
+                        rebroadcasts: 0,
+                        next_due_tick: 0,
+                    },
                 );
                 fx.broadcast.push(RbcMessage::Propose(vertex));
                 // Degenerate committees (or whales) may self-certify.
@@ -255,23 +416,37 @@ impl Rbc {
         }
     }
 
-    /// Periodic maintenance: re-request still-missing ancestry (rotating
-    /// targets), re-broadcast own uncertified proposals, and prune state
-    /// below the DAG's GC horizon. Call every few hundred milliseconds.
+    /// Periodic maintenance: re-request still-missing ancestry (per-item
+    /// exponential backoff, rotating targets, bounded per-tick budget),
+    /// re-broadcast own uncertified proposals on the same backoff, and
+    /// prune state below the DAG's GC horizon. Call every few hundred
+    /// milliseconds.
     pub fn tick(&mut self, dag: &Dag) -> RbcEffects {
         let mut fx = RbcEffects::default();
-        // Re-request missing digests from a rotating peer. `requested` is
-        // a hash map, so its iteration order is arbitrary — the explicit
-        // sort below is what makes retry batches deterministic.
+        self.ticks += 1;
+        let now = self.ticks;
+        // Re-request due missing digests from a rotating peer. `requested`
+        // is a hash map, so its iteration order is arbitrary — the explicit
+        // sort below is what makes retry batches deterministic. Digests
+        // past the per-tick budget stay due and drain on later ticks.
         let me = self.me;
         let n = self.committee.size() as u64;
         let mut by_peer: BTreeMap<ValidatorId, Vec<Digest>> = BTreeMap::new();
-        let mut missing: Vec<Digest> = self.requested.keys().copied().collect();
-        missing.sort();
-        for digest in missing {
-            let attempts = self.requested.get_mut(&digest).expect("present");
-            *attempts += 1;
-            let peer = rotate_peer(me, n, &digest, *attempts);
+        let mut due: Vec<Digest> = self
+            .requested
+            .iter()
+            .filter(|(_, s)| s.next_due_tick <= now)
+            .map(|(d, _)| *d)
+            .collect();
+        due.sort();
+        due.truncate(SYNC_RETRY_BUDGET);
+        for digest in due {
+            let state = self.requested.get_mut(&digest).expect("present");
+            state.attempts += 1;
+            let delay = backoff_ticks(state.attempts);
+            state.next_due_tick = now + delay + jitter_ticks(&digest, state.attempts, delay);
+            self.sync_retransmits += 1;
+            let peer = rotate_peer(me, n, &digest, state.attempts);
             by_peer.entry(peer).or_default().push(digest);
         }
         for (peer, digests) in by_peer {
@@ -293,9 +468,55 @@ impl Rbc {
             fx.send.push((ValidatorId(idx as u16), RbcMessage::RangeRequest { from: front }));
         }
 
-        // Re-broadcast uncertified proposals (pre-GST losses).
-        for p in self.proposals.values() {
-            if !p.certified {
+        // Stall recovery: a lossy network can strand the whole committee
+        // with nothing buffered and nothing requested — every copy of a
+        // round's vertices died on the wire, so no reference ever names
+        // them and the pull-by-digest path above has nothing to pull.
+        // When the front stops advancing, fetch whole rounds from a
+        // rotating peer and re-push our own front vertex (peers may have
+        // lost every copy of it), backing off while the stall persists.
+        if front == self.last_front {
+            self.stalled_ticks += 1;
+        } else {
+            self.last_front = front;
+            self.stalled_ticks = 0;
+            self.stall_attempts = 0;
+            self.next_stall_pull = STALL_PULL_AFTER_TICKS;
+        }
+        if self.stalled_ticks >= self.next_stall_pull {
+            self.stall_attempts += 1;
+            self.next_stall_pull = self.stalled_ticks + backoff_ticks(self.stall_attempts);
+            self.stall_pulls += 1;
+            let mut idx = (me.0 as u64 + self.stall_pulls) % n;
+            if idx == me.0 as u64 {
+                idx = (idx + 1) % n;
+            }
+            fx.send.push((ValidatorId(idx as u16), RbcMessage::RangeRequest { from: front }));
+            if let Some(mine) =
+                dag.round_vertices(front).find(|v| v.author() == me).map(|v| v.as_ref().clone())
+            {
+                match self.mode {
+                    BroadcastMode::BestEffort => fx.broadcast.push(RbcMessage::Vertex(mine)),
+                    // Certified mode: a vertex in our DAG carries a
+                    // certificate; re-push it so peers can accept
+                    // without a fresh ack round. (Uncertified proposals
+                    // are re-pushed by the loop below.)
+                    BroadcastMode::Certified => {
+                        if let Some(cert) = self.certs.get(&mine.digest()).cloned() {
+                            fx.broadcast.push(RbcMessage::Certified(mine, cert));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Re-broadcast uncertified proposals (pre-GST losses) on the
+        // same backoff schedule as sync retries.
+        for p in self.proposals.values_mut() {
+            if !p.certified && p.next_due_tick <= now {
+                p.rebroadcasts += 1;
+                p.next_due_tick = now + backoff_ticks(p.rebroadcasts);
+                self.proposal_rebroadcasts += 1;
                 fx.broadcast.push(RbcMessage::Propose(p.vertex.clone()));
             }
         }
@@ -447,7 +668,7 @@ impl Rbc {
                     for m in &missing {
                         self.missing_index.entry(*m).or_default().push(digest);
                         if !self.requested.contains_key(m) && !self.pending.contains_key(m) {
-                            self.requested.insert(*m, 0);
+                            self.requested.insert(*m, RetryState { attempts: 0, next_due_tick: 0 });
                             to_request.push(*m);
                         }
                     }
@@ -955,12 +1176,57 @@ mod tests {
         for _ in 0..6 {
             let fx = rbc1.tick(&dag1);
             for (peer, msg) in fx.send {
-                assert!(matches!(msg, RbcMessage::SyncRequest(_)));
                 assert_ne!(peer, ValidatorId(1), "never sync from self");
-                peers.insert(peer);
+                match msg {
+                    RbcMessage::SyncRequest(_) => {
+                        peers.insert(peer);
+                    }
+                    // The front never advances here, so stall-recovery
+                    // pulls ride along; they have their own test.
+                    RbcMessage::RangeRequest { .. } => {}
+                    _ => panic!("unexpected tick message"),
+                }
             }
         }
         assert!(peers.len() > 1, "targets rotate: {peers:?}");
+    }
+
+    #[test]
+    fn stalled_front_pulls_whole_rounds_with_backoff() {
+        let c = committee4();
+        let (mut rbc1, mut dag1) = node(&c, 1, BroadcastMode::BestEffort);
+        // Quiet before the stall threshold: a healthy network never sees
+        // this path, which is what keeps existing runs bit-identical.
+        for _ in 0..STALL_PULL_AFTER_TICKS - 1 {
+            let fx = rbc1.tick(&dag1);
+            assert!(fx.send.is_empty() && fx.broadcast.is_empty(), "quiet before the threshold");
+        }
+        // Then pulls fire: rotating targets, exponential backoff.
+        let mut pulls = 0u64;
+        let mut peers = std::collections::HashSet::new();
+        for _ in 0..30 {
+            let fx = rbc1.tick(&dag1);
+            for (peer, msg) in fx.send {
+                assert!(matches!(msg, RbcMessage::RangeRequest { .. }));
+                assert_ne!(peer, ValidatorId(1), "never pull from self");
+                peers.insert(peer);
+                pulls += 1;
+            }
+        }
+        assert_eq!(pulls, rbc1.stall_pulls());
+        assert!((4..=10).contains(&pulls), "backed off, not storming: {pulls}");
+        assert!(peers.len() > 1, "targets rotate: {peers:?}");
+
+        // Progress resets the stall machinery.
+        let genesis: Vec<Vertex> = (0..4).map(|i| make_vertex(&c, 0, i, vec![])).collect();
+        let parents: Vec<Digest> = genesis.iter().map(|v| v.digest()).collect();
+        for g in &genesis {
+            rbc1.handle(g.author(), RbcMessage::Vertex(g.clone()), &mut dag1);
+        }
+        let child = make_vertex(&c, 1, 0, parents);
+        rbc1.handle(ValidatorId(0), RbcMessage::Vertex(child), &mut dag1);
+        let fx = rbc1.tick(&dag1);
+        assert!(fx.send.is_empty(), "fresh progress silences the stall path");
     }
 
     #[test]
@@ -981,6 +1247,148 @@ mod tests {
         }
         let fx = rbc0.tick(&dag0);
         assert!(!fx.broadcast.iter().any(|m| matches!(m, RbcMessage::Propose(_))));
+    }
+
+    #[test]
+    fn backoff_keeps_every_tick_prefix_then_doubles_to_cap() {
+        // The first two retries keep the historical every-tick cadence —
+        // healthy runs must be byte-identical to the fixed-cadence code.
+        assert_eq!(backoff_ticks(1), 1);
+        assert_eq!(backoff_ticks(2), 1);
+        // Then the gap doubles…
+        assert_eq!(backoff_ticks(3), 2);
+        assert_eq!(backoff_ticks(4), 4);
+        // …and saturates at the cap.
+        assert_eq!(backoff_ticks(5), 8);
+        assert_eq!(backoff_ticks(6), 8);
+        assert_eq!(backoff_ticks(1000), 8);
+    }
+
+    #[test]
+    fn jitter_is_zero_in_the_prefix_and_bounded_after() {
+        let d = hh_crypto::sha256(b"jitter");
+        assert_eq!(jitter_ticks(&d, 1, backoff_ticks(1)), 0);
+        assert_eq!(jitter_ticks(&d, 2, backoff_ticks(2)), 0);
+        for attempts in 3..20u32 {
+            let delay = backoff_ticks(attempts);
+            let j = jitter_ticks(&d, attempts, delay);
+            assert!(j <= delay / 2, "jitter {j} exceeds half the delay {delay}");
+        }
+        // Different digests spread out (not all zero).
+        let spread: std::collections::HashSet<u64> = (0..64u8)
+            .map(|i| jitter_ticks(&hh_crypto::sha256(&[i]), 5, backoff_ticks(5)))
+            .collect();
+        assert!(spread.len() > 1, "jitter must vary by digest");
+    }
+
+    #[test]
+    fn persistent_loss_backs_off_instead_of_storming() {
+        // One digest stays missing for 40 ticks (nobody ever answers —
+        // total loss). The fixed-cadence code sent 40 re-requests; the
+        // backoff must stay within a small constant of the no-loss cost.
+        let c = committee4();
+        let (mut rbc1, dag1) = node(&c, 1, BroadcastMode::BestEffort);
+        let genesis: Vec<Vertex> = (0..4).map(|i| make_vertex(&c, 0, i, vec![])).collect();
+        let parents: Vec<Digest> = genesis.iter().map(|v| v.digest()).collect();
+        let child = make_vertex(&c, 1, 0, parents);
+        let mut dag1 = dag1;
+        rbc1.handle(ValidatorId(0), RbcMessage::Vertex(child), &mut dag1);
+
+        let mut sent = 0usize;
+        for _ in 0..40 {
+            let fx = rbc1.tick(&dag1);
+            for (_, msg) in fx.send {
+                if let RbcMessage::SyncRequest(ds) = msg {
+                    sent += ds.len();
+                }
+            }
+        }
+        // 4 missing parents, each re-requested on the backoff schedule:
+        // ticks 1,2,3,~5,~9,~17,~25,~33 ⇒ ~8 apiece, far below 40.
+        let per_digest = rbc1.sync_retransmits() as f64 / 4.0;
+        assert!(per_digest <= 12.0, "retry storm: {per_digest} re-requests per digest");
+        assert!(per_digest >= 5.0, "backoff must keep retrying: {per_digest}");
+        assert_eq!(sent as u64, rbc1.sync_retransmits(), "counter matches the wire");
+    }
+
+    #[test]
+    fn arrival_resets_the_backoff() {
+        // After the missing digest arrives, `requested` forgets it; if
+        // it ever goes missing again the schedule restarts from attempt
+        // one (reset-on-ack).
+        let c = committee4();
+        let (mut rbc1, mut dag1) = node(&c, 1, BroadcastMode::BestEffort);
+        let genesis: Vec<Vertex> = (0..4).map(|i| make_vertex(&c, 0, i, vec![])).collect();
+        let parents: Vec<Digest> = genesis.iter().map(|v| v.digest()).collect();
+        let child = make_vertex(&c, 1, 0, parents);
+        rbc1.handle(ValidatorId(0), RbcMessage::Vertex(child), &mut dag1);
+        for _ in 0..10 {
+            rbc1.tick(&dag1);
+        }
+        assert!(rbc1.requested.iter().any(|(_, s)| s.attempts >= 3), "deep into backoff");
+        for g in &genesis {
+            rbc1.handle(ValidatorId(0), RbcMessage::Vertex(g.clone()), &mut dag1);
+        }
+        assert!(rbc1.requested.is_empty(), "arrival clears retransmit state");
+        let before = rbc1.sync_retransmits();
+        rbc1.tick(&dag1);
+        assert_eq!(rbc1.sync_retransmits(), before, "nothing left to retransmit");
+    }
+
+    #[test]
+    fn proposal_rebroadcast_backs_off_until_certified() {
+        let c = committee4();
+        let (mut rbc0, mut dag0) = node(&c, 0, BroadcastMode::Certified);
+        let v = make_vertex(&c, 0, 0, vec![]);
+        rbc0.broadcast_own(v.clone(), &mut dag0);
+        let mut per_tick = Vec::new();
+        for _ in 0..20 {
+            let fx = rbc0.tick(&dag0);
+            per_tick
+                .push(fx.broadcast.iter().filter(|m| matches!(m, RbcMessage::Propose(_))).count());
+        }
+        let total: usize = per_tick.iter().sum();
+        assert_eq!(per_tick[0], 1, "first tick still rebroadcasts immediately");
+        assert!(total < 10, "20 ticks must not rebroadcast 20 times: {total}");
+        assert_eq!(total as u64, rbc0.proposal_rebroadcasts());
+        assert!(rbc0.retransmits() >= rbc0.proposal_rebroadcasts());
+    }
+
+    #[test]
+    fn rbc_messages_roundtrip_on_the_wire() {
+        use hh_types::codec::{decode_framed, encode_framed};
+        let c = committee4();
+        let v = make_vertex(&c, 3, 2, vec![hh_crypto::sha256(b"p")]);
+        let sig = c.keypair(ValidatorId(1)).sign(ACK_CONTEXT, v.digest().as_bytes());
+        let cert = Certificate::new(
+            v.reference(),
+            (0..3u16)
+                .map(|i| {
+                    let kp = c.keypair(ValidatorId(i));
+                    (ValidatorId(i), kp.sign(ACK_CONTEXT, v.digest().as_bytes()))
+                })
+                .collect(),
+        );
+        let messages = vec![
+            RbcMessage::Vertex(v.clone()),
+            RbcMessage::Propose(v.clone()),
+            RbcMessage::Ack { vertex: v.reference(), sig },
+            RbcMessage::Certified(v.clone(), cert.clone()),
+            RbcMessage::SyncRequest(vec![hh_crypto::sha256(b"a"), hh_crypto::sha256(b"b")]),
+            RbcMessage::RangeRequest { from: Round(17) },
+            RbcMessage::SyncResponse(vec![(v.clone(), Some(cert)), (v.clone(), None)]),
+        ];
+        for msg in messages {
+            let frame = encode_framed(&msg);
+            let back: RbcMessage = decode_framed(&frame).expect("roundtrip");
+            // RbcMessage has no PartialEq (Vertex caches digests); compare
+            // re-encodings instead.
+            assert_eq!(encode_framed(&back), frame, "lossless roundtrip for {msg:?}");
+        }
+        // A truncated or tag-mangled frame dies at decode.
+        let mut frame = encode_framed(&RbcMessage::RangeRequest { from: Round(1) });
+        frame[0] = 99;
+        assert!(decode_framed::<RbcMessage>(&frame).is_err());
     }
 
     #[test]

@@ -83,6 +83,33 @@ pub struct AdversaryRow {
     pub evidence_units: u64,
 }
 
+/// Chaos-delivery accounting for one run: what the adverse network did
+/// to the wire and what the self-healing delivery layer spent riding it
+/// out — plus the safety checker's verdict, which must always be zero
+/// violations for a run to produce a row at all.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosRow {
+    /// Frames delivered (after chaos effects).
+    pub delivered: u64,
+    /// Frames the chaos plan dropped outright.
+    pub dropped: u64,
+    /// Frames delivered twice.
+    pub duplicated: u64,
+    /// Corrupted frames rejected at the receiver's codec.
+    pub corrupt_rejected: u64,
+    /// Frames given extra reorder delay.
+    pub reordered: u64,
+    /// RBC retransmits (sync retries, proposal re-broadcasts, stall
+    /// pulls) spent recovering the lost traffic.
+    pub retransmits: u64,
+    /// Commit records audited by the safety checker.
+    pub safety_records: u64,
+    /// Safety invariant violations (always zero on a reported run —
+    /// violations abort before reporting; surfaced so artifacts can
+    /// gate on it explicitly).
+    pub safety_violations: u64,
+}
+
 /// Extra per-run analysis results.
 #[derive(Clone, Debug, Default)]
 pub struct AnalysisRow {
@@ -102,6 +129,9 @@ pub struct AnalysisRow {
     /// One entry per byzantine validator, when the `adversary` analysis
     /// is requested (`Some([])` for runs with no byzantine schedule).
     pub adversary: Option<Vec<AdversaryRow>>,
+    /// Chaos-delivery accounting, when the `chaos` analysis is
+    /// requested.
+    pub chaos: Option<ChaosRow>,
 }
 
 /// Execution-cost sample for one run, rendered only under `--profile`.
@@ -331,6 +361,21 @@ pub fn render_row(row: &RunRow) -> String {
             );
         }
     }
+    if let Some(c) = &row.analysis.chaos {
+        let _ = write!(
+            line,
+            "\n      chaos: delivered {} | dropped {} dup {} corrupt-rejected {} reordered {} \
+             | retransmits {} | safety {} records, {} violations",
+            c.delivered,
+            c.dropped,
+            c.duplicated,
+            c.corrupt_rejected,
+            c.reordered,
+            c.retransmits,
+            c.safety_records,
+            c.safety_violations,
+        );
+    }
     line
 }
 
@@ -449,6 +494,7 @@ fn row_json(row: &RunRow, workload_declared: bool) -> Json {
         || a.bg_churn.is_some()
         || a.reinclusion.is_some()
         || a.adversary.is_some()
+        || a.chaos.is_some()
     {
         let mut analysis = Json::object();
         if !a.windows.is_empty() {
@@ -539,6 +585,20 @@ fn row_json(row: &RunRow, workload_declared: bool) -> Json {
                         })
                         .collect(),
                 ),
+            );
+        }
+        if let Some(c) = &a.chaos {
+            analysis = analysis.with(
+                "chaos",
+                Json::object()
+                    .with("delivered", Json::Int(c.delivered as i64))
+                    .with("dropped", Json::Int(c.dropped as i64))
+                    .with("duplicated", Json::Int(c.duplicated as i64))
+                    .with("corrupt_rejected", Json::Int(c.corrupt_rejected as i64))
+                    .with("reordered", Json::Int(c.reordered as i64))
+                    .with("retransmits", Json::Int(c.retransmits as i64))
+                    .with("safety_records", Json::Int(c.safety_records as i64))
+                    .with("safety_violations", Json::Int(c.safety_violations as i64)),
             );
         }
         out = out.with("analysis", analysis);

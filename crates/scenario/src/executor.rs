@@ -17,7 +17,9 @@
 //! audit, above all — aborts the pool and is re-raised with the failing
 //! run's labels attached.
 
-use crate::engine::{AdversaryRow, AnalysisRow, ReinclusionRow, RunProfile, RunRow, WindowRow};
+use crate::engine::{
+    AdversaryRow, AnalysisRow, ChaosRow, ReinclusionRow, RunProfile, RunRow, WindowRow,
+};
 use crate::spec::{AnalysisSpec, PlannedRun, ScenarioPlan};
 use hh_sim::{collect_streamed_metrics, run_sim_streaming, MetricsSink, RunLimit, SimHandle};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -62,6 +64,21 @@ pub(crate) fn execute_run(plan: &ScenarioPlan, index: usize, limit: RunLimit) ->
         describe(run)
     );
     let mut analysis = analyze(&plan.analysis, run, &handle, end_us);
+    if plan.analysis.chaos {
+        // Network-level counters come off the simulator; the retransmit
+        // and safety totals are already aggregated into the result.
+        let stats = handle.sim.stats();
+        analysis.chaos = Some(ChaosRow {
+            delivered: stats.delivered,
+            dropped: stats.chaos_dropped,
+            duplicated: stats.chaos_duplicated,
+            corrupt_rejected: stats.chaos_corrupt_rejected,
+            reordered: stats.chaos_reordered,
+            retransmits: result.rbc_retransmits,
+            safety_records: result.safety_records,
+            safety_violations: result.safety_violations,
+        });
+    }
     analysis.windows = sink
         .window_summaries()
         .into_iter()

@@ -12,8 +12,8 @@
 use crate::toml::{self, TomlError, Value};
 use hammerhead::{HammerheadConfig, ScheduleConfig, ScoringRule};
 use hh_sim::{
-    Arrival, ByzantineSchedule, ExperimentConfig, FaultSchedule, Phase, SubmissionMode, SystemKind,
-    Workload, MAX_PAYLOAD_BYTES,
+    Arrival, ByzantineSchedule, ChaosEntry, ChaosSchedule, ChaosTarget, ExperimentConfig,
+    FaultSchedule, Phase, SubmissionMode, SystemKind, Workload, MAX_PAYLOAD_BYTES,
 };
 use hh_types::{Committee, Stake, ValidatorId, TX_HEADER_BYTES};
 use std::collections::BTreeMap;
@@ -339,6 +339,31 @@ pub struct ByzantineEntrySpec {
     pub until: Option<WhenSpec>,
 }
 
+/// One chaos window (`[[faults.chaos]]`) — the declarative form of
+/// [`hh_sim::ChaosEntry`], with the reorder bound in milliseconds.
+///
+/// Scope defaults to every link; `node` narrows it to one validator's
+/// links (inbound and outbound), `link` to one directed pair.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosEntrySpec {
+    /// Afflict only this validator's links, when set.
+    pub node: Option<u16>,
+    /// Afflict only the directed `(from, to)` link, when set.
+    pub link: Option<(u16, u16)>,
+    /// Window start.
+    pub from: WhenSpec,
+    /// Window end (`None` = until the run ends).
+    pub until: Option<WhenSpec>,
+    /// Probability a frame is dropped outright.
+    pub drop: f64,
+    /// Probability a frame is delivered twice.
+    pub duplicate: f64,
+    /// Probability a frame's encoded bytes are flipped in flight.
+    pub corrupt: f64,
+    /// Maximum extra per-frame delay in milliseconds, drawn uniformly.
+    pub reorder_ms: u64,
+}
+
 /// The scenario's fault schedule — the declarative form of
 /// [`hh_sim::FaultSchedule`], resolved per planned run (committee size
 /// and duration fix the `n/k` counts and `*_frac` times).
@@ -359,6 +384,9 @@ pub struct FaultsSpec {
     pub partitions: Vec<PartitionEntry>,
     /// Byzantine strategy windows (the adversary suite).
     pub byzantine: Vec<ByzantineEntrySpec>,
+    /// Adverse-network chaos windows (frame drop / duplicate / corrupt /
+    /// reorder on selected links).
+    pub chaos: Vec<ChaosEntrySpec>,
 }
 
 /// The arrival process of a `[workload]` table or `[[workload.phase]]`
@@ -545,6 +573,11 @@ pub struct AnalysisSpec {
     /// leader-slot share over time, equivocation evidence, and the
     /// honest commit latency alongside (runs with `[[faults.byzantine]]`).
     pub adversary: bool,
+    /// Chaos-delivery accounting: frames delivered / dropped /
+    /// duplicated / corrupt-rejected / reordered, RBC retransmits spent
+    /// digging out, and the safety checker's record and violation counts
+    /// (runs with `[[faults.chaos]]`).
+    pub chaos: bool,
 }
 
 /// Scaled-down axis overrides applied by `--quick`.
@@ -1275,6 +1308,7 @@ impl ScenarioSpec {
                         "recover",
                         "partition",
                         "byzantine",
+                        "chaos",
                     ],
                 )?;
                 let crashed = get_u64_axis(t, "crashed", "faults")?
@@ -1470,6 +1504,52 @@ impl ScenarioSpec {
                     });
                 }
 
+                let mut chaos = Vec::new();
+                for c in get_entry_tables(t, "chaos", "[[faults.chaos]]")? {
+                    check_keys(
+                        c,
+                        "[[faults.chaos]]",
+                        &[
+                            "node",
+                            "from",
+                            "to",
+                            "from_secs",
+                            "from_frac",
+                            "until_secs",
+                            "until_frac",
+                            "drop",
+                            "duplicate",
+                            "corrupt",
+                            "reorder_ms",
+                        ],
+                    )?;
+                    let node = get_u64(c, "node", "faults.chaos")?.map(|x| x as u16);
+                    let link_from = get_u64(c, "from", "faults.chaos")?.map(|x| x as u16);
+                    let link_to = get_u64(c, "to", "faults.chaos")?.map(|x| x as u16);
+                    let link = match (node, link_from, link_to) {
+                        (_, None, None) => None,
+                        (None, Some(a), Some(b)) => Some((a, b)),
+                        _ => {
+                            return Err(ScenarioError::Schema(
+                                "[[faults.chaos]] afflicts all links by default; narrow it \
+                                 with either `node` or the directed pair `from` + `to`, \
+                                 not a mix"
+                                    .into(),
+                            ))
+                        }
+                    };
+                    chaos.push(ChaosEntrySpec {
+                        node,
+                        link,
+                        from: get_when(c, "from", "[[faults.chaos]]")?.unwrap_or(WhenSpec::Secs(0)),
+                        until: get_when(c, "until", "[[faults.chaos]]")?,
+                        drop: get_f64(c, "drop", "faults.chaos")?.unwrap_or(0.0),
+                        duplicate: get_f64(c, "duplicate", "faults.chaos")?.unwrap_or(0.0),
+                        corrupt: get_f64(c, "corrupt", "faults.chaos")?.unwrap_or(0.0),
+                        reorder_ms: get_u64(c, "reorder_ms", "faults.chaos")?.unwrap_or(0),
+                    });
+                }
+
                 FaultsSpec {
                     crashed,
                     crash_last,
@@ -1478,6 +1558,7 @@ impl ScenarioSpec {
                     recovers,
                     partitions,
                     byzantine,
+                    chaos,
                 }
             }
             None => FaultsSpec::default(),
@@ -1489,7 +1570,14 @@ impl ScenarioSpec {
                 check_keys(
                     t,
                     "[analysis]",
-                    &["skipped_rounds", "schedule_churn", "reinclusion", "adversary", "window"],
+                    &[
+                        "skipped_rounds",
+                        "schedule_churn",
+                        "reinclusion",
+                        "adversary",
+                        "chaos",
+                        "window",
+                    ],
                 )?;
                 let windows = match t.get("window") {
                     None => Vec::new(),
@@ -1530,6 +1618,7 @@ impl ScenarioSpec {
                     schedule_churn: get_bool(t, "schedule_churn", "analysis")?.unwrap_or(false),
                     reinclusion: get_bool(t, "reinclusion", "analysis")?.unwrap_or(false),
                     adversary: get_bool(t, "adversary", "analysis")?.unwrap_or(false),
+                    chaos: get_bool(t, "chaos", "analysis")?.unwrap_or(false),
                 }
             }
             None => AnalysisSpec::default(),
@@ -1674,6 +1763,13 @@ impl ScenarioSpec {
                         "validator {shared} is on both sides of a partition"
                     )));
                 }
+            }
+        }
+        for c in &self.faults.chaos {
+            check_frac(c.from, "chaos from")?;
+            if let Some(until) = c.until {
+                check_frac(until, "chaos until")?;
+                check_window(c.from, until, "chaos")?;
             }
         }
         Ok(())
@@ -2142,6 +2238,41 @@ impl ScenarioSpec {
                 .collect();
             faults.insert("byzantine".into(), Value::Array(items));
         }
+        if !self.faults.chaos.is_empty() {
+            let items = self
+                .faults
+                .chaos
+                .iter()
+                .map(|c| {
+                    let mut t = BTreeMap::new();
+                    if let Some(node) = c.node {
+                        t.insert("node".into(), Value::Int(node as i64));
+                    }
+                    if let Some((from, to)) = c.link {
+                        t.insert("from".into(), Value::Int(from as i64));
+                        t.insert("to".into(), Value::Int(to as i64));
+                    }
+                    insert_when(&mut t, "from", c.from, true);
+                    if let Some(until) = c.until {
+                        insert_when(&mut t, "until", until, false);
+                    }
+                    if c.drop != 0.0 {
+                        t.insert("drop".into(), Value::Float(c.drop));
+                    }
+                    if c.duplicate != 0.0 {
+                        t.insert("duplicate".into(), Value::Float(c.duplicate));
+                    }
+                    if c.corrupt != 0.0 {
+                        t.insert("corrupt".into(), Value::Float(c.corrupt));
+                    }
+                    if c.reorder_ms != 0 {
+                        t.insert("reorder_ms".into(), Value::Int(c.reorder_ms as i64));
+                    }
+                    Value::Table(t)
+                })
+                .collect();
+            faults.insert("chaos".into(), Value::Array(items));
+        }
         if !faults.is_empty() {
             root.insert("faults".into(), Value::Table(faults));
         }
@@ -2158,6 +2289,9 @@ impl ScenarioSpec {
         }
         if self.analysis.adversary {
             analysis.insert("adversary".into(), Value::Bool(true));
+        }
+        if self.analysis.chaos {
+            analysis.insert("chaos".into(), Value::Bool(true));
         }
         if !self.analysis.windows.is_empty() {
             let items = self
@@ -2512,7 +2646,40 @@ impl ScenarioSpec {
         config.max_block_bytes = self.workload.block_bytes.map(|b| b as usize);
         config.faults = self.build_fault_schedule(n, crashed, duration)?;
         config.byzantine = self.build_byzantine_schedule(n, duration)?;
+        config.chaos = self.build_chaos_schedule(n, duration)?;
         Ok(config)
+    }
+
+    /// Resolves the `[[faults.chaos]]` entries against a committee of
+    /// `n` and a run of `duration` seconds into the concrete
+    /// [`hh_sim::ChaosSchedule`], and validates the result (rates
+    /// outside `[0, 1]`, out-of-range validators, empty or effect-free
+    /// windows, and ambiguously overlapping same-link windows are all
+    /// rejected here).
+    fn build_chaos_schedule(
+        &self,
+        n: usize,
+        duration: u64,
+    ) -> Result<ChaosSchedule, ScenarioError> {
+        let mut schedule = ChaosSchedule::new();
+        for entry in &self.faults.chaos {
+            let target = match (entry.node, entry.link) {
+                (Some(node), _) => ChaosTarget::Node(node),
+                (None, Some((from, to))) => ChaosTarget::Pair { from, to },
+                (None, None) => ChaosTarget::AllLinks,
+            };
+            schedule = schedule.entry(ChaosEntry {
+                target,
+                from_us: entry.from.resolve_us(duration),
+                until_us: entry.until.map(|u| u.resolve_us(duration)).unwrap_or(u64::MAX),
+                drop: entry.drop,
+                duplicate: entry.duplicate,
+                corrupt: entry.corrupt,
+                reorder_us: entry.reorder_ms.saturating_mul(1_000),
+            });
+        }
+        schedule.validate(n).map_err(|e| ScenarioError::Invalid(format!("chaos schedule: {e}")))?;
+        Ok(schedule)
     }
 
     /// Resolves the `[[faults.byzantine]]` entries against a committee of
@@ -2969,6 +3136,110 @@ tps = [250]
         let text = spec.to_toml();
         let again = ScenarioSpec::parse(&text).unwrap();
         assert_eq!(spec, again, "canonical form:\n{text}");
+    }
+
+    #[test]
+    fn chaos_entries_parse_and_lower() {
+        let spec = ScenarioSpec::parse(
+            r#"
+name = "chaos-parse"
+[run]
+duration_secs = 10
+[[faults.chaos]]
+until_frac = 0.5
+drop = 0.3
+duplicate = 0.1
+[[faults.chaos]]
+node = 2
+from_frac = 0.5
+corrupt = 0.2
+reorder_ms = 40
+[[faults.chaos]]
+from = 0
+to = 1
+from_secs = 5
+until_secs = 7
+drop = 0.9
+[analysis]
+chaos = true
+"#,
+        )
+        .unwrap();
+        assert_eq!(spec.faults.chaos.len(), 3);
+        assert!(spec.analysis.chaos);
+        let plan = spec.plan(&PlanOptions::default()).unwrap();
+        let schedule = &plan.runs[0].config.chaos;
+        let entries = schedule.entries();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].target, hh_sim::ChaosTarget::AllLinks);
+        assert_eq!(entries[0].until_us, 5_000_000, "frac of a 10s run");
+        assert_eq!(entries[0].drop, 0.3);
+        assert_eq!(entries[1].target, hh_sim::ChaosTarget::Node(2));
+        assert_eq!(entries[1].until_us, u64::MAX, "open window runs to the end");
+        assert_eq!(entries[1].reorder_us, 40_000, "ms sugar lowers to µs");
+        assert_eq!(entries[2].target, hh_sim::ChaosTarget::Pair { from: 0, to: 1 });
+        assert_eq!(entries[2].from_us, 5_000_000);
+    }
+
+    #[test]
+    fn chaos_entries_round_trip_through_toml() {
+        let doc = r#"
+name = "chaos-round"
+[[faults.chaos]]
+until_frac = 0.4
+drop = 0.25
+reorder_ms = 15
+[[faults.chaos]]
+node = 1
+from_frac = 0.4
+until_frac = 0.8
+duplicate = 0.5
+[[faults.chaos]]
+from = 2
+to = 3
+from_secs = 1
+corrupt = 0.1
+[analysis]
+chaos = true
+"#;
+        let spec = ScenarioSpec::parse(doc).unwrap();
+        let text = spec.to_toml();
+        let again = ScenarioSpec::parse(&text).unwrap();
+        assert_eq!(spec, again, "canonical form:\n{text}");
+    }
+
+    #[test]
+    fn rejects_mixed_chaos_scope() {
+        let err = ScenarioSpec::parse(
+            "name = \"x\"\n[[faults.chaos]]\nnode = 1\nfrom = 0\nto = 2\ndrop = 0.5\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, ScenarioError::Schema(_)), "{err}");
+        let err = ScenarioSpec::parse("name = \"x\"\n[[faults.chaos]]\nfrom = 0\ndrop = 0.5\n")
+            .unwrap_err();
+        assert!(err.to_string().contains("`from` + `to`"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unrunnable_chaos_schedules_at_plan_time() {
+        // Rate out of [0, 1].
+        let err = ScenarioSpec::parse("name = \"x\"\n[[faults.chaos]]\ndrop = 1.5\n")
+            .unwrap()
+            .plan(&PlanOptions::default())
+            .unwrap_err();
+        assert!(err.to_string().contains("chaos schedule"), "{err}");
+        // Out-of-range validator for the committee of 10.
+        let err = ScenarioSpec::parse("name = \"x\"\n[[faults.chaos]]\nnode = 10\ndrop = 0.5\n")
+            .unwrap()
+            .plan(&PlanOptions::default())
+            .unwrap_err();
+        assert!(err.to_string().contains("chaos schedule"), "{err}");
+        // Empty parse-time window is caught before planning.
+        let err = ScenarioSpec::parse(
+            "name = \"x\"\n[[faults.chaos]]\nfrom_frac = 0.6\nuntil_frac = 0.4\ndrop = 0.5\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("chaos window is empty"), "{err}");
     }
 
     #[test]

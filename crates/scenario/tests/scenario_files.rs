@@ -17,9 +17,9 @@ fn checked_in_scenarios() -> Vec<PathBuf> {
     files.sort();
     assert_eq!(
         files.len(),
-        12,
-        "expected the seven paper scenarios plus recovery, partition, saturation, bursty \
-         and byzantine, found {files:?}"
+        13,
+        "expected the seven paper scenarios plus recovery, partition, saturation, bursty, \
+         byzantine and chaos, found {files:?}"
     );
     files
 }

@@ -349,6 +349,25 @@ fn emit(outputs: Vec<Output>, committee_size: usize, ctx: &mut Context<'_, NetMe
 impl Node for Actor {
     type Message = NetMessage;
 
+    /// Chaos-layer corruption: flip 1–3 random bits in the message's
+    /// CRC-framed wire encoding and try to decode the damaged frame. The
+    /// checksum rejects essentially every flip, so corrupt frames die
+    /// here (counted by the simulator) exactly as a real transport would
+    /// discard them — honest validator logic never sees damaged input.
+    /// A flip that somehow survived framing would surface as a decoded
+    /// (still signature-checked) message, not as silent memory
+    /// corruption.
+    fn corrupt_message(msg: &NetMessage, rng: &mut rand::StdRng) -> Option<NetMessage> {
+        let mut frame = hh_types::codec::encode_framed(&**msg);
+        let flips = rng.gen_range(1..=3usize);
+        for _ in 0..flips {
+            let byte = rng.gen_range(0..frame.len());
+            let bit = rng.gen_range(0..8u32);
+            frame[byte] ^= 1 << bit;
+        }
+        hh_types::codec::decode_framed::<ValidatorMessage>(&frame).ok().map(Arc::new)
+    }
+
     fn on_start(&mut self, ctx: &mut Context<'_, NetMessage>) {
         match self {
             Actor::Validator(v, behavior) => {

@@ -1,0 +1,325 @@
+//! The adverse-network chaos schedule: timed windows of frame drop,
+//! duplication, reordering and corruption on selected links.
+//!
+//! This mirrors the unified [`FaultSchedule`](crate::FaultSchedule)
+//! shape: scenario files parse `[[faults.chaos]]` tables into a
+//! [`ChaosSchedule`], [`ChaosSchedule::validate`] rejects unrunnable
+//! timelines up front with precise errors, and
+//! [`ChaosSchedule::to_plan`] lowers it to the network simulator's
+//! [`ChaosPlan`] for execution. Unlike crashes, chaos never changes the
+//! *logical* fault model — every effect acts on encoded frames below
+//! the protocol, so an honest protocol must ride it out (drop →
+//! retransmit, duplicate → idempotent absorb, corrupt → die at the
+//! codec, reorder → DAG buffering).
+//!
+//! All times are microseconds of simulated time.
+
+use hh_net::{ChaosPlan, ChaosScope, ChaosWindow, Duration, NodeId, SimTime};
+use std::fmt;
+
+/// Which links one chaos entry covers (scenario-level ids).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosTarget {
+    /// Every validator-to-validator link.
+    AllLinks,
+    /// Every link touching one validator, inbound or outbound.
+    Node(u16),
+    /// One directed link.
+    Pair {
+        /// Sender side.
+        from: u16,
+        /// Receiver side.
+        to: u16,
+    },
+}
+
+impl ChaosTarget {
+    fn to_scope(self) -> ChaosScope {
+        match self {
+            ChaosTarget::AllLinks => ChaosScope::AllLinks,
+            ChaosTarget::Node(n) => ChaosScope::Node(NodeId(n as usize)),
+            ChaosTarget::Pair { from, to } => {
+                ChaosScope::Pair { from: NodeId(from as usize), to: NodeId(to as usize) }
+            }
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            ChaosTarget::AllLinks => "all links".into(),
+            ChaosTarget::Node(n) => format!("links of validator {n}"),
+            ChaosTarget::Pair { from, to } => format!("link {from} -> {to}"),
+        }
+    }
+}
+
+impl fmt::Display for ChaosTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+/// One chaos window: per-frame effect rates over a link set and a
+/// half-open time interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChaosEntry {
+    /// The links covered.
+    pub target: ChaosTarget,
+    /// Window start (inclusive, µs).
+    pub from_us: u64,
+    /// Window end (exclusive, µs); `u64::MAX` for "until the end".
+    pub until_us: u64,
+    /// Probability a frame is dropped outright.
+    pub drop: f64,
+    /// Probability a frame is delivered twice.
+    pub duplicate: f64,
+    /// Probability a frame's encoded bytes are flipped in flight.
+    pub corrupt: f64,
+    /// Maximum extra per-frame delay (µs), drawn uniformly per frame —
+    /// frames overtake each other when it exceeds the latency spread.
+    pub reorder_us: u64,
+}
+
+impl ChaosEntry {
+    /// A quiet entry covering all links forever; set rates from here.
+    pub fn all_links(from_us: u64, until_us: u64) -> Self {
+        ChaosEntry {
+            target: ChaosTarget::AllLinks,
+            from_us,
+            until_us,
+            drop: 0.0,
+            duplicate: 0.0,
+            corrupt: 0.0,
+            reorder_us: 0,
+        }
+    }
+
+    fn has_effect(&self) -> bool {
+        self.drop > 0.0 || self.duplicate > 0.0 || self.corrupt > 0.0 || self.reorder_us > 0
+    }
+}
+
+/// An unrunnable chaos schedule (out-of-range rates, unknown
+/// validators, empty or ambiguously overlapping windows).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaosScheduleError(String);
+
+impl fmt::Display for ChaosScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ChaosScheduleError {}
+
+/// The full chaos timeline of a run: an ordered list of [`ChaosEntry`]s.
+///
+/// Entry order is preserved through lowering; since validation rejects
+/// windows that overlap in time on a shared link, order never changes
+/// which window governs a frame.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ChaosSchedule {
+    entries: Vec<ChaosEntry>,
+}
+
+impl ChaosSchedule {
+    /// An empty schedule (a perfectly behaved network).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The entries, in insertion order.
+    pub fn entries(&self) -> &[ChaosEntry] {
+        &self.entries
+    }
+
+    /// Appends an entry.
+    #[must_use]
+    pub fn entry(mut self, e: ChaosEntry) -> Self {
+        self.entries.push(e);
+        self
+    }
+
+    /// Whether the schedule contains no entries. Empty schedules draw
+    /// nothing from the simulator RNG — chaos-free runs stay
+    /// bit-identical to builds without the chaos layer.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Checks the schedule against a committee of `committee_size`:
+    ///
+    /// * every rate lies in `[0, 1]`;
+    /// * every referenced validator exists;
+    /// * directed pairs have distinct endpoints;
+    /// * every window is non-empty and has at least one effect;
+    /// * no two windows overlap in time while sharing a directed link —
+    ///   the executed plan resolves lookups first-match, so an overlap
+    ///   would silently shadow one window's rates with the other's.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ChaosScheduleError`] naming the first violation.
+    pub fn validate(&self, committee_size: usize) -> Result<(), ChaosScheduleError> {
+        let n = committee_size;
+        let in_range = |node: u16| -> Result<(), ChaosScheduleError> {
+            if node as usize >= n {
+                return Err(ChaosScheduleError(format!(
+                    "validator {node} is outside the committee of {n}"
+                )));
+            }
+            Ok(())
+        };
+        for (i, e) in self.entries.iter().enumerate() {
+            for (name, rate) in
+                [("drop", e.drop), ("duplicate", e.duplicate), ("corrupt", e.corrupt)]
+            {
+                if !(0.0..=1.0).contains(&rate) || !rate.is_finite() {
+                    return Err(ChaosScheduleError(format!(
+                        "chaos window {i} ({}): {name} rate {rate} is outside [0, 1]",
+                        e.target
+                    )));
+                }
+            }
+            match e.target {
+                ChaosTarget::AllLinks => {}
+                ChaosTarget::Node(node) => in_range(node)?,
+                ChaosTarget::Pair { from, to } => {
+                    in_range(from)?;
+                    in_range(to)?;
+                    if from == to {
+                        return Err(ChaosScheduleError(format!(
+                            "chaos window {i}: a link needs two distinct endpoints, got \
+                             {from} -> {to}"
+                        )));
+                    }
+                }
+            }
+            if e.until_us <= e.from_us {
+                return Err(ChaosScheduleError(format!(
+                    "chaos window {i} ({}) is empty ({}µs..{}µs)",
+                    e.target, e.from_us, e.until_us
+                )));
+            }
+            if !e.has_effect() {
+                return Err(ChaosScheduleError(format!(
+                    "chaos window {i} ({}) has no effect: all rates zero and no reorder",
+                    e.target
+                )));
+            }
+        }
+        // Pairwise overlap check: half-open time intervals intersecting
+        // while the scopes share at least one directed link.
+        for i in 0..self.entries.len() {
+            for j in (i + 1)..self.entries.len() {
+                let (a, b) = (&self.entries[i], &self.entries[j]);
+                let time_overlap = a.from_us < b.until_us && b.from_us < a.until_us;
+                if time_overlap && a.target.to_scope().intersects(&b.target.to_scope()) {
+                    return Err(ChaosScheduleError(format!(
+                        "chaos windows {i} ({}) and {j} ({}) overlap in \
+                         [{}µs, {}µs) on a shared link; split the windows or merge the rates",
+                        a.target,
+                        b.target,
+                        a.from_us.max(b.from_us),
+                        a.until_us.min(b.until_us),
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Lowers the schedule to the network simulator's [`ChaosPlan`],
+    /// restricted to validator ids below `committee_size` so co-simulated
+    /// clients (ids at and above it) keep clean links.
+    pub fn to_plan(&self, committee_size: usize) -> ChaosPlan {
+        let mut plan = ChaosPlan::new();
+        for e in &self.entries {
+            plan = plan.window(ChaosWindow {
+                scope: e.target.to_scope(),
+                from: SimTime(e.from_us),
+                until: if e.until_us == u64::MAX { SimTime::MAX } else { SimTime(e.until_us) },
+                drop: e.drop,
+                duplicate: e.duplicate,
+                corrupt: e.corrupt,
+                reorder: Duration::from_micros(e.reorder_us),
+            });
+        }
+        plan.restrict_to(committee_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(target: ChaosTarget, from_us: u64, until_us: u64, drop: f64) -> ChaosEntry {
+        ChaosEntry { drop, ..ChaosEntry { target, ..ChaosEntry::all_links(from_us, until_us) } }
+    }
+
+    #[test]
+    fn validate_accepts_disjoint_windows() {
+        let s = ChaosSchedule::new()
+            .entry(entry(ChaosTarget::AllLinks, 0, 5_000_000, 0.3))
+            .entry(entry(ChaosTarget::AllLinks, 5_000_000, 10_000_000, 0.1))
+            .entry(entry(ChaosTarget::Node(2), 12_000_000, 14_000_000, 0.5));
+        assert!(s.validate(4).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_rates() {
+        let s = ChaosSchedule::new().entry(entry(ChaosTarget::AllLinks, 0, 1_000_000, 1.5));
+        let err = s.validate(4).unwrap_err().to_string();
+        assert!(err.contains("drop rate 1.5 is outside [0, 1]"), "{err}");
+        let s = ChaosSchedule::new()
+            .entry(ChaosEntry { duplicate: -0.1, ..ChaosEntry::all_links(0, 1_000_000) });
+        assert!(s.validate(4).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_unknown_validators_and_self_links() {
+        let s = ChaosSchedule::new().entry(entry(ChaosTarget::Node(9), 0, 1_000_000, 0.5));
+        assert!(s.validate(4).unwrap_err().to_string().contains("outside the committee"));
+        let s = ChaosSchedule::new().entry(entry(
+            ChaosTarget::Pair { from: 1, to: 1 },
+            0,
+            1_000_000,
+            0.5,
+        ));
+        assert!(s.validate(4).unwrap_err().to_string().contains("two distinct endpoints"));
+    }
+
+    #[test]
+    fn validate_rejects_empty_and_effectless_windows() {
+        let s = ChaosSchedule::new().entry(entry(ChaosTarget::AllLinks, 2_000_000, 1_000_000, 0.5));
+        assert!(s.validate(4).unwrap_err().to_string().contains("is empty"));
+        let s = ChaosSchedule::new().entry(ChaosEntry::all_links(0, 1_000_000));
+        assert!(s.validate(4).unwrap_err().to_string().contains("has no effect"));
+    }
+
+    #[test]
+    fn validate_rejects_same_link_time_overlap() {
+        // Node(1) and Pair{0 -> 1} share the link 0 -> 1.
+        let s = ChaosSchedule::new()
+            .entry(entry(ChaosTarget::Node(1), 0, 2_000_000, 0.2))
+            .entry(entry(ChaosTarget::Pair { from: 0, to: 1 }, 1_000_000, 3_000_000, 0.4));
+        let err = s.validate(4).unwrap_err().to_string();
+        assert!(err.contains("overlap"), "{err}");
+        // Disjoint link sets may overlap in time.
+        let s = ChaosSchedule::new()
+            .entry(entry(ChaosTarget::Pair { from: 0, to: 1 }, 0, 2_000_000, 0.2))
+            .entry(entry(ChaosTarget::Pair { from: 1, to: 0 }, 0, 2_000_000, 0.4));
+        assert!(s.validate(4).is_ok());
+    }
+
+    #[test]
+    fn lowering_restricts_to_the_committee() {
+        let s = ChaosSchedule::new().entry(entry(ChaosTarget::AllLinks, 0, u64::MAX, 0.5));
+        let plan = s.to_plan(4);
+        assert!(plan.window_at(NodeId(0), NodeId(3), SimTime(10)).is_some());
+        // Client ids above the committee keep clean links.
+        assert!(plan.window_at(NodeId(4), NodeId(0), SimTime(10)).is_none());
+        // u64::MAX lowers to an endless window.
+        assert!(plan.window_at(NodeId(0), NodeId(1), SimTime(u64::MAX - 1)).is_some());
+    }
+}

@@ -3,8 +3,10 @@
 
 use crate::actor::{Actor, Client};
 use crate::byzantine::ByzantineSchedule;
+use crate::chaos_schedule::ChaosSchedule;
 use crate::fault_schedule::FaultSchedule;
 use crate::metrics::LatencySummary;
+use crate::safety::SafetyChecker;
 use crate::sink::MetricsSink;
 use crate::workload::Workload;
 use hammerhead::{HammerheadConfig, ScheduleConfig, Validator, ValidatorConfig};
@@ -68,6 +70,11 @@ pub struct ExperimentConfig {
     /// reputation mechanism. Empty by default — and an empty schedule
     /// changes nothing about the run, bit for bit.
     pub byzantine: ByzantineSchedule,
+    /// The chaos schedule: per-window message drop, duplication,
+    /// corruption and reordering on selected links (adverse-network
+    /// model). Empty by default — and an empty schedule draws no
+    /// randomness, so it changes nothing about the run, bit for bit.
+    pub chaos: ChaosSchedule,
     /// Use the 13-region AWS latency matrix (`true`, the paper's setting)
     /// or a flat network (`false`, fast unit tests).
     pub geo: bool,
@@ -108,6 +115,7 @@ impl ExperimentConfig {
             warmup_secs: 10,
             faults: FaultSchedule::default(),
             byzantine: ByzantineSchedule::default(),
+            chaos: ChaosSchedule::default(),
             geo: true,
             flat_latency_ms: 5,
             validator_config: None,
@@ -132,6 +140,7 @@ impl ExperimentConfig {
             warmup_secs: 0,
             faults: FaultSchedule::default(),
             byzantine: ByzantineSchedule::default(),
+            chaos: ChaosSchedule::default(),
             geo: false,
             flat_latency_ms: 5,
             validator_config: Some(ValidatorConfig {
@@ -217,6 +226,24 @@ pub struct RunResult {
     pub agreement_ok: bool,
     /// Commit chain hash of the most advanced validator.
     pub chain_hash: Digest,
+    /// Frames dropped by chaos windows.
+    pub chaos_dropped: u64,
+    /// Frames delivered twice by chaos windows.
+    pub chaos_duplicated: u64,
+    /// Corrupted frames rejected at decode (the CRC trailer or the codec
+    /// caught the flip — the only acceptable fate of a corrupt frame).
+    pub chaos_corrupt_rejected: u64,
+    /// Frames delayed by chaos reorder windows.
+    pub chaos_reordered: u64,
+    /// RBC retransmissions across live validators: adaptive sync
+    /// re-requests plus uncertified proposal rebroadcasts.
+    pub rbc_retransmits: u64,
+    /// Commit records audited by the always-on [`SafetyChecker`].
+    pub safety_records: u64,
+    /// Safety violations detected. Always zero on a returned result —
+    /// the drivers abort the run with a diagnostic dump on any
+    /// violation — but reported so scenario output can gate on it.
+    pub safety_violations: u64,
 }
 
 /// The network round observed when a scheduled recovery fired — the
@@ -244,6 +271,10 @@ pub struct SimHandle {
     /// recovery instant (empty until then, and for schedules without
     /// recoveries).
     pub recovery_samples: Vec<RecoverySample>,
+    /// The always-on safety invariant checker, fed every validator's
+    /// commit records by the run drivers. A violation aborts the run
+    /// with [`SafetyChecker::diagnostic_dump`].
+    pub safety: SafetyChecker,
 }
 
 impl SimHandle {
@@ -282,6 +313,9 @@ pub fn build_sim(config: &ExperimentConfig) -> SimHandle {
     let mut validator_config = config.derive_validator_config();
     if let Err(e) = config.byzantine.validate(n) {
         panic!("invalid byzantine schedule: {e}");
+    }
+    if let Err(e) = config.chaos.validate(n) {
+        panic!("invalid chaos schedule: {e}");
     }
     if config.byzantine.has_equivocation() {
         // Equivocation is only a *detected* attack in certified mode,
@@ -346,11 +380,42 @@ pub fn build_sim(config: &ExperimentConfig) -> SimHandle {
     let net = NetworkConfig {
         latency,
         faults: config.faults.to_plan(),
+        chaos: config.chaos.to_plan(n),
         gst: SimTime::from_secs(config.gst_secs),
         ..NetworkConfig::default()
     };
     let sim = Simulator::new(actors, net, config.seed);
-    SimHandle { sim, committee, n_validators: n, recovery_samples: Vec::new() }
+    SimHandle {
+        sim,
+        committee,
+        n_validators: n,
+        recovery_samples: Vec::new(),
+        safety: SafetyChecker::new(),
+    }
+}
+
+/// Drains every validator's freshly produced commit records into the
+/// handle's [`SafetyChecker`] and aborts the run on any violation.
+///
+/// All validators are drained — crashed ones included: the records a
+/// validator committed before its crash are exactly the history a fork
+/// would have to contradict.
+///
+/// # Panics
+///
+/// Panics with the checker's per-validator diagnostic dump if any
+/// safety invariant is violated.
+fn audit_safety(handle: &mut SimHandle) {
+    for i in 0..handle.n_validators {
+        let records = handle
+            .sim
+            .node_mut(NodeId(i))
+            .as_validator_mut()
+            .expect("node is a validator")
+            .take_commit_records();
+        handle.safety.observe_all(i as u16, &records);
+    }
+    handle.safety.assert_clean();
 }
 
 /// When a run stops (see [`run_experiment_limited`]).
@@ -434,6 +499,7 @@ pub fn run_sim_limited(config: &ExperimentConfig, limit: RunLimit) -> (SimHandle
                 handle.sample_recoveries(config, t);
             }
             handle.sim.run_until(cap);
+            audit_safety(&mut handle);
             cap_us
         }
         RunLimit::Rounds(target) => {
@@ -458,6 +524,7 @@ pub fn run_sim_limited(config: &ExperimentConfig, limit: RunLimit) -> (SimHandle
                     break;
                 }
             }
+            audit_safety(&mut handle);
             now_us
         }
     };
@@ -515,6 +582,7 @@ pub fn run_sim_streaming(
                 sink.observe(rec, now_us);
             }
         }
+        audit_safety(&mut handle);
         if let Some(target) = round_target {
             let best =
                 live.iter().map(|i| handle.validator(*i).current_round().0).max().unwrap_or(0);
@@ -539,6 +607,7 @@ pub fn run_sim_streaming(
             }
         }
     }
+    audit_safety(&mut handle);
     (handle, now_us)
 }
 
@@ -552,6 +621,7 @@ pub fn collect_streamed_metrics(
     sink: &mut MetricsSink,
 ) -> RunResult {
     sink.finalize(end_us);
+    let net_stats = handle.sim.stats();
     // Live at the *actual* stop: a run stopped before a scheduled crash
     // counts that (never-crashed) validator.
     let live = config.faults.live_at(handle.n_validators, end_us);
@@ -562,6 +632,7 @@ pub fn collect_streamed_metrics(
     let mut epochs = 0u64;
     let mut restarts = 0u64;
     let mut recovery_divergence = false;
+    let mut rbc_retransmits = 0u64;
     for &i in &live {
         let v = handle.validator(i);
         let m = v.metrics();
@@ -570,6 +641,7 @@ pub fn collect_streamed_metrics(
         commits = commits.max(v.commit_count());
         restarts += m.restarts;
         recovery_divergence |= m.recovery_divergence;
+        rbc_retransmits += v.rbc_retransmits();
         if let Some(p) = v.hammerhead_policy() {
             epochs = epochs.max(p.epoch());
         }
@@ -627,6 +699,13 @@ pub fn collect_streamed_metrics(
         recovery_divergence,
         agreement_ok,
         chain_hash,
+        chaos_dropped: net_stats.chaos_dropped,
+        chaos_duplicated: net_stats.chaos_duplicated,
+        chaos_corrupt_rejected: net_stats.chaos_corrupt_rejected,
+        chaos_reordered: net_stats.chaos_reordered,
+        rbc_retransmits,
+        safety_records: handle.safety.records_seen(),
+        safety_violations: handle.safety.violations().len() as u64,
     }
 }
 
@@ -1105,6 +1184,138 @@ mod tests {
         assert_eq!(a.chain_hash, b.chain_hash);
         assert_eq!(a.commits, b.commits);
         assert_eq!(a.throughput_tps, b.throughput_tps);
+    }
+
+    #[test]
+    fn all_honest_run_is_unchanged_by_the_chaos_hook() {
+        // The chaos plumbing (delivery-path hook, empty plan) must leave
+        // a chaos-free run bit-identical — an empty plan draws no
+        // randomness, so nothing downstream can shift.
+        let config = ExperimentConfig::quick_test(SystemKind::Hammerhead);
+        assert!(config.chaos.is_empty());
+        let a = run_experiment(&config);
+        let mut with_empty = config.clone();
+        with_empty.chaos = ChaosSchedule::new();
+        let b = run_experiment(&with_empty);
+        assert_eq!(a.chain_hash, b.chain_hash);
+        assert_eq!(a.commits, b.commits);
+        assert_eq!(a.throughput_tps, b.throughput_tps);
+        assert_eq!(a.chaos_dropped + a.chaos_duplicated + a.chaos_reordered, 0);
+        assert_eq!(a.chaos_corrupt_rejected, 0);
+        assert!(a.safety_records > 0, "the checker audited the run");
+        assert_eq!(a.safety_violations, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid chaos schedule")]
+    fn build_sim_rejects_invalid_chaos_schedules_up_front() {
+        let mut config = ExperimentConfig::quick_test(SystemKind::Hammerhead);
+        let mut entry = crate::ChaosEntry::all_links(0, u64::MAX);
+        entry.drop = 1.5;
+        config.chaos = ChaosSchedule::new().entry(entry);
+        build_sim(&config);
+    }
+
+    /// Satellite: self-healing delivery under heavy symmetric loss. At
+    /// 50% drop the run must still converge (commit progress, Total
+    /// Order, clean safety audit), and the adaptive backoff must keep
+    /// total retransmits within a constant factor of the no-loss
+    /// baseline instead of storming.
+    #[test]
+    fn heavy_loss_converges_without_a_retry_storm() {
+        let mut config = ExperimentConfig::quick_test(SystemKind::Hammerhead);
+        config.duration_secs = 6;
+        let clean = run_experiment(&config);
+
+        let mut lossy_config = config.clone();
+        let mut entry = crate::ChaosEntry::all_links(0, u64::MAX);
+        entry.drop = 0.5;
+        lossy_config.chaos = ChaosSchedule::new().entry(entry);
+        lossy_config.chaos.validate(lossy_config.committee_size).expect("runnable chaos");
+        let lossy = run_experiment(&lossy_config);
+
+        assert!(lossy.agreement_ok, "loss must never break Total Order");
+        assert_eq!(lossy.safety_violations, 0);
+        assert!(lossy.chaos_dropped > 100, "the window actually dropped: {}", lossy.chaos_dropped);
+        assert!(lossy.commits > 5, "50% loss still converges: {} commits", lossy.commits);
+        // The no-loss baseline: a healthy network resolves everything
+        // before any retry comes due, so the adaptive layer sends
+        // nothing at all.
+        assert_eq!(clean.rbc_retransmits, 0, "healthy runs never retransmit");
+        // Retry-storm regression: recovery work stays bounded by a small
+        // constant per node per sync tick. A storming implementation
+        // (every outstanding item re-sent every tick) accumulates
+        // dozens of digests per node under 50% loss and blows far past
+        // this line; the backoff keeps it near one send per node-tick.
+        let ticks =
+            config.duration_secs * 1_000_000 / config.derive_validator_config().sync_tick_us;
+        let budget = ticks * config.committee_size as u64 * 4;
+        assert!(
+            lossy.rbc_retransmits <= budget,
+            "retry storm: {} retransmits under loss vs budget {}",
+            lossy.rbc_retransmits,
+            budget
+        );
+    }
+
+    #[test]
+    fn mixed_chaos_exercises_every_fault_and_stays_safe() {
+        // Duplication, corruption and reordering together: duplicates
+        // must be absorbed idempotently, corrupt frames must die at the
+        // codec (counted, never delivered as a different valid message),
+        // and the safety audit must stay clean throughout.
+        let mut config = ExperimentConfig::quick_test(SystemKind::Hammerhead);
+        config.duration_secs = 6;
+        let mut entry = crate::ChaosEntry::all_links(0, u64::MAX);
+        entry.drop = 0.1;
+        entry.duplicate = 0.2;
+        entry.corrupt = 0.15;
+        entry.reorder_us = 40_000;
+        config.chaos = ChaosSchedule::new().entry(entry);
+        config.chaos.validate(config.committee_size).expect("runnable chaos");
+
+        let r = run_experiment(&config);
+        assert!(r.agreement_ok);
+        assert_eq!(r.safety_violations, 0);
+        assert!(r.safety_records > 0);
+        assert!(r.chaos_dropped > 0);
+        assert!(r.chaos_duplicated > 0);
+        assert!(r.chaos_corrupt_rejected > 0, "corrupt frames must be rejected at decode");
+        assert!(r.chaos_reordered > 0);
+        assert!(r.commits > 10, "mixed chaos still converges: {} commits", r.commits);
+    }
+
+    #[test]
+    #[should_panic(expected = "safety invariant violated")]
+    fn injected_fork_fails_the_run_with_a_diagnostic() {
+        // Acceptance gate: a forked history must abort the run. Two runs
+        // under different seeds commit different chains; replaying both
+        // histories into one audit as if they came from one cluster is
+        // exactly a fork, and the checker must kill it.
+        let config_a = ExperimentConfig::quick_test(SystemKind::Hammerhead);
+        let mut config_b = config_a.clone();
+        config_b.seed = 43;
+        let (handle_a, _) = run_sim_limited(&config_a, RunLimit::Duration);
+        let (handle_b, _) = run_sim_limited(&config_b, RunLimit::Duration);
+
+        let mut audit = crate::SafetyChecker::new();
+        for (validator, handle) in [(0u16, &handle_a), (1u16, &handle_b)] {
+            let records: Vec<hammerhead::CommitRecord> = handle
+                .validator(0)
+                .committed_anchors()
+                .iter()
+                .enumerate()
+                .map(|(i, a)| hammerhead::CommitRecord {
+                    index: i as u64,
+                    anchor: *a,
+                    vertices: vec![*a],
+                    replayed: false,
+                })
+                .collect();
+            audit.observe_all(validator, &records);
+        }
+        assert!(!audit.is_clean(), "different seeds commit different anchors");
+        audit.assert_clean();
     }
 
     #[test]

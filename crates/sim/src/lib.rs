@@ -24,8 +24,16 @@
 //!   leadership, flip-flopping — lowered to [`ByzantineBehavior`] hooks
 //!   that rewrite an attacker's network boundary while its validator
 //!   logic stays honest;
+//! * a [`ChaosSchedule`] of adverse-network windows — probabilistic
+//!   frame drop, duplication, in-flight byte corruption (rejected at
+//!   the receiving codec) and reorder, scoped per link, node or the
+//!   whole mesh — lowered to an [`hh_net::ChaosPlan`] executed on the
+//!   run's seeded RNG, so chaos-free runs stay bit-identical;
 //! * an agreement audit across all live validators' commit sequences after
-//!   every run (safety is checked on every experiment, not assumed).
+//!   every run, hardened by an always-on [`SafetyChecker`] asserting no
+//!   fork, `(round, author)` slot uniqueness and commit monotonicity
+//!   across WAL replays (safety is checked on every experiment, not
+//!   assumed — a violation aborts the run with a diagnostic dump).
 //!
 //! # Example
 //!
@@ -65,9 +73,11 @@
 
 mod actor;
 mod byzantine;
+mod chaos_schedule;
 mod experiment;
 mod fault_schedule;
 mod metrics;
+mod safety;
 mod sink;
 mod timeseries;
 mod workload;
@@ -77,6 +87,7 @@ pub use byzantine::{
     ByzantineBehavior, ByzantineEntry, ByzantineSchedule, ByzantineScheduleError,
     ByzantineStrategy, BYZANTINE_TOKEN_BASE,
 };
+pub use chaos_schedule::{ChaosEntry, ChaosSchedule, ChaosScheduleError, ChaosTarget};
 pub use experiment::{
     build_sim, collect_metrics, collect_streamed_metrics, run_experiment, run_experiment_limited,
     run_sim_limited, run_sim_streaming, ExperimentConfig, RecoverySample, RunLimit, RunResult,
@@ -84,6 +95,7 @@ pub use experiment::{
 };
 pub use fault_schedule::{FaultEvent, FaultSchedule, FaultScheduleError};
 pub use metrics::LatencySummary;
+pub use safety::{SafetyChecker, SafetyViolation};
 pub use sink::{MetricsSink, StreamingHistogram};
 pub use timeseries::{Bucket, TimeSeries};
 pub use workload::{

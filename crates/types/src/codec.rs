@@ -63,6 +63,38 @@ pub fn decode_from_slice<T: Encode>(bytes: &[u8]) -> Result<T, TypeError> {
     Ok(value)
 }
 
+/// Encodes `value` as a checksummed wire frame: the payload followed by
+/// a big-endian CRC-32 trailer over it. The frame is what travels on a
+/// (simulated) link; [`decode_framed`] verifies the trailer before
+/// touching the payload, so in-flight bit flips die here instead of
+/// surfacing as a different valid message.
+pub fn encode_framed<T: Encode>(value: &T) -> Vec<u8> {
+    let mut buf = Vec::new();
+    value.encode(&mut buf);
+    let crc = hh_crypto::crc32(&buf);
+    buf.extend_from_slice(&crc.to_be_bytes());
+    buf
+}
+
+/// Decodes one checksummed wire frame produced by [`encode_framed`].
+///
+/// # Errors
+///
+/// Returns [`TypeError::Decode`] when the frame is shorter than the
+/// trailer, the CRC-32 does not match the payload, or the payload
+/// itself is truncated, malformed, or has leftover bytes.
+pub fn decode_framed<T: Encode>(frame: &[u8]) -> Result<T, TypeError> {
+    if frame.len() < 4 {
+        return Err(TypeError::Decode("frame shorter than its checksum"));
+    }
+    let (payload, trailer) = frame.split_at(frame.len() - 4);
+    let expected = u32::from_be_bytes(trailer.try_into().expect("4-byte trailer"));
+    if hh_crypto::crc32(payload) != expected {
+        return Err(TypeError::Decode("frame checksum mismatch"));
+    }
+    decode_from_slice(payload)
+}
+
 /// A cursor over bytes being decoded.
 #[derive(Debug)]
 pub struct Decoder<'a> {
@@ -382,5 +414,39 @@ mod tests {
         let v: Vec<(ValidatorId, Stake)> =
             (0..50).map(|i| (ValidatorId(i), Stake(i as u64 + 1))).collect();
         assert_eq!(encode_to_vec(&v), encode_to_vec(&v.clone()));
+    }
+
+    #[test]
+    fn framed_roundtrip() {
+        let v: Vec<(ValidatorId, Stake)> =
+            (0..8).map(|i| (ValidatorId(i), Stake(i as u64 + 1))).collect();
+        let frame = encode_framed(&v);
+        assert_eq!(frame.len(), encode_to_vec(&v).len() + 4);
+        let back: Vec<(ValidatorId, Stake)> = decode_framed(&frame).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn framed_rejects_any_single_bit_flip() {
+        let v: Vec<u64> = vec![7, 11, 13];
+        let frame = encode_framed(&v);
+        for i in 0..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[i] ^= 1 << bit;
+                assert!(
+                    decode_framed::<Vec<u64>>(&bad).is_err(),
+                    "flip at byte {i} bit {bit} survived"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn framed_rejects_truncation_and_empty() {
+        let frame = encode_framed(&42u64);
+        assert!(decode_framed::<u64>(&frame[..frame.len() - 1]).is_err());
+        assert!(decode_framed::<u64>(&[]).is_err());
+        assert!(decode_framed::<u64>(&frame[..3]).is_err());
     }
 }
