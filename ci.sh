@@ -173,8 +173,11 @@ for doc in README.md docs/*.md; do
     done
 done
 
-step "hotpath bench smoke (BENCH_hotpath.json, commit-walk regression floor)"
-./target/release/hotpath_smoke --out BENCH_hotpath.json --min-speedup 2
+step "hotpath bench smoke (BENCH_hotpath.json, commit-walk + sim-throughput floors)"
+# The sim floor is 2x the pre-overhaul checked-in sim_events_per_sec
+# (582k): the event-queue/zero-copy/caching rework must stay at least
+# twice as fast as the BinaryHeap + deep-clone simulator it replaced.
+./target/release/hotpath_smoke --out BENCH_hotpath.json --min-speedup 2 --min-sim-events 1160000
 
 step "determinism: --profile leaves the JSON report byte-identical"
 ./target/release/hh-cli run scenarios/fig2_faults.toml \

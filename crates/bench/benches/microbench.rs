@@ -326,6 +326,50 @@ fn bench_fault_plan(c: &mut Criterion) {
     group.finish();
 }
 
+/// The simulator's event queue, at a quiet depth (1k pending, the quick
+/// scenarios) and a saturated one (100k pending, the load sweeps). Each
+/// iteration pushes one event and pops the earliest, i.e. the steady-state
+/// churn of the event loop; pending events are spread over the wheel's
+/// full ring horizon so pops pay realistic cursor movement, with a slice
+/// beyond it so the overflow path stays on the profile too.
+fn bench_event_queue(c: &mut Criterion) {
+    use hh_net::wheel::{TimingWheel, WHEEL_SLOTS};
+    use hh_net::SimTime;
+
+    let mut group = c.benchmark_group("event_queue");
+    for &pending in &[1_000u64, 100_000] {
+        let setup = move || {
+            let mut wheel: TimingWheel<u64> = TimingWheel::new();
+            // Deterministic spread: mostly within the ring horizon,
+            // every 16th event far beyond it (overflow map).
+            for seq in 0..pending {
+                let at = if seq % 16 == 0 {
+                    2 * WHEEL_SLOTS as u64 + (seq * 131) % 1_000_000
+                } else {
+                    (seq * 2_654_435_761) % WHEEL_SLOTS as u64
+                };
+                wheel.push(SimTime(at), seq, seq);
+            }
+            wheel
+        };
+        group.throughput(Throughput::Elements(1_000));
+        group.bench_function(format!("push_pop_{pending}_pending"), |b| {
+            b.iter_batched(
+                setup,
+                |mut wheel| {
+                    for seq in pending..pending + 1_000 {
+                        let (at, _, v) = wheel.pop().expect("queue stays non-empty");
+                        wheel.push(at + hh_net::Duration::from_micros(v % 97 + 1), seq, v);
+                    }
+                    wheel
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sha256,
@@ -337,6 +381,7 @@ criterion_group!(
     bench_consensus,
     bench_schedule,
     bench_codec,
-    bench_fault_plan
+    bench_fault_plan,
+    bench_event_queue
 );
 criterion_main!(benches);

@@ -457,10 +457,15 @@ impl<B: LogBackend> Validator<B> {
     }
 
     /// Handles a message from a peer validator or a client.
+    ///
+    /// Borrows the message: the network layer shares one frame between
+    /// all recipients, and the broadcast layer's `Arc`'d vertex payloads
+    /// mean nothing on this path needs an owned copy (a submitted
+    /// transaction is the one small exception, cloned into the pool).
     pub fn on_message(
         &mut self,
         from: ValidatorId,
-        msg: ValidatorMessage,
+        msg: &ValidatorMessage,
         now: u64,
     ) -> Vec<Output> {
         if self.halted {
@@ -471,7 +476,7 @@ impl<B: LogBackend> Validator<B> {
             ValidatorMessage::Submit(tx) => {
                 self.client_addr.insert(tx.id.client, from);
                 if self.tx_pool.len() < self.config.pool_capacity {
-                    self.tx_pool.push_back(tx);
+                    self.tx_pool.push_back(*tx);
                     self.metrics.txs_accepted += 1;
                 } else {
                     self.metrics.txs_shed += 1;
@@ -484,7 +489,7 @@ impl<B: LogBackend> Validator<B> {
                 }
             }
             ValidatorMessage::Rbc(rbc_msg) => {
-                let sender = Self::rbc_sender(&rbc_msg, from);
+                let sender = Self::rbc_sender(rbc_msg, from);
                 let fx = self.rbc.handle(sender, rbc_msg, &mut self.dag);
                 self.absorb_rbc(fx, now, &mut out);
             }
@@ -597,9 +602,7 @@ impl<B: LogBackend> Validator<B> {
         // serve us anything we missed (their responses resync us forward).
         if self.next_round.0 > 0 {
             if let Some(v) = self.dag.vertex_by_author(self.next_round.prev(), self.id) {
-                out.push(Output::Broadcast(ValidatorMessage::Rbc(RbcMessage::Vertex(
-                    (**v).clone(),
-                ))));
+                out.push(Output::Broadcast(ValidatorMessage::Rbc(RbcMessage::Vertex(v.clone()))));
             }
         }
         self.drive(now, &mut out);
@@ -911,7 +914,7 @@ mod tests {
         }
 
         fn submit(&mut self, tx: Transaction) {
-            let out = self.v.on_message(ValidatorId(0), ValidatorMessage::Submit(tx), self.now);
+            let out = self.v.on_message(ValidatorId(0), &ValidatorMessage::Submit(tx), self.now);
             self.absorb(out);
         }
     }
@@ -1094,7 +1097,7 @@ mod tests {
         // Further input is ignored without panicking.
         let out = v.on_message(
             ValidatorId(0),
-            ValidatorMessage::Submit(Transaction::new(0, 0, now)),
+            &ValidatorMessage::Submit(Transaction::new(0, 0, now)),
             now,
         );
         assert!(out.is_empty(), "halted node emits nothing");

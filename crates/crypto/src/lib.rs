@@ -39,6 +39,7 @@
 
 mod crc;
 mod digest;
+pub mod prof;
 mod sha256;
 mod sign;
 

@@ -1,0 +1,152 @@
+//! Flag-gated profiling counters for the crypto and codec hot paths.
+//!
+//! Off by default; while off, every instrumented call pays exactly one
+//! relaxed atomic load. When enabled (`hh-cli run --profile`), digest
+//! computations, signature operations and framed-codec passes accrue
+//! wall-nanos and op counts into thread-local cells, so a worker thread
+//! profiling its own run never contends with its siblings. Callers take
+//! a [`snapshot`] before and after a run on the same thread and diff the
+//! two to attribute cost to that run.
+//!
+//! Wall-clock is inherently nondeterministic, so nothing here may ever
+//! reach report rows or JSON — profiling output is stderr-only.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns crypto/codec profiling on or off, process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether profiling is on: one relaxed load, the entire off-cost.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+thread_local! {
+    static DIGEST_NS: Cell<u64> = const { Cell::new(0) };
+    static DIGEST_OPS: Cell<u64> = const { Cell::new(0) };
+    static SIG_NS: Cell<u64> = const { Cell::new(0) };
+    static SIG_OPS: Cell<u64> = const { Cell::new(0) };
+    static CODEC_NS: Cell<u64> = const { Cell::new(0) };
+    static CODEC_OPS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn accrue(
+    ns_cell: &'static std::thread::LocalKey<Cell<u64>>,
+    ops_cell: &'static std::thread::LocalKey<Cell<u64>>,
+    t: Instant,
+) {
+    let ns = t.elapsed().as_nanos() as u64;
+    ns_cell.with(|c| c.set(c.get() + ns));
+    ops_cell.with(|c| c.set(c.get() + 1));
+}
+
+/// Times `f` as one content-digest computation when profiling is on.
+#[inline]
+pub fn time_digest<R>(f: impl FnOnce() -> R) -> R {
+    if !enabled() {
+        return f();
+    }
+    let t = Instant::now();
+    let r = f();
+    accrue(&DIGEST_NS, &DIGEST_OPS, t);
+    r
+}
+
+/// Times `f` as one signature operation (sign or verify) when profiling
+/// is on.
+#[inline]
+pub fn time_sig<R>(f: impl FnOnce() -> R) -> R {
+    if !enabled() {
+        return f();
+    }
+    let t = Instant::now();
+    let r = f();
+    accrue(&SIG_NS, &SIG_OPS, t);
+    r
+}
+
+/// Times `f` as one framed encode/decode pass when profiling is on.
+#[inline]
+pub fn time_codec<R>(f: impl FnOnce() -> R) -> R {
+    if !enabled() {
+        return f();
+    }
+    let t = Instant::now();
+    let r = f();
+    accrue(&CODEC_NS, &CODEC_OPS, t);
+    r
+}
+
+/// This thread's accumulated crypto/codec profile.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CryptoProf {
+    /// Nanos spent computing content digests.
+    pub digest_ns: u64,
+    /// Content-digest computations.
+    pub digest_ops: u64,
+    /// Nanos spent in signature operations (sign + verify).
+    pub sig_ns: u64,
+    /// Signature operations.
+    pub sig_ops: u64,
+    /// Nanos spent in framed encode/decode passes.
+    pub codec_ns: u64,
+    /// Framed encode/decode passes.
+    pub codec_ops: u64,
+}
+
+impl CryptoProf {
+    /// Counter movement from `earlier` (taken on the same thread) to
+    /// `self`.
+    pub fn since(&self, earlier: &CryptoProf) -> CryptoProf {
+        CryptoProf {
+            digest_ns: self.digest_ns - earlier.digest_ns,
+            digest_ops: self.digest_ops - earlier.digest_ops,
+            sig_ns: self.sig_ns - earlier.sig_ns,
+            sig_ops: self.sig_ops - earlier.sig_ops,
+            codec_ns: self.codec_ns - earlier.codec_ns,
+            codec_ops: self.codec_ops - earlier.codec_ops,
+        }
+    }
+}
+
+/// Reads this thread's counters (cheap; does not reset them).
+pub fn snapshot() -> CryptoProf {
+    CryptoProf {
+        digest_ns: DIGEST_NS.with(Cell::get),
+        digest_ops: DIGEST_OPS.with(Cell::get),
+        sig_ns: SIG_NS.with(Cell::get),
+        sig_ops: SIG_OPS.with(Cell::get),
+        codec_ns: CODEC_NS.with(Cell::get),
+        codec_ops: CODEC_OPS.with(Cell::get),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_only_move_when_enabled() {
+        let before = snapshot();
+        time_digest(|| std::hint::black_box(1 + 1));
+        assert_eq!(snapshot().since(&before).digest_ops, 0);
+
+        set_enabled(true);
+        time_digest(|| std::hint::black_box(1 + 1));
+        time_sig(|| std::hint::black_box(2 + 2));
+        time_codec(|| std::hint::black_box(3 + 3));
+        set_enabled(false);
+
+        let moved = snapshot().since(&before);
+        assert_eq!(moved.digest_ops, 1);
+        assert_eq!(moved.sig_ops, 1);
+        assert_eq!(moved.codec_ops, 1);
+    }
+}

@@ -130,6 +130,16 @@ impl Sha256 {
     }
 
     fn compress(&mut self, block: &[u8; 64]) {
+        #[cfg(target_arch = "x86_64")]
+        if ni::available() {
+            // SAFETY: `available` runtime-detected sha/ssse3/sse4.1.
+            unsafe { ni::compress(&mut self.state, block) };
+            return;
+        }
+        self.compress_soft(block);
+    }
+
+    fn compress_soft(&mut self, block: &[u8; 64]) {
         let mut w = [0u32; 64];
         for i in 0..16 {
             w[i] = u32::from_be_bytes([
@@ -187,6 +197,105 @@ pub fn sha256(data: &[u8]) -> Digest {
     let mut h = Sha256::new();
     h.update(data);
     h.finalize()
+}
+
+/// SHA-NI accelerated compression (Intel SHA extensions).
+///
+/// The exact FIPS 180-4 function — same state, same output bits — just
+/// computed by the `sha256rnds2`/`sha256msg1`/`sha256msg2` instructions
+/// instead of the scalar round loop, so digests are identical whichever
+/// path runs. Selected per-process by runtime CPUID detection; every
+/// non-x86 or pre-SHA-NI machine keeps the portable implementation.
+#[cfg(target_arch = "x86_64")]
+mod ni {
+    use super::K;
+    use core::arch::x86_64::*;
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    /// Whether this CPU has the SHA extensions (cached CPUID probe).
+    pub fn available() -> bool {
+        static CACHE: AtomicU8 = AtomicU8::new(0);
+        match CACHE.load(Ordering::Relaxed) {
+            1 => true,
+            2 => false,
+            _ => {
+                let has = std::arch::is_x86_feature_detected!("sha")
+                    && std::arch::is_x86_feature_detected!("ssse3")
+                    && std::arch::is_x86_feature_detected!("sse4.1");
+                CACHE.store(if has { 1 } else { 2 }, Ordering::Relaxed);
+                has
+            }
+        }
+    }
+
+    /// Four round constants `K[i..i + 4]` in one lane-ordered vector.
+    #[inline(always)]
+    unsafe fn kvec(i: usize) -> __m128i {
+        _mm_set_epi32(K[i + 3] as i32, K[i + 2] as i32, K[i + 1] as i32, K[i] as i32)
+    }
+
+    /// One FIPS 180-4 compression of `block` into `state`.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support the `sha`, `ssse3` and `sse4.1` features
+    /// (check [`available`] first).
+    #[target_feature(enable = "sha,ssse3,sse4.1")]
+    pub unsafe fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
+        // Big-endian word loads via one byte shuffle per 16 bytes.
+        let bswap = _mm_set_epi64x(0x0c0d_0e0f_0809_0a0b_u64 as i64, 0x0405_0607_0001_0203);
+
+        // Repack [a,b,c,d] / [e,f,g,h] into the ABEF / CDGH layout the
+        // sha256rnds2 instruction works on.
+        let tmp = _mm_shuffle_epi32(_mm_loadu_si128(state.as_ptr().cast()), 0xB1);
+        let efgh = _mm_shuffle_epi32(_mm_loadu_si128(state.as_ptr().add(4).cast()), 0x1B);
+        let mut abef = _mm_alignr_epi8(tmp, efgh, 8);
+        let mut cdgh = _mm_blend_epi16(efgh, tmp, 0xF0);
+        let abef_save = abef;
+        let cdgh_save = cdgh;
+
+        // Two sha256rnds2 per group: the instruction consumes two K+W
+        // words per issue (lower pair, then upper pair).
+        macro_rules! rounds4 {
+            ($w:expr, $k:expr) => {{
+                let wk = _mm_add_epi32($w, kvec($k));
+                cdgh = _mm_sha256rnds2_epu32(cdgh, abef, wk);
+                abef = _mm_sha256rnds2_epu32(abef, cdgh, _mm_shuffle_epi32(wk, 0x0E));
+            }};
+        }
+
+        let mut m0 = _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().cast()), bswap);
+        let mut m1 = _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(16).cast()), bswap);
+        let mut m2 = _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(32).cast()), bswap);
+        let mut m3 = _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(48).cast()), bswap);
+
+        rounds4!(m0, 0);
+        rounds4!(m1, 4);
+        rounds4!(m2, 8);
+        rounds4!(m3, 12);
+
+        // w[i] = w[i-16] + σ0(w[i-15]) + w[i-7] + σ1(w[i-2]): msg1 covers
+        // the first two terms, the alignr add injects w[i-7], msg2 the σ1
+        // feedback. `m0..m3` is the sliding 16-word window.
+        let mut k = 16;
+        while k < 64 {
+            m0 = _mm_sha256msg1_epu32(m0, m1);
+            m0 = _mm_add_epi32(m0, _mm_alignr_epi8(m3, m2, 4));
+            m0 = _mm_sha256msg2_epu32(m0, m3);
+            rounds4!(m0, k);
+            (m0, m1, m2, m3) = (m1, m2, m3, m0);
+            k += 4;
+        }
+
+        abef = _mm_add_epi32(abef, abef_save);
+        cdgh = _mm_add_epi32(cdgh, cdgh_save);
+
+        // Back to the [a,b,c,d] / [e,f,g,h] memory layout.
+        let tmp = _mm_shuffle_epi32(abef, 0x1B);
+        let dchg = _mm_shuffle_epi32(cdgh, 0xB1);
+        _mm_storeu_si128(state.as_mut_ptr().cast(), _mm_blend_epi16(tmp, dchg, 0xF0));
+        _mm_storeu_si128(state.as_mut_ptr().add(4).cast(), _mm_alignr_epi8(dchg, tmp, 8));
+    }
 }
 
 #[cfg(test)]
@@ -277,5 +386,62 @@ ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
         let a = sha256(b"hammerhead");
         let b = sha256(b"hammerheaD");
         assert_ne!(a, b);
+    }
+
+    /// Runs the full hash over `msg` through one specific compression
+    /// function, bypassing the runtime dispatch in `compress`.
+    fn digest_via(msg: &[u8], compress: impl Fn(&mut [u32; 8], &[u8; 64])) -> Digest {
+        let mut padded = msg.to_vec();
+        let bit_len = (msg.len() as u64).wrapping_mul(8);
+        padded.push(0x80);
+        while padded.len() % 64 != 56 {
+            padded.push(0);
+        }
+        padded.extend_from_slice(&bit_len.to_be_bytes());
+        let mut state = H0;
+        for chunk in padded.chunks_exact(64) {
+            compress(&mut state, chunk.try_into().expect("64-byte chunk"));
+        }
+        let mut out = [0u8; 32];
+        for (i, word) in state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest::new(out)
+    }
+
+    /// The portable round loop stays covered (and equal to the public
+    /// entry point) even on machines where dispatch picks SHA-NI.
+    #[test]
+    fn software_path_matches_public_digest() {
+        for len in [0usize, 1, 31, 55, 56, 63, 64, 65, 127, 128, 500] {
+            let msg: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+            let soft = digest_via(&msg, |state, block| {
+                let mut h = Sha256 { state: *state, buf: [0; 64], buf_len: 0, len: 0 };
+                h.compress_soft(block);
+                *state = h.state;
+            });
+            assert_eq!(soft, sha256(&msg), "len {len}");
+        }
+    }
+
+    /// On SHA-NI hardware, the accelerated compression is bit-identical
+    /// to the portable one for every padding shape.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn ni_path_matches_software_path() {
+        if !ni::available() {
+            return;
+        }
+        for len in [0usize, 1, 31, 55, 56, 63, 64, 65, 127, 128, 500, 1000] {
+            let msg: Vec<u8> = (0..len).map(|i| (i * 37 % 253) as u8).collect();
+            // SAFETY: gated on `ni::available`.
+            let fast = digest_via(&msg, |state, block| unsafe { ni::compress(state, block) });
+            let soft = digest_via(&msg, |state, block| {
+                let mut h = Sha256 { state: *state, buf: [0; 64], buf_len: 0, len: 0 };
+                h.compress_soft(block);
+                *state = h.state;
+            });
+            assert_eq!(fast, soft, "len {len}");
+        }
     }
 }

@@ -55,7 +55,7 @@ pub struct PublicKey {
 impl PublicKey {
     /// Checks that `sig` is `kp.sign(context, msg)` for the matching keypair.
     pub fn verify(&self, context: &[u8], msg: &[u8], sig: &Signature) -> bool {
-        sign_inner(&self.seed, context, msg) == sig.0
+        crate::prof::time_sig(|| sign_inner(&self.seed, context, msg) == sig.0)
     }
 
     /// A stable numeric identifier derived from the seed, handy for logs.
@@ -98,7 +98,7 @@ impl Keypair {
     /// Distinct contexts (e.g. `b"vertex"` vs `b"ack"`) guarantee a signature
     /// from one protocol message type can never be replayed as another.
     pub fn sign(&self, context: &[u8], msg: &[u8]) -> Signature {
-        Signature(sign_inner(&self.seed, context, msg))
+        crate::prof::time_sig(|| Signature(sign_inner(&self.seed, context, msg)))
     }
 
     /// Returns the verifying half.

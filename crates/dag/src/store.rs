@@ -294,6 +294,18 @@ impl Dag {
     /// sync the listed digests and retry — this is the signal driving the
     /// broadcast layer's fetcher.
     pub fn try_insert(&mut self, vertex: Vertex) -> Result<InsertOutcome, DagError> {
+        self.try_insert_arc(Arc::new(vertex))
+    }
+
+    /// [`Dag::try_insert`] for a vertex already behind an `Arc` — the
+    /// broadcast layer's zero-copy intake. On success the DAG interns
+    /// the *same* allocation (a refcount bump, no deep copy of the
+    /// block or parent list).
+    ///
+    /// # Errors
+    ///
+    /// See [`Dag::try_insert`].
+    pub fn try_insert_arc(&mut self, vertex: Arc<Vertex>) -> Result<InsertOutcome, DagError> {
         let round = vertex.round();
         let author = vertex.author();
         let n = self.committee.size();
@@ -408,12 +420,7 @@ impl Dag {
             self.slots[p as usize].as_mut().expect("live slot id").vote_stake += author_stake;
         }
         let digest = vertex.digest();
-        let slot = VertexSlot {
-            vertex: Arc::new(vertex),
-            parents: parent_slots,
-            vote_stake: Stake(0),
-            reach,
-        };
+        let slot = VertexSlot { vertex, parents: parent_slots, vote_stake: Stake(0), reach };
         let id = match self.free.pop() {
             Some(id) => {
                 self.slots[id as usize] = Some(slot);

@@ -8,7 +8,6 @@
 
 use crate::time::Duration;
 use crate::NodeId;
-use rand::rngs::StdRng;
 use rand::Rng;
 
 /// Number of AWS regions in the paper's deployment.
@@ -149,7 +148,7 @@ impl GeoLatency {
         self.assignment[node.0]
     }
 
-    fn one_way(&self, from: NodeId, to: NodeId, rng: &mut StdRng) -> Duration {
+    fn one_way(&self, from: NodeId, to: NodeId, rng: &mut impl Rng) -> Duration {
         let a = self.assignment[from.0].index();
         let b = self.assignment[to.0].index();
         let rtt_us = RTT_MS[a][b] as f64 * 1000.0;
@@ -171,7 +170,7 @@ pub enum LatencyModel {
 
 impl LatencyModel {
     /// Samples the one-way delay for a message on `from → to`.
-    pub fn sample(&self, from: NodeId, to: NodeId, rng: &mut StdRng) -> Duration {
+    pub fn sample(&self, from: NodeId, to: NodeId, rng: &mut impl Rng) -> Duration {
         match self {
             LatencyModel::Constant(d) => *d,
             LatencyModel::Uniform(lo, hi) => {
@@ -209,6 +208,7 @@ impl Default for LatencyModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     #[test]

@@ -53,9 +53,11 @@
 mod chaos;
 mod fault;
 mod latency;
+pub mod prof;
 mod sim;
 pub mod threaded;
 mod time;
+pub mod wheel;
 
 pub use chaos::{ChaosPlan, ChaosScope, ChaosWindow};
 pub use fault::{FaultPlan, PartitionSpec, SlowdownSpec};

@@ -10,10 +10,9 @@ use crate::chaos::{ChaosPlan, ChaosWindow};
 use crate::fault::FaultPlan;
 use crate::latency::LatencyModel;
 use crate::time::{Duration, SimTime};
+use crate::wheel::TimingWheel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Identifies a node within the simulation (dense indices `0..n`).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
@@ -83,8 +82,22 @@ pub struct Context<'a, M> {
 }
 
 pub(crate) enum Action<M> {
-    Send { to: NodeId, msg: M },
-    Timer { delay: Duration, token: u64 },
+    Send {
+        to: NodeId,
+        msg: M,
+    },
+    /// One queued action fanning `msg` out to nodes `0..to_first`
+    /// (excluding self). The runtime clones per recipient at routing
+    /// time — a cheap handle copy when `M` is an `Arc` (the zero-copy
+    /// fan-out path).
+    Broadcast {
+        msg: M,
+        to_first: usize,
+    },
+    Timer {
+        delay: Duration,
+        token: u64,
+    },
 }
 
 impl<'a, M: Clone> Context<'a, M> {
@@ -116,12 +129,23 @@ impl<'a, M: Clone> Context<'a, M> {
     /// Sends `msg` to every *other* node. Self-delivery is the protocol's
     /// job (processing a locally-created message directly is free and
     /// avoids a queue round-trip).
+    ///
+    /// Enqueues a single action; the runtime fans out per recipient in
+    /// ascending node order (identical delivery and RNG-draw order to a
+    /// loop of [`Context::send`] calls), cloning the message handle per
+    /// peer — one `Arc` bump each for `Arc`'d message types, never a
+    /// deep copy.
     pub fn broadcast(&mut self, msg: M) {
-        for i in 0..self.num_nodes {
-            if NodeId(i) != self.id {
-                self.actions.push(Action::Send { to: NodeId(i), msg: msg.clone() });
-            }
-        }
+        let to_first = self.num_nodes;
+        self.actions.push(Action::Broadcast { msg, to_first });
+    }
+
+    /// Sends `msg` to every other node with id below `k` — a committee
+    /// broadcast in simulations where load generators occupy the ids
+    /// above the validators. Same single-action, ascending-order,
+    /// handle-clone fan-out as [`Context::broadcast`].
+    pub fn broadcast_to_first(&mut self, k: usize, msg: M) {
+        self.actions.push(Action::Broadcast { msg, to_first: k });
     }
 
     /// Arms a one-shot timer firing after `delay` with the given `token`.
@@ -205,6 +229,14 @@ impl Default for NetworkConfig {
 pub struct SimStats {
     /// Total events processed.
     pub events: u64,
+    /// PRNG draws made by the routing machinery itself (latency jitter,
+    /// pre-GST adversary, chaos windows) — *not* draws actors make via
+    /// [`Context::rng`]. The event-queue/fan-out hot path is draw-free by
+    /// design, so a chaos-free constant-latency run reports zero; the
+    /// determinism suite asserts on this so an accidentally introduced
+    /// draw (which silently re-orders every later sample, changing run
+    /// bytes) fails loudly instead.
+    pub delivery_rng_draws: u64,
     /// Messages delivered to live nodes.
     pub delivered: u64,
     /// Messages dropped because the destination was crashed.
@@ -233,26 +265,26 @@ enum EventKind<M> {
     Recover(NodeId),
 }
 
-struct Event<M> {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind<M>,
+/// The simulator's PRNG with a draw counter on top.
+///
+/// The routing machinery draws through the wrapper (each `next_*` call
+/// bumps the count), while actor handlers reach the `inner` generator
+/// directly via [`Context::rng`], uncounted. The counter therefore
+/// measures exactly the delivery-path draws surfaced as
+/// [`SimStats::delivery_rng_draws`]. Delegation is transparent: the
+/// stream of values is bit-identical to the bare [`StdRng`].
+#[derive(Debug)]
+struct CountingRng {
+    inner: StdRng,
+    draws: u64,
 }
 
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+impl Rng for CountingRng {
+    // `gen`, `gen_range` and `gen_bool` all derive from this one raw
+    // output, so every sample is counted no matter which helper drew it.
+    fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
+        self.inner.next_u64()
     }
 }
 
@@ -263,12 +295,17 @@ pub struct Simulator<N: Node> {
     nodes: Vec<N>,
     crashed: Vec<bool>,
     config: NetworkConfig,
-    queue: BinaryHeap<Reverse<Event<N::Message>>>,
+    /// The event queue: exact `(at, seq)` order (see [`crate::wheel`]).
+    queue: TimingWheel<EventKind<N::Message>>,
     now: SimTime,
     seq: u64,
-    rng: StdRng,
+    rng: CountingRng,
     stats: SimStats,
     started: bool,
+    /// Reused [`Context`] action buffer: `invoke` is not reentrant, so
+    /// one scratch allocation serves every event instead of a fresh
+    /// `Vec` per dispatch.
+    action_scratch: Vec<Action<N::Message>>,
 }
 
 impl<N: Node> Simulator<N> {
@@ -279,12 +316,13 @@ impl<N: Node> Simulator<N> {
         let mut sim = Simulator {
             crashed: vec![false; n],
             nodes,
-            queue: BinaryHeap::new(),
+            queue: TimingWheel::new(),
             now: SimTime::ZERO,
             seq: 0,
-            rng: StdRng::seed_from_u64(seed),
+            rng: CountingRng { inner: StdRng::seed_from_u64(seed), draws: 0 },
             stats: SimStats::default(),
             started: false,
+            action_scratch: Vec::new(),
             config,
         };
         // Crash/recovery schedules become ordinary events.
@@ -304,7 +342,9 @@ impl<N: Node> Simulator<N> {
 
     /// Run statistics so far.
     pub fn stats(&self) -> SimStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.delivery_rng_draws = self.rng.draws;
+        stats
     }
 
     /// Immutable access to a node (for post-run inspection).
@@ -347,38 +387,58 @@ impl<N: Node> Simulator<N> {
     fn push(&mut self, at: SimTime, kind: EventKind<N::Message>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Event { at, seq, kind }));
+        if crate::prof::enabled() {
+            let t = std::time::Instant::now();
+            self.queue.push(at, seq, kind);
+            crate::prof::accrue_queue(t.elapsed().as_nanos() as u64);
+        } else {
+            self.queue.push(at, seq, kind);
+        }
+    }
+
+    /// [`TimingWheel::pop_if_at_most`], timed as a queue op when
+    /// profiling is on.
+    fn pop_at_most(&mut self, deadline: SimTime) -> Option<(SimTime, u64, EventKind<N::Message>)> {
+        if crate::prof::enabled() {
+            let t = std::time::Instant::now();
+            let popped = self.queue.pop_if_at_most(deadline);
+            crate::prof::accrue_queue(t.elapsed().as_nanos() as u64);
+            popped
+        } else {
+            self.queue.pop_if_at_most(deadline)
+        }
     }
 
     /// Processes all events up to and including `deadline`, then advances
     /// the clock to `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
         self.ensure_started();
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.at > deadline {
-                break;
-            }
-            let Reverse(event) = self.queue.pop().expect("peeked");
-            self.now = event.at;
-            self.dispatch(event);
+        while let Some((at, _, kind)) = self.pop_at_most(deadline) {
+            self.now = at;
+            self.dispatch(kind);
         }
         self.now = deadline;
+        self.queue.advance_to(deadline);
     }
 
     /// Runs until the event queue drains or `deadline` passes; returns the
     /// final simulation time. Useful for tests that want quiescence.
     pub fn run_until_idle(&mut self, deadline: SimTime) -> SimTime {
         self.ensure_started();
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.at > deadline {
-                self.now = deadline;
-                return self.now;
+        loop {
+            match self.pop_at_most(deadline) {
+                Some((at, _, kind)) => {
+                    self.now = at;
+                    self.dispatch(kind);
+                }
+                None if self.queue.is_empty() => return self.now,
+                None => {
+                    self.now = deadline;
+                    self.queue.advance_to(deadline);
+                    return self.now;
+                }
             }
-            let Reverse(event) = self.queue.pop().expect("peeked");
-            self.now = event.at;
-            self.dispatch(event);
         }
-        self.now
     }
 
     fn ensure_started(&mut self) {
@@ -399,22 +459,34 @@ impl<N: Node> Simulator<N> {
         }
     }
 
-    fn dispatch(&mut self, event: Event<N::Message>) {
+    fn dispatch(&mut self, kind: EventKind<N::Message>) {
         self.stats.events += 1;
-        match event.kind {
+        match kind {
             EventKind::Deliver { to, from, msg } => {
                 if self.crashed[to.0] {
                     self.stats.dropped_crashed += 1;
                     return;
                 }
                 self.stats.delivered += 1;
-                self.invoke(to, |node, ctx| node.on_message(from, msg, ctx));
+                if crate::prof::enabled() {
+                    let t = std::time::Instant::now();
+                    self.invoke(to, |node, ctx| node.on_message(from, msg, ctx));
+                    crate::prof::accrue_deliver(t.elapsed().as_nanos() as u64);
+                } else {
+                    self.invoke(to, |node, ctx| node.on_message(from, msg, ctx));
+                }
             }
             EventKind::Timer { node, token } => {
                 if self.crashed[node.0] {
                     return;
                 }
-                self.invoke(node, |n, ctx| n.on_timer(token, ctx));
+                if crate::prof::enabled() {
+                    let t = std::time::Instant::now();
+                    self.invoke(node, |n, ctx| n.on_timer(token, ctx));
+                    crate::prof::accrue_timer(t.elapsed().as_nanos() as u64);
+                } else {
+                    self.invoke(node, |n, ctx| n.on_timer(token, ctx));
+                }
             }
             EventKind::Crash(node) => {
                 self.crashed[node.0] = true;
@@ -433,20 +505,31 @@ impl<N: Node> Simulator<N> {
             id,
             now: self.now,
             num_nodes: self.nodes.len(),
-            rng: &mut self.rng,
-            actions: Vec::new(),
+            rng: &mut self.rng.inner,
+            actions: std::mem::take(&mut self.action_scratch),
         };
         f(&mut self.nodes[id.0], &mut ctx);
-        let actions = ctx.actions;
-        for action in actions {
+        let mut actions = ctx.actions;
+        for action in actions.drain(..) {
             match action {
                 Action::Send { to, msg } => self.route(id, to, msg),
+                Action::Broadcast { msg, to_first } => {
+                    // Ascending-peer fan-out: the same per-recipient
+                    // routing (and RNG draw) order as the equivalent
+                    // sequence of sends.
+                    for i in 0..to_first.min(self.nodes.len()) {
+                        if i != id.0 {
+                            self.route(id, NodeId(i), msg.clone());
+                        }
+                    }
+                }
                 Action::Timer { delay, token } => {
                     let at = self.now + delay;
                     self.push(at, EventKind::Timer { node: id, token });
                 }
             }
         }
+        self.action_scratch = actions;
     }
 
     /// Computes the delivery time of a message per the network model and
@@ -512,7 +595,10 @@ impl<N: Node> Simulator<N> {
             let mut frame = msg.clone();
             if w.corrupt > 0.0 && self.rng.gen::<f64>() < w.corrupt {
                 self.stats.chaos_corrupted += 1;
-                match N::corrupt_message(&frame, &mut self.rng) {
+                // Corruption draws go to the inner generator uncounted:
+                // this is a chaos-only path, and the draw-free assertion
+                // only covers chaos-free runs.
+                match N::corrupt_message(&frame, &mut self.rng.inner) {
                     Some(mangled) => frame = mangled,
                     None => {
                         // The flipped frame died at the receiver's codec.

@@ -124,6 +124,23 @@ where
                                 let at = Instant::now() + Duration::from_micros(delay.as_micros());
                                 let _ = sched_tx.send(ToScheduler::Route { at, from: id, to, msg });
                             }
+                            Action::Broadcast { msg, to_first } => {
+                                for i in 0..to_first.min(n) {
+                                    let to = NodeId(i);
+                                    if to == id {
+                                        continue;
+                                    }
+                                    let delay = latency.sample(id, to, latency_rng);
+                                    let at =
+                                        Instant::now() + Duration::from_micros(delay.as_micros());
+                                    let _ = sched_tx.send(ToScheduler::Route {
+                                        at,
+                                        from: id,
+                                        to,
+                                        msg: msg.clone(),
+                                    });
+                                }
+                            }
                             Action::Timer { delay, token } => {
                                 let at = Instant::now() + Duration::from_micros(delay.as_micros());
                                 timers.push(Reverse((at, token)));

@@ -1,0 +1,341 @@
+//! The simulator's event queue: a microsecond-granularity timing wheel
+//! (bucketed calendar queue) with a hierarchical occupancy bitmap, backed
+//! by an ordered overflow map for beyond-horizon events.
+//!
+//! The queue's contract is *exact* `(at, seq)` priority order: `pop`
+//! returns events in ascending `at`, ties broken by ascending `seq` — the
+//! FIFO tie-break the simulator's determinism (and every scenario JSON
+//! byte) depends on. The wheel is a drop-in replacement for the
+//! `BinaryHeap<Reverse<Event>>` it displaced; a property test in
+//! `tests/queue_props.rs` pins pop order against that heap as an oracle.
+//!
+//! Design:
+//!
+//! * **Ring**: [`WHEEL_SLOTS`] one-microsecond slots (a ~33 ms horizon).
+//!   An event `at` microseconds from the cursor lands in slot
+//!   `at % WHEEL_SLOTS`. The cursor only moves forward (to each popped
+//!   event's time), and events are only ringed when `at - cursor <
+//!   WHEEL_SLOTS`, so a slot can never hold two distinct times at once —
+//!   every entry in a slot shares one `at`, and draining a slot in `seq`
+//!   order is exactly global `(at, seq)` order.
+//! * **Occupancy bitmap**: one bit per slot, plus a second-level summary
+//!   word per 64 slots, so finding the next occupied slot is a handful of
+//!   word scans (`trailing_zeros`) instead of walking empty slots.
+//! * **Overflow**: events beyond the horizon (sync ticks, leader
+//!   timeouts, client windows, far-future fault injections) go to a
+//!   `BTreeMap` keyed by `(at, seq)`. `pop` compares the ring head and
+//!   the overflow head and takes the smaller key, so overflow events
+//!   never need to migrate into the ring to keep exact order.
+//!
+//! Typical simulator load keeps hundreds of near-term deliveries in the
+//! ring (`push`/`pop` are O(1) word operations) and tens of far timers in
+//! the overflow (O(log n) on a tiny n).
+
+use crate::time::SimTime;
+use std::collections::BTreeMap;
+
+/// Ring size in slots (one slot = 1 µs). Covers the common latencies and
+/// round-pacing delays; anything further sits in the overflow map.
+pub const WHEEL_SLOTS: usize = 1 << 15;
+
+const WORDS: usize = WHEEL_SLOTS / 64;
+const SUMMARY_WORDS: usize = WORDS / 64;
+
+/// A deterministic `(at, seq)`-ordered event queue. See the module docs.
+pub struct TimingWheel<T> {
+    /// Per-slot entries `(seq, value)`; all entries of a slot share one
+    /// `at`. Entries are unordered (overflowed pushes can arrive out of
+    /// `seq` order), so pops scan the slot for the minimum `seq`.
+    slots: Vec<Vec<(u64, T)>>,
+    /// One occupancy bit per slot.
+    words: Box<[u64; WORDS]>,
+    /// One bit per occupancy word (summary level).
+    summary: [u64; SUMMARY_WORDS],
+    /// Lower bound on every queued event's time; only moves forward.
+    cursor: SimTime,
+    /// Events currently in the ring.
+    in_ring: usize,
+    /// Beyond-horizon events, keyed by `(at, seq)`.
+    overflow: BTreeMap<(u64, u64), T>,
+}
+
+impl<T> Default for TimingWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TimingWheel<T> {
+    /// Creates an empty wheel with the cursor at time zero.
+    pub fn new() -> Self {
+        TimingWheel {
+            slots: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            words: Box::new([0u64; WORDS]),
+            summary: [0u64; SUMMARY_WORDS],
+            cursor: SimTime::ZERO,
+            in_ring: 0,
+            overflow: BTreeMap::new(),
+        }
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.in_ring + self.overflow.len()
+    }
+
+    /// Whether no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues `value` at `(at, seq)`. `seq` values must be unique
+    /// (the simulator hands out a fresh one per push).
+    pub fn push(&mut self, at: SimTime, seq: u64, value: T) {
+        let horizon = at.0.wrapping_sub(self.cursor.0);
+        if at.0 >= self.cursor.0 && horizon < WHEEL_SLOTS as u64 {
+            let slot = (at.0 as usize) & (WHEEL_SLOTS - 1);
+            self.slots[slot].push((seq, value));
+            self.words[slot >> 6] |= 1 << (slot & 63);
+            self.summary[slot >> 12] |= 1 << ((slot >> 6) & 63);
+            self.in_ring += 1;
+        } else {
+            // Beyond the horizon — or, defensively, before the cursor
+            // (the ordered map keeps even that exact).
+            self.overflow.insert((at.0, seq), value);
+        }
+    }
+
+    /// The time of the next event, if any.
+    pub fn peek_at(&self) -> Option<SimTime> {
+        let ring = self.ring_peek().map(|(at, seq, _)| (at, seq));
+        let over = self.overflow.first_key_value().map(|(&k, _)| k);
+        match (ring, over) {
+            (None, None) => None,
+            (Some((at, _)), None) | (None, Some((at, _))) => Some(SimTime(at)),
+            (Some(r), Some(o)) => Some(SimTime(r.min(o).0)),
+        }
+    }
+
+    /// Removes and returns the earliest event as `(at, seq, value)`,
+    /// advancing the cursor to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, u64, T)> {
+        let ring = self.ring_peek();
+        let over = self.overflow.first_key_value().map(|(&k, _)| k);
+        let ring_wins = match (&ring, &over) {
+            (None, None) => return None,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some((rat, rseq, _)), Some(okey)) => (*rat, *rseq) < *okey,
+        };
+        if ring_wins {
+            let (at, _, slot) = ring.expect("ring head");
+            let entries = &mut self.slots[slot];
+            let mut min = 0;
+            for i in 1..entries.len() {
+                if entries[i].0 < entries[min].0 {
+                    min = i;
+                }
+            }
+            let (seq, value) = entries.swap_remove(min);
+            self.in_ring -= 1;
+            if entries.is_empty() {
+                self.words[slot >> 6] &= !(1 << (slot & 63));
+                if self.words[slot >> 6] == 0 {
+                    self.summary[slot >> 12] &= !(1 << ((slot >> 6) & 63));
+                }
+            }
+            self.cursor = SimTime(at);
+            Some((SimTime(at), seq, value))
+        } else {
+            let ((at, seq), value) = self.overflow.pop_first().expect("overflow head");
+            if at > self.cursor.0 {
+                self.cursor = SimTime(at);
+            }
+            Some((SimTime(at), seq, value))
+        }
+    }
+
+    /// Pops the earliest event only if its time is `<= deadline`.
+    pub fn pop_if_at_most(&mut self, deadline: SimTime) -> Option<(SimTime, u64, T)> {
+        if self.peek_at()? > deadline {
+            return None;
+        }
+        self.pop()
+    }
+
+    /// Moves the cursor forward to `to`, re-anchoring the ring horizon.
+    /// The caller must have drained every event at or before `to`
+    /// (as `Simulator::run_until` does); an event pushed later but dated
+    /// earlier would still be ordered exactly, via the overflow map.
+    pub fn advance_to(&mut self, to: SimTime) {
+        debug_assert!(self.peek_at().is_none_or(|at| at >= to), "advancing past queued events");
+        if to > self.cursor {
+            self.cursor = to;
+        }
+    }
+
+    /// The ring's earliest entry as `(at, min_seq, slot)`.
+    fn ring_peek(&self) -> Option<(u64, u64, usize)> {
+        if self.in_ring == 0 {
+            return None;
+        }
+        let start = (self.cursor.0 as usize) & (WHEEL_SLOTS - 1);
+        let slot = self.next_occupied(start).expect("in_ring > 0");
+        let delta = slot.wrapping_sub(start) & (WHEEL_SLOTS - 1);
+        let at = self.cursor.0 + delta as u64;
+        let seq = self.slots[slot].iter().map(|(s, _)| *s).min().expect("occupied slot");
+        Some((at, seq, slot))
+    }
+
+    /// First occupied slot in the wrapped window starting at `start`
+    /// (inclusive) — i.e. in cursor order, which equals time order.
+    fn next_occupied(&self, start: usize) -> Option<usize> {
+        let w0 = start >> 6;
+        // Bits of the start word at or after the start position.
+        let high = self.words[w0] & (!0u64 << (start & 63));
+        if high != 0 {
+            return Some((w0 << 6) | high.trailing_zeros() as usize);
+        }
+        if let Some(slot) = self.scan_words(w0 + 1, WORDS) {
+            return Some(slot);
+        }
+        if let Some(slot) = self.scan_words(0, w0) {
+            return Some(slot);
+        }
+        // Wrapped all the way around: the start word's earlier bits hold
+        // events near the far edge of the horizon.
+        let low = self.words[w0] & !(!0u64 << (start & 63));
+        if low != 0 {
+            return Some((w0 << 6) | low.trailing_zeros() as usize);
+        }
+        None
+    }
+
+    /// First occupied slot among words `[lo, hi)`, skipping empty
+    /// 64-word groups via the summary level.
+    fn scan_words(&self, lo: usize, hi: usize) -> Option<usize> {
+        let mut w = lo;
+        while w < hi {
+            if w & 63 == 0 {
+                let group = self.summary[w >> 6];
+                if group == 0 {
+                    w += 64;
+                    continue;
+                }
+                let skip = (group >> (w & 63)).trailing_zeros() as usize;
+                w += skip;
+                if w >= hi {
+                    return None;
+                }
+            }
+            if self.words[w] != 0 {
+                return Some((w << 6) | self.words[w].trailing_zeros() as usize);
+            }
+            w += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(wheel: &mut TimingWheel<u32>) -> Vec<(u64, u64, u32)> {
+        let mut out = Vec::new();
+        while let Some((at, seq, v)) = wheel.pop() {
+            out.push((at.0, seq, v));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut w = TimingWheel::new();
+        w.push(SimTime(50), 0, 1);
+        w.push(SimTime(10), 1, 2);
+        w.push(SimTime(10), 2, 3);
+        w.push(SimTime(7), 3, 4);
+        assert_eq!(drain(&mut w), vec![(7, 3, 4), (10, 1, 2), (10, 2, 3), (50, 0, 1)]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn same_instant_burst_is_fifo() {
+        let mut w = TimingWheel::new();
+        for seq in 0..100u64 {
+            w.push(SimTime(42), seq, seq as u32);
+        }
+        let popped = drain(&mut w);
+        assert_eq!(popped.len(), 100);
+        for (i, (at, seq, _)) in popped.iter().enumerate() {
+            assert_eq!((*at, *seq), (42, i as u64));
+        }
+    }
+
+    #[test]
+    fn far_future_events_round_trip_through_overflow() {
+        let mut w = TimingWheel::new();
+        let far = WHEEL_SLOTS as u64 * 10;
+        w.push(SimTime(far), 0, 1);
+        w.push(SimTime(3), 1, 2);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.peek_at(), Some(SimTime(3)));
+        assert_eq!(w.pop(), Some((SimTime(3), 1, 2)));
+        assert_eq!(w.pop(), Some((SimTime(far), 0, 1)));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn overflow_and_ring_interleave_exactly_at_the_same_instant() {
+        // seq 0 lands in overflow (far future at push time); after the
+        // cursor advances, seq 1 rings the same instant. The overflow
+        // entry must still pop first — the FIFO tie-break crosses
+        // structures.
+        let mut w = TimingWheel::new();
+        let t = WHEEL_SLOTS as u64 + 100;
+        w.push(SimTime(t), 0, 1);
+        w.push(SimTime(200), 1, 2);
+        assert_eq!(w.pop(), Some((SimTime(200), 1, 2)));
+        w.push(SimTime(t), 2, 3); // now within horizon: rings
+        assert_eq!(w.pop(), Some((SimTime(t), 0, 1)), "overflow seq 0 before ring seq 2");
+        assert_eq!(w.pop(), Some((SimTime(t), 2, 3)));
+    }
+
+    #[test]
+    fn rollover_boundary_keeps_order() {
+        let mut w = TimingWheel::new();
+        // Events straddling a horizon multiple: the wrapped scan must
+        // order slot indices by cursor distance, not raw index.
+        w.push(SimTime(WHEEL_SLOTS as u64 - 1), 0, 1);
+        w.push(SimTime(WHEEL_SLOTS as u64 - 2), 1, 2);
+        assert_eq!(w.pop(), Some((SimTime(WHEEL_SLOTS as u64 - 2), 1, 2)));
+        // Cursor is near the edge; a push wrapping past the boundary
+        // lands in a low slot index but must pop after the edge event.
+        w.push(SimTime(WHEEL_SLOTS as u64 + 5), 2, 3);
+        assert_eq!(w.pop(), Some((SimTime(WHEEL_SLOTS as u64 - 1), 0, 1)));
+        assert_eq!(w.pop(), Some((SimTime(WHEEL_SLOTS as u64 + 5), 2, 3)));
+    }
+
+    #[test]
+    fn advance_to_reanchors_without_losing_events() {
+        let mut w = TimingWheel::new();
+        w.push(SimTime(1_000_000), 0, 1);
+        w.advance_to(SimTime(999_990));
+        // Now within the horizon of the new cursor — and a fresh push
+        // right behind it keeps exact order.
+        w.push(SimTime(999_995), 1, 2);
+        assert_eq!(w.pop(), Some((SimTime(999_995), 1, 2)));
+        assert_eq!(w.pop(), Some((SimTime(1_000_000), 0, 1)));
+    }
+
+    #[test]
+    fn pop_if_at_most_respects_the_deadline() {
+        let mut w = TimingWheel::new();
+        w.push(SimTime(10), 0, 1);
+        w.push(SimTime(20), 1, 2);
+        assert_eq!(w.pop_if_at_most(SimTime(15)), Some((SimTime(10), 0, 1)));
+        assert_eq!(w.pop_if_at_most(SimTime(15)), None);
+        assert_eq!(w.len(), 1);
+    }
+}

@@ -55,12 +55,18 @@ pub enum BroadcastMode {
 }
 
 /// Wire messages exchanged by the broadcast layer.
+///
+/// Vertex-carrying variants hold `Arc<Vertex>` so the fan-out,
+/// delivery, and DAG-intake paths share one allocation: a broadcast to
+/// n−1 peers bumps a refcount per hop instead of deep-copying the block
+/// and parent list. The wire encoding is unchanged (an `Arc` encodes as
+/// its payload).
 #[derive(Clone, Debug)]
 pub enum RbcMessage {
     /// Best-effort vertex push.
-    Vertex(Vertex),
+    Vertex(Arc<Vertex>),
     /// Certified mode: header proposal awaiting acks.
-    Propose(Vertex),
+    Propose(Arc<Vertex>),
     /// Certified mode: signed acknowledgment of a proposal.
     Ack {
         /// The acknowledged vertex.
@@ -69,7 +75,7 @@ pub enum RbcMessage {
         sig: Signature,
     },
     /// Certified mode: a vertex together with its availability certificate.
-    Certified(Vertex, Certificate),
+    Certified(Arc<Vertex>, Certificate),
     /// Pull request for missing vertices by digest.
     SyncRequest(Vec<Digest>),
     /// Bulk pull of whole rounds starting at `from` — sent by a node
@@ -80,7 +86,7 @@ pub enum RbcMessage {
         from: Round,
     },
     /// Response carrying vertices (with certificates in certified mode).
-    SyncResponse(Vec<(Vertex, Option<Certificate>)>),
+    SyncResponse(Vec<(Arc<Vertex>, Option<Certificate>)>),
 }
 
 /// The outputs of one layer invocation.
@@ -147,10 +153,10 @@ impl Encode for RbcMessage {
 
     fn decode(d: &mut Decoder<'_>) -> Result<Self, TypeError> {
         Ok(match d.take_u8()? {
-            0 => RbcMessage::Vertex(Vertex::decode(d)?),
-            1 => RbcMessage::Propose(Vertex::decode(d)?),
+            0 => RbcMessage::Vertex(Arc::new(Vertex::decode(d)?)),
+            1 => RbcMessage::Propose(Arc::new(Vertex::decode(d)?)),
             2 => RbcMessage::Ack { vertex: VertexRef::decode(d)?, sig: Signature::decode(d)? },
-            3 => RbcMessage::Certified(Vertex::decode(d)?, Certificate::decode(d)?),
+            3 => RbcMessage::Certified(Arc::new(Vertex::decode(d)?), Certificate::decode(d)?),
             4 => RbcMessage::SyncRequest(Vec::decode(d)?),
             5 => RbcMessage::RangeRequest { from: Round::decode(d)? },
             6 => RbcMessage::SyncResponse(Vec::decode(d)?),
@@ -192,7 +198,7 @@ fn jitter_ticks(digest: &Digest, attempts: u32, delay: u64) -> u64 {
 }
 
 struct PendingProposal {
-    vertex: Vertex,
+    vertex: Arc<Vertex>,
     acks: BTreeMap<ValidatorId, Signature>,
     certified: bool,
     /// Re-broadcast attempts so far (same backoff as sync retries).
@@ -212,7 +218,7 @@ pub struct Rbc {
     /// Vertices validated but awaiting ancestry: digest → (vertex, cert).
     /// Digest-keyed maps here use the pass-through hasher — this layer
     /// does several lookups per delivered vertex.
-    pending: DigestMap<Digest, (Vertex, Option<Certificate>)>,
+    pending: DigestMap<Digest, (Arc<Vertex>, Option<Certificate>)>,
     /// missing parent digest → digests of pending children waiting on it.
     missing_index: DigestMap<Digest, Vec<Digest>>,
     /// pending child digest → number of parents still missing.
@@ -325,14 +331,17 @@ impl Rbc {
     /// Panics if the validator constructed a structurally invalid vertex for
     /// its own DAG — a local programming error, never a remote fault.
     pub fn broadcast_own(&mut self, vertex: Vertex, dag: &mut Dag) -> RbcEffects {
+        // One allocation from here on: the local DAG, the delivered list
+        // and the broadcast message all share this `Arc`.
+        let vertex = Arc::new(vertex);
         let mut fx = RbcEffects::default();
         match self.mode {
             BroadcastMode::BestEffort => {
-                match dag.try_insert(vertex.clone()) {
+                match dag.try_insert_arc(vertex.clone()) {
                     Ok(_) => {}
                     Err(e) => panic!("own vertex rejected by local dag: {e}"),
                 }
-                fx.delivered.push(dag.get(&vertex.digest()).expect("just inserted").clone());
+                fx.delivered.push(vertex.clone());
                 fx.broadcast.push(RbcMessage::Vertex(vertex));
                 // Our vertex may unblock buffered children (possible after
                 // crash-recovery replays).
@@ -366,46 +375,53 @@ impl Rbc {
     }
 
     /// Processes an incoming broadcast-layer message from `from`.
-    pub fn handle(&mut self, from: ValidatorId, msg: RbcMessage, dag: &mut Dag) -> RbcEffects {
+    ///
+    /// Borrows the message: vertex payloads are `Arc`'d, so the paths
+    /// that keep one (DAG insert, pending buffer, delivery) bump its
+    /// refcount rather than deep-copying — the caller can hand the same
+    /// frame to this layer and still own it afterwards.
+    pub fn handle(&mut self, from: ValidatorId, msg: &RbcMessage, dag: &mut Dag) -> RbcEffects {
         match msg {
             RbcMessage::Vertex(v) => {
                 if self.mode != BroadcastMode::BestEffort {
                     return RbcEffects::default();
                 }
-                if !self.author_signature_ok(&v) {
+                if !self.author_signature_ok(v) {
                     return RbcEffects::default();
                 }
-                self.accept(v, None, dag)
+                self.accept(v.clone(), None, dag)
             }
             RbcMessage::Propose(v) => self.on_propose(v),
-            RbcMessage::Ack { vertex, sig } => self.on_ack(from, vertex, sig, dag),
+            RbcMessage::Ack { vertex, sig } => self.on_ack(from, *vertex, *sig, dag),
             RbcMessage::Certified(v, cert) => {
                 if self.mode != BroadcastMode::Certified {
                     return RbcEffects::default();
                 }
-                if !self.author_signature_ok(&v) || cert.vertex().digest != v.digest() {
+                if !self.author_signature_ok(v) || cert.vertex().digest != v.digest() {
                     return RbcEffects::default();
                 }
                 if cert.verify(&self.committee).is_err() {
                     return RbcEffects::default();
                 }
-                self.accept(v, Some(cert), dag)
+                self.accept(v.clone(), Some(cert.clone()), dag)
             }
             RbcMessage::SyncRequest(digests) => self.on_sync_request(from, digests, dag),
-            RbcMessage::RangeRequest { from: start } => self.on_range_request(from, start, dag),
+            RbcMessage::RangeRequest { from: start } => self.on_range_request(from, *start, dag),
             RbcMessage::SyncResponse(pairs) => {
                 let mut fx = RbcEffects::default();
                 for (v, cert) in pairs {
-                    if !self.author_signature_ok(&v) {
+                    if !self.author_signature_ok(v) {
                         continue;
                     }
                     match (self.mode, cert) {
-                        (BroadcastMode::BestEffort, _) => fx.merge(self.accept(v, None, dag)),
+                        (BroadcastMode::BestEffort, _) => {
+                            fx.merge(self.accept(v.clone(), None, dag));
+                        }
                         (BroadcastMode::Certified, Some(cert)) => {
                             if cert.vertex().digest == v.digest()
                                 && cert.verify(&self.committee).is_ok()
                             {
-                                fx.merge(self.accept(v, Some(cert), dag));
+                                fx.merge(self.accept(v.clone(), Some(cert.clone()), dag));
                             }
                         }
                         (BroadcastMode::Certified, None) => {}
@@ -492,9 +508,7 @@ impl Rbc {
                 idx = (idx + 1) % n;
             }
             fx.send.push((ValidatorId(idx as u16), RbcMessage::RangeRequest { from: front }));
-            if let Some(mine) =
-                dag.round_vertices(front).find(|v| v.author() == me).map(|v| v.as_ref().clone())
-            {
+            if let Some(mine) = dag.round_vertices(front).find(|v| v.author() == me).cloned() {
                 match self.mode {
                     BroadcastMode::BestEffort => fx.broadcast.push(RbcMessage::Vertex(mine)),
                     // Certified mode: a vertex in our DAG carries a
@@ -540,9 +554,9 @@ impl Rbc {
         }
     }
 
-    fn on_propose(&mut self, v: Vertex) -> RbcEffects {
+    fn on_propose(&mut self, v: &Arc<Vertex>) -> RbcEffects {
         let mut fx = RbcEffects::default();
-        if self.mode != BroadcastMode::Certified || !self.author_signature_ok(&v) {
+        if self.mode != BroadcastMode::Certified || !self.author_signature_ok(v) {
             return fx;
         }
         let key = (v.round(), v.author());
@@ -617,22 +631,29 @@ impl Rbc {
     }
 
     /// Validated-vertex intake: insert, or buffer + request missing
-    /// ancestry. Cascades over buffered children on success.
-    fn accept(&mut self, vertex: Vertex, cert: Option<Certificate>, dag: &mut Dag) -> RbcEffects {
+    /// ancestry. Cascades over buffered children on success. The
+    /// `Arc` travels untouched: inserted into the DAG and pushed to
+    /// `delivered` as refcount bumps, never re-allocated.
+    fn accept(
+        &mut self,
+        vertex: Arc<Vertex>,
+        cert: Option<Certificate>,
+        dag: &mut Dag,
+    ) -> RbcEffects {
         let mut fx = RbcEffects::default();
-        let mut queue: VecDeque<(Vertex, Option<Certificate>)> = VecDeque::new();
+        let mut queue: VecDeque<(Arc<Vertex>, Option<Certificate>)> = VecDeque::new();
         queue.push_back((vertex, cert));
 
         while let Some((v, cert)) = queue.pop_front() {
             let digest = v.digest();
             let author = v.author();
-            match dag.try_insert(v.clone()) {
+            match dag.try_insert_arc(v.clone()) {
                 Ok(InsertOutcome::Inserted) => {
                     if let Some(c) = cert {
                         self.certs.insert(digest, c);
                     }
                     self.requested.remove(&digest);
-                    fx.delivered.push(dag.get(&digest).expect("just inserted").clone());
+                    fx.delivered.push(v);
                     // Unblock children waiting on this digest.
                     if let Some(children) = self.missing_index.remove(&digest) {
                         for child in children {
@@ -721,16 +742,16 @@ impl Rbc {
         fx
     }
 
-    fn on_sync_request(&self, from: ValidatorId, digests: Vec<Digest>, dag: &Dag) -> RbcEffects {
+    fn on_sync_request(&self, from: ValidatorId, digests: &[Digest], dag: &Dag) -> RbcEffects {
         let mut fx = RbcEffects::default();
-        let mut found: Vec<(Vertex, Option<Certificate>)> = Vec::new();
-        for d in digests.into_iter().take(SYNC_RESPONSE_CAP) {
-            if let Some(v) = dag.get(&d) {
-                let cert = self.certs.get(&d).cloned();
+        let mut found: Vec<(Arc<Vertex>, Option<Certificate>)> = Vec::new();
+        for d in digests.iter().take(SYNC_RESPONSE_CAP) {
+            if let Some(v) = dag.get(d) {
+                let cert = self.certs.get(d).cloned();
                 if self.mode == BroadcastMode::Certified && cert.is_none() {
                     continue; // cannot prove availability without the cert
                 }
-                found.push(((**v).clone(), cert));
+                found.push((v.clone(), cert));
             }
         }
         if !found.is_empty() {
@@ -758,7 +779,7 @@ impl Rbc {
         if start < dag.gc_round() {
             return fx;
         }
-        let mut found: Vec<(Vertex, Option<Certificate>)> = Vec::new();
+        let mut found: Vec<(Arc<Vertex>, Option<Certificate>)> = Vec::new();
         let top = dag.highest_round().unwrap_or(Round(0));
         let mut round = start;
         while round <= top && found.len() < RANGE_RESPONSE_CAP {
@@ -767,7 +788,7 @@ impl Rbc {
                 if self.mode == BroadcastMode::Certified && cert.is_none() {
                     continue; // cannot prove availability without the cert
                 }
-                found.push(((**v).clone(), cert));
+                found.push((v.clone(), cert));
                 if found.len() >= RANGE_RESPONSE_CAP {
                     break;
                 }
@@ -843,7 +864,7 @@ mod tests {
         assert_eq!(fx.delivered.len(), 1);
         assert_eq!(fx.broadcast.len(), 1);
 
-        let fx1 = rbc1.handle(ValidatorId(0), fx.broadcast[0].clone(), &mut dag1);
+        let fx1 = rbc1.handle(ValidatorId(0), &fx.broadcast[0], &mut dag1);
         assert_eq!(fx1.delivered.len(), 1);
         assert!(dag1.contains(&v.digest()));
     }
@@ -879,7 +900,11 @@ mod tests {
             .expect("front vertex")
             .as_ref()
             .clone();
-        behind.handle(ValidatorId(0), RbcMessage::Vertex(front_vertex.clone()), &mut dag_behind);
+        behind.handle(
+            ValidatorId(0),
+            &RbcMessage::Vertex(Arc::new(front_vertex.clone())),
+            &mut dag_behind,
+        );
         assert!(!dag_behind.contains(&front_vertex.digest()), "buffered, not inserted");
 
         // Tick detects the gap and asks a peer for whole rounds.
@@ -895,9 +920,9 @@ mod tests {
 
         // The peer answers with whole rounds; the gap closes in one hop
         // and the buffered front vertex delivers.
-        let response = ahead.handle(ValidatorId(1), request, &mut dag_ahead);
+        let response = ahead.handle(ValidatorId(1), &request, &mut dag_ahead);
         let (_, reply) = response.send.into_iter().next().expect("peer responds");
-        let fx = behind.handle(ValidatorId(0), reply, &mut dag_behind);
+        let fx = behind.handle(ValidatorId(0), &reply, &mut dag_behind);
         assert!(!fx.delivered.is_empty());
         assert_eq!(dag_behind.highest_round(), Some(Round(29)));
         assert!(dag_behind.contains(&front_vertex.digest()));
@@ -931,7 +956,7 @@ mod tests {
             .expect("near vertex")
             .as_ref()
             .clone();
-        behind.handle(ValidatorId(0), RbcMessage::Vertex(near), &mut dag_behind);
+        behind.handle(ValidatorId(0), &RbcMessage::Vertex(Arc::new(near)), &mut dag_behind);
         let fx = behind.tick(&dag_behind);
         assert!(
             !fx.send.iter().any(|(_, m)| matches!(m, RbcMessage::RangeRequest { .. })),
@@ -951,7 +976,7 @@ mod tests {
             vec![],
             &c.keypair(ValidatorId(2)),
         );
-        let fx = rbc1.handle(ValidatorId(0), RbcMessage::Vertex(forged), &mut dag1);
+        let fx = rbc1.handle(ValidatorId(0), &RbcMessage::Vertex(Arc::new(forged)), &mut dag1);
         assert!(fx.delivered.is_empty());
         assert!(dag1.is_empty());
     }
@@ -967,7 +992,8 @@ mod tests {
         let child = make_vertex(&c, 1, 0, parents.clone());
 
         // Child arrives before its parents.
-        let fx = rbc1.handle(ValidatorId(0), RbcMessage::Vertex(child.clone()), &mut dag1);
+        let fx =
+            rbc1.handle(ValidatorId(0), &RbcMessage::Vertex(Arc::new(child.clone())), &mut dag1);
         assert!(fx.delivered.is_empty());
         assert_eq!(rbc1.pending_len(), 1);
         // A sync request went to the child's author.
@@ -979,7 +1005,8 @@ mod tests {
         // Parents arrive (out of order); child cascades in at the end.
         let mut delivered = 0;
         for g in genesis.iter().rev() {
-            let fx = rbc1.handle(ValidatorId(0), RbcMessage::Vertex(g.clone()), &mut dag1);
+            let fx =
+                rbc1.handle(ValidatorId(0), &RbcMessage::Vertex(Arc::new(g.clone())), &mut dag1);
             delivered += fx.delivered.len();
         }
         assert_eq!(delivered, 5, "4 parents + cascaded child");
@@ -993,7 +1020,11 @@ mod tests {
         let (mut rbc0, mut dag0) = node(&c, 0, BroadcastMode::BestEffort);
         let genesis: Vec<Vertex> = (0..4).map(|i| make_vertex(&c, 0, i, vec![])).collect();
         for g in &genesis {
-            rbc0.handle(ValidatorId(g.author().0), RbcMessage::Vertex(g.clone()), &mut dag0);
+            rbc0.handle(
+                ValidatorId(g.author().0),
+                &RbcMessage::Vertex(Arc::new(g.clone())),
+                &mut dag0,
+            );
         }
         let parents: Vec<Digest> = genesis.iter().map(|v| v.digest()).collect();
         let child = make_vertex(&c, 1, 0, parents.clone());
@@ -1001,7 +1032,7 @@ mod tests {
 
         let mut wanted = vec![child.digest()];
         wanted.extend(parents.clone());
-        let fx = rbc0.handle(ValidatorId(2), RbcMessage::SyncRequest(wanted), &mut dag0);
+        let fx = rbc0.handle(ValidatorId(2), &RbcMessage::SyncRequest(wanted), &mut dag0);
         match &fx.send[..] {
             [(ValidatorId(2), RbcMessage::SyncResponse(pairs))] => {
                 assert_eq!(pairs.len(), 5);
@@ -1029,16 +1060,16 @@ mod tests {
         let mut acks = Vec::new();
         for i in 1..=2u16 {
             let (mut rbc_i, mut dag_i) = node(&c, i, BroadcastMode::Certified);
-            let fx_i = rbc_i.handle(ValidatorId(0), fx.broadcast[0].clone(), &mut dag_i);
+            let fx_i = rbc_i.handle(ValidatorId(0), &fx.broadcast[0], &mut dag_i);
             assert_eq!(fx_i.send.len(), 1);
             acks.push(fx_i.send[0].1.clone());
         }
 
         // First ack: still below quorum (self + 1 = 2 < 3).
-        let fx1 = rbc0.handle(ValidatorId(1), acks[0].clone(), &mut dag0);
+        let fx1 = rbc0.handle(ValidatorId(1), &acks[0], &mut dag0);
         assert!(fx1.delivered.is_empty());
         // Second ack: quorum reached; vertex delivered + Certified broadcast.
-        let fx2 = rbc0.handle(ValidatorId(2), acks[1].clone(), &mut dag0);
+        let fx2 = rbc0.handle(ValidatorId(2), &acks[1], &mut dag0);
         assert_eq!(fx2.delivered.len(), 1);
         let certified = fx2
             .broadcast
@@ -1048,7 +1079,7 @@ mod tests {
 
         // A fourth node accepts the certified vertex directly.
         let (mut rbc3, mut dag3) = node(&c, 3, BroadcastMode::Certified);
-        let fx3 = rbc3.handle(ValidatorId(0), certified.clone(), &mut dag3);
+        let fx3 = rbc3.handle(ValidatorId(0), certified, &mut dag3);
         assert_eq!(fx3.delivered.len(), 1);
         assert!(dag3.contains(&v.digest()));
     }
@@ -1067,9 +1098,11 @@ mod tests {
         );
         assert_ne!(v_a.digest(), v_b.digest());
 
-        let fx_a = rbc1.handle(ValidatorId(0), RbcMessage::Propose(v_a.clone()), &mut dag1);
+        let fx_a =
+            rbc1.handle(ValidatorId(0), &RbcMessage::Propose(Arc::new(v_a.clone())), &mut dag1);
         assert_eq!(fx_a.send.len(), 1, "first header acked");
-        let fx_b = rbc1.handle(ValidatorId(0), RbcMessage::Propose(v_b.clone()), &mut dag1);
+        let fx_b =
+            rbc1.handle(ValidatorId(0), &RbcMessage::Propose(Arc::new(v_b.clone())), &mut dag1);
         assert!(fx_b.send.is_empty(), "second distinct header refused");
         assert_eq!(rbc1.equivocation_attempts(), 1);
         // The refusal carries evidence naming both headers.
@@ -1083,7 +1116,7 @@ mod tests {
             }]
         );
         // Re-proposing the same first header is fine (retransmission).
-        let fx_a2 = rbc1.handle(ValidatorId(0), RbcMessage::Propose(v_a), &mut dag1);
+        let fx_a2 = rbc1.handle(ValidatorId(0), &RbcMessage::Propose(Arc::new(v_a)), &mut dag1);
         assert_eq!(fx_a2.send.len(), 1);
         assert!(fx_a2.evidence.is_empty());
     }
@@ -1100,13 +1133,15 @@ mod tests {
             vec![],
             &c.keypair(ValidatorId(0)),
         );
-        let fx_a = rbc1.handle(ValidatorId(0), RbcMessage::Vertex(v_a.clone()), &mut dag1);
+        let fx_a =
+            rbc1.handle(ValidatorId(0), &RbcMessage::Vertex(Arc::new(v_a.clone())), &mut dag1);
         assert_eq!(fx_a.delivered.len(), 1);
         assert!(fx_a.evidence.is_empty());
         // A twin push is rejected by the DAG and surfaced as evidence —
         // every time it is retransmitted (deduplication is the ledger's job).
         for _ in 0..2 {
-            let fx_b = rbc1.handle(ValidatorId(2), RbcMessage::Vertex(v_b.clone()), &mut dag1);
+            let fx_b =
+                rbc1.handle(ValidatorId(2), &RbcMessage::Vertex(Arc::new(v_b.clone())), &mut dag1);
             assert!(fx_b.delivered.is_empty());
             assert_eq!(
                 fx_b.evidence,
@@ -1125,7 +1160,7 @@ mod tests {
         let c = committee4();
         let (mut rbc1, mut dag1) = node(&c, 1, BroadcastMode::Certified);
         let v = make_vertex(&c, 0, 0, vec![]);
-        let fx = rbc1.handle(ValidatorId(0), RbcMessage::Vertex(v), &mut dag1);
+        let fx = rbc1.handle(ValidatorId(0), &RbcMessage::Vertex(Arc::new(v)), &mut dag1);
         assert!(fx.delivered.is_empty());
         assert!(dag1.is_empty());
     }
@@ -1140,14 +1175,14 @@ mod tests {
         let bad_sig = c.keypair(ValidatorId(3)).sign(ACK_CONTEXT, v.digest().as_bytes());
         let fx = rbc0.handle(
             ValidatorId(1),
-            RbcMessage::Ack { vertex: v.reference(), sig: bad_sig },
+            &RbcMessage::Ack { vertex: v.reference(), sig: bad_sig },
             &mut dag0,
         );
         assert!(fx.delivered.is_empty());
         // Legit acks from v1 and v2 still certify (forgery left no trace).
         for i in 1..=2u16 {
             let sig = c.keypair(ValidatorId(i)).sign(ACK_CONTEXT, v.digest().as_bytes());
-            rbc0.handle(ValidatorId(i), RbcMessage::Ack { vertex: v.reference(), sig }, &mut dag0);
+            rbc0.handle(ValidatorId(i), &RbcMessage::Ack { vertex: v.reference(), sig }, &mut dag0);
         }
         assert!(dag0.contains(&v.digest()));
     }
@@ -1157,8 +1192,8 @@ mod tests {
         let c = committee4();
         let (mut rbc1, mut dag1) = node(&c, 1, BroadcastMode::BestEffort);
         let v = make_vertex(&c, 0, 0, vec![]);
-        let fx1 = rbc1.handle(ValidatorId(0), RbcMessage::Vertex(v.clone()), &mut dag1);
-        let fx2 = rbc1.handle(ValidatorId(0), RbcMessage::Vertex(v.clone()), &mut dag1);
+        let fx1 = rbc1.handle(ValidatorId(0), &RbcMessage::Vertex(Arc::new(v.clone())), &mut dag1);
+        let fx2 = rbc1.handle(ValidatorId(0), &RbcMessage::Vertex(Arc::new(v.clone())), &mut dag1);
         assert_eq!(fx1.delivered.len(), 1);
         assert!(fx2.delivered.is_empty(), "duplicate push must not re-deliver");
     }
@@ -1170,7 +1205,7 @@ mod tests {
         let genesis: Vec<Vertex> = (0..4).map(|i| make_vertex(&c, 0, i, vec![])).collect();
         let parents: Vec<Digest> = genesis.iter().map(|v| v.digest()).collect();
         let child = make_vertex(&c, 1, 0, parents);
-        rbc1.handle(ValidatorId(0), RbcMessage::Vertex(child), &mut dag1);
+        rbc1.handle(ValidatorId(0), &RbcMessage::Vertex(Arc::new(child)), &mut dag1);
 
         let mut peers = std::collections::HashSet::new();
         for _ in 0..6 {
@@ -1221,10 +1256,10 @@ mod tests {
         let genesis: Vec<Vertex> = (0..4).map(|i| make_vertex(&c, 0, i, vec![])).collect();
         let parents: Vec<Digest> = genesis.iter().map(|v| v.digest()).collect();
         for g in &genesis {
-            rbc1.handle(g.author(), RbcMessage::Vertex(g.clone()), &mut dag1);
+            rbc1.handle(g.author(), &RbcMessage::Vertex(Arc::new(g.clone())), &mut dag1);
         }
         let child = make_vertex(&c, 1, 0, parents);
-        rbc1.handle(ValidatorId(0), RbcMessage::Vertex(child), &mut dag1);
+        rbc1.handle(ValidatorId(0), &RbcMessage::Vertex(Arc::new(child)), &mut dag1);
         let fx = rbc1.tick(&dag1);
         assert!(fx.send.is_empty(), "fresh progress silences the stall path");
     }
@@ -1243,7 +1278,7 @@ mod tests {
         // Certify it; tick stops re-broadcasting.
         for i in 1..=2u16 {
             let sig = c.keypair(ValidatorId(i)).sign(ACK_CONTEXT, v.digest().as_bytes());
-            rbc0.handle(ValidatorId(i), RbcMessage::Ack { vertex: v.reference(), sig }, &mut dag0);
+            rbc0.handle(ValidatorId(i), &RbcMessage::Ack { vertex: v.reference(), sig }, &mut dag0);
         }
         let fx = rbc0.tick(&dag0);
         assert!(!fx.broadcast.iter().any(|m| matches!(m, RbcMessage::Propose(_))));
@@ -1292,7 +1327,7 @@ mod tests {
         let parents: Vec<Digest> = genesis.iter().map(|v| v.digest()).collect();
         let child = make_vertex(&c, 1, 0, parents);
         let mut dag1 = dag1;
-        rbc1.handle(ValidatorId(0), RbcMessage::Vertex(child), &mut dag1);
+        rbc1.handle(ValidatorId(0), &RbcMessage::Vertex(Arc::new(child)), &mut dag1);
 
         let mut sent = 0usize;
         for _ in 0..40 {
@@ -1321,13 +1356,13 @@ mod tests {
         let genesis: Vec<Vertex> = (0..4).map(|i| make_vertex(&c, 0, i, vec![])).collect();
         let parents: Vec<Digest> = genesis.iter().map(|v| v.digest()).collect();
         let child = make_vertex(&c, 1, 0, parents);
-        rbc1.handle(ValidatorId(0), RbcMessage::Vertex(child), &mut dag1);
+        rbc1.handle(ValidatorId(0), &RbcMessage::Vertex(Arc::new(child)), &mut dag1);
         for _ in 0..10 {
             rbc1.tick(&dag1);
         }
         assert!(rbc1.requested.iter().any(|(_, s)| s.attempts >= 3), "deep into backoff");
         for g in &genesis {
-            rbc1.handle(ValidatorId(0), RbcMessage::Vertex(g.clone()), &mut dag1);
+            rbc1.handle(ValidatorId(0), &RbcMessage::Vertex(Arc::new(g.clone())), &mut dag1);
         }
         assert!(rbc1.requested.is_empty(), "arrival clears retransmit state");
         let before = rbc1.sync_retransmits();
@@ -1370,13 +1405,16 @@ mod tests {
                 .collect(),
         );
         let messages = vec![
-            RbcMessage::Vertex(v.clone()),
-            RbcMessage::Propose(v.clone()),
+            RbcMessage::Vertex(Arc::new(v.clone())),
+            RbcMessage::Propose(Arc::new(v.clone())),
             RbcMessage::Ack { vertex: v.reference(), sig },
-            RbcMessage::Certified(v.clone(), cert.clone()),
+            RbcMessage::Certified(Arc::new(v.clone()), cert.clone()),
             RbcMessage::SyncRequest(vec![hh_crypto::sha256(b"a"), hh_crypto::sha256(b"b")]),
             RbcMessage::RangeRequest { from: Round(17) },
-            RbcMessage::SyncResponse(vec![(v.clone(), Some(cert)), (v.clone(), None)]),
+            RbcMessage::SyncResponse(vec![
+                (Arc::new(v.clone()), Some(cert)),
+                (Arc::new(v.clone()), None),
+            ]),
         ];
         for msg in messages {
             let frame = encode_framed(&msg);
@@ -1399,12 +1437,12 @@ mod tests {
         rbc0.broadcast_own(v.clone(), &mut dag0);
         for i in 1..=2u16 {
             let sig = c.keypair(ValidatorId(i)).sign(ACK_CONTEXT, v.digest().as_bytes());
-            rbc0.handle(ValidatorId(i), RbcMessage::Ack { vertex: v.reference(), sig }, &mut dag0);
+            rbc0.handle(ValidatorId(i), &RbcMessage::Ack { vertex: v.reference(), sig }, &mut dag0);
         }
         let sig3 = c.keypair(ValidatorId(3)).sign(ACK_CONTEXT, v.digest().as_bytes());
         let fx = rbc0.handle(
             ValidatorId(3),
-            RbcMessage::Ack { vertex: v.reference(), sig: sig3 },
+            &RbcMessage::Ack { vertex: v.reference(), sig: sig3 },
             &mut dag0,
         );
         assert!(fx.delivered.is_empty());

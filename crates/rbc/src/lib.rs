@@ -44,7 +44,7 @@
 //! // v1 receives it.
 //! let mut dag1 = Dag::new(committee.clone());
 //! let mut rbc1 = Rbc::new(committee, ValidatorId(1), BroadcastMode::BestEffort);
-//! let fx = rbc1.handle(ValidatorId(0), fx.broadcast[0].clone(), &mut dag1);
+//! let fx = rbc1.handle(ValidatorId(0), &fx.broadcast[0], &mut dag1);
 //! assert_eq!(fx.delivered.len(), 1);
 //! ```
 

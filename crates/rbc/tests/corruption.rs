@@ -14,6 +14,7 @@ use hh_rbc::{Certificate, RbcMessage};
 use hh_types::codec::{decode_framed, encode_framed};
 use hh_types::{Block, Committee, Round, ValidatorId, Vertex, VertexRef};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 fn committee() -> Committee {
     Committee::new_equal_stake(4)
@@ -37,8 +38,8 @@ fn vref(v: &Vertex) -> VertexRef {
 /// author)` so cases cover every variant with varied content.
 fn message(c: &Committee, pick: u8, round: u64, author: u16) -> RbcMessage {
     let author = author % c.size() as u16;
-    let parent = vertex(c, round, (author + 1) % c.size() as u16, vec![]);
-    let v = vertex(c, round + 1, author, vec![parent.digest()]);
+    let parent = Arc::new(vertex(c, round, (author + 1) % c.size() as u16, vec![]));
+    let v = Arc::new(vertex(c, round + 1, author, vec![parent.digest()]));
     let sig = |id: u16, tag: &[u8]| c.keypair(ValidatorId(id)).sign(b"corruption-test", tag);
     let cert = Certificate::new(
         vref(&v),

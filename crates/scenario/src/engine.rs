@@ -145,6 +145,21 @@ pub struct RunProfile {
     pub wall_s: f64,
     /// Simulator events the run processed (deterministic).
     pub sim_events: u64,
+    /// Event-loop cost breakdown, populated only while profiling is
+    /// enabled (the counters are dead weight otherwise).
+    pub breakdown: Option<ProfBreakdown>,
+}
+
+/// Where a run's wall-clock went, from the flag-gated hot-path
+/// counters. Delivery time includes the handler's nested work, so the
+/// digest/signature/codec shares nest *inside* the delivery share
+/// rather than summing with it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProfBreakdown {
+    /// Event-loop counters: queue ops, deliveries, timers.
+    pub net: hh_sim::prof::NetProf,
+    /// Crypto/codec counters: digests, signatures, framed passes.
+    pub crypto: hh_sim::prof::CryptoProf,
 }
 
 impl RunProfile {
@@ -239,6 +254,10 @@ pub fn run_plan(plan: &ScenarioPlan, limit: RunLimit, verbose: bool) -> Scenario
 /// Panics if a run violates the Total Order audit, with the failing
 /// run's labels in the message regardless of which worker hit it.
 pub fn run_plan_with(plan: &ScenarioPlan, limit: RunLimit, opts: &ExecOptions) -> ScenarioReport {
+    // Arm (or disarm) the hot-path counters before any worker starts;
+    // wall-clock never reaches the report either way, so the JSON stays
+    // byte-identical with or without profiling.
+    hh_sim::prof::set_enabled(opts.profile);
     if opts.jobs > 1 {
         build_report(plan, limit, &PooledExecutor::new(opts.jobs), opts)
     } else {
@@ -382,7 +401,7 @@ pub fn render_row(row: &RunRow) -> String {
 /// The `--profile` line for a finished run: execution cost, not metrics.
 pub fn render_profile(row: &RunRow) -> String {
     let p = &row.profile;
-    format!(
+    let mut line = format!(
         "  profile {:<16} n={:<3} load={:<5} wall {:>7.3}s | {:>9} sim events | {:>10.0} events/s",
         row.run.variant,
         row.run.config.committee_size,
@@ -390,7 +409,30 @@ pub fn render_profile(row: &RunRow) -> String {
         p.wall_s,
         p.sim_events,
         p.events_per_sec(),
-    )
+    );
+    if let Some(b) = &p.breakdown {
+        let wall_ns = (p.wall_s * 1e9).max(1.0);
+        let pct = |ns: u64| ns as f64 * 100.0 / wall_ns;
+        let _ = write!(
+            line,
+            "\n  profile   breakdown: queue {:.1}% ({} ops) | deliver {:.1}% ({} msgs) | \
+             timers {:.1}% ({}) | digest {:.1}% ({}) | sign/verify {:.1}% ({}) | \
+             codec {:.1}% ({} frames)  [crypto+codec shares nest inside deliver]",
+            pct(b.net.queue_ns),
+            b.net.queue_ops,
+            pct(b.net.deliver_ns),
+            b.net.deliver_ops,
+            pct(b.net.timer_ns),
+            b.net.timer_ops,
+            pct(b.crypto.digest_ns),
+            b.crypto.digest_ops,
+            pct(b.crypto.sig_ns),
+            b.crypto.sig_ops,
+            pct(b.crypto.codec_ns),
+            b.crypto.codec_ops,
+        );
+    }
+    line
 }
 
 /// The report header line.

@@ -45,6 +45,11 @@ pub(crate) fn describe(run: &PlannedRun) -> String {
 /// violation is never something to report as a data point.
 pub(crate) fn execute_run(plan: &ScenarioPlan, index: usize, limit: RunLimit) -> RunRow {
     let started = std::time::Instant::now();
+    // Thread-local baselines: the whole run executes on this thread, so
+    // the counter movement from here to the end is exactly its cost.
+    let profiling = hh_sim::prof::enabled();
+    let net_before = hh_sim::prof::net_snapshot();
+    let crypto_before = hh_sim::prof::crypto_snapshot();
     let run = &plan.runs[index];
     let config = &run.config;
     let duration_us = config.duration_secs * 1_000_000;
@@ -90,6 +95,10 @@ pub(crate) fn execute_run(plan: &ScenarioPlan, index: usize, limit: RunLimit) ->
     let profile = RunProfile {
         wall_s: started.elapsed().as_secs_f64(),
         sim_events: handle.sim.stats().events,
+        breakdown: profiling.then(|| crate::engine::ProfBreakdown {
+            net: hh_sim::prof::net_snapshot().since(&net_before),
+            crypto: hh_sim::prof::crypto_snapshot().since(&crypto_before),
+        }),
     };
     RunRow { run: run.clone(), result, analysis, profile }
 }

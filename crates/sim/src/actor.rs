@@ -9,8 +9,11 @@ use hh_types::{Transaction, ValidatorId};
 use rand::Rng;
 use std::sync::Arc;
 
-/// Wire messages on the simulated network. `Arc` keeps the per-recipient
-/// broadcast clone O(1).
+/// Wire messages on the simulated network. A broadcast enqueues one
+/// `Arc`'d message (`Context::broadcast_to_first`); the runtime's
+/// fan-out then bumps the refcount once per recipient, so no path —
+/// emit, routing, or delivery — deep-copies a frame. Chaos corruption
+/// is the only place an owned frame is materialized.
 pub type NetMessage = Arc<ValidatorMessage>;
 
 /// Timer token for client submission ticks (distinct from validator
@@ -322,17 +325,14 @@ impl Actor {
 /// Routes validator outputs onto the network. Broadcast targets are
 /// validators only (`committee_size` of them, ids `0..committee_size`).
 fn emit(outputs: Vec<Output>, committee_size: usize, ctx: &mut Context<'_, NetMessage>) {
-    let me = ctx.id();
     for output in outputs {
         match output {
             Output::Send(to, msg) => ctx.send(NodeId(to.0 as usize), Arc::new(msg)),
             Output::Broadcast(msg) => {
-                let shared = Arc::new(msg);
-                for i in 0..committee_size {
-                    if NodeId(i) != me {
-                        ctx.send(NodeId(i), shared.clone());
-                    }
-                }
+                // One queued action; the runtime fans out per recipient
+                // with an `Arc` bump each — no deep copies, no per-peer
+                // queue entries at emit time.
+                ctx.broadcast_to_first(committee_size, Arc::new(msg));
             }
             Output::SetTimer { delay_us, token } => {
                 ctx.set_timer(hh_net::Duration::from_micros(delay_us), token);
@@ -401,7 +401,10 @@ impl Node for Actor {
                     }
                 }
                 let sender = ValidatorId(from.0.min(u16::MAX as usize) as u16);
-                let mut out = v.on_message(sender, (*msg).clone(), now);
+                // Borrowed dispatch: the shared frame is handed to the
+                // validator as-is; `Arc`'d vertex payloads inside make
+                // retention a refcount bump, so no deep copy happens here.
+                let mut out = v.on_message(sender, &msg, now);
                 if let Some(b) = behavior {
                     out = b.process_outbound(out, now);
                 }

@@ -45,6 +45,7 @@ use hh_rbc::RbcMessage;
 use hh_types::{Committee, ValidatorId};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// First timer token owned by byzantine behaviors. Validator tokens are
 /// small constants (< 100) and client ticks use 1_000; everything at or
@@ -452,12 +453,12 @@ impl ByzantineBehavior {
                 Output::Broadcast(ValidatorMessage::Rbc(RbcMessage::Propose(v)))
                     if v.author() == self.me =>
                 {
-                    Some(RbcMessage::Propose(twin_of(v, &self.keypair)))
+                    Some(RbcMessage::Propose(Arc::new(twin_of(v, &self.keypair))))
                 }
                 Output::Broadcast(ValidatorMessage::Rbc(RbcMessage::Vertex(v)))
                     if v.author() == self.me =>
                 {
-                    Some(RbcMessage::Vertex(twin_of(v, &self.keypair)))
+                    Some(RbcMessage::Vertex(Arc::new(twin_of(v, &self.keypair))))
                 }
                 _ => None,
             };
@@ -508,14 +509,14 @@ mod tests {
         Committee::new_equal_stake(4)
     }
 
-    fn own_vertex(c: &Committee, round: u64, author: u16) -> Vertex {
-        Vertex::new(
+    fn own_vertex(c: &Committee, round: u64, author: u16) -> Arc<Vertex> {
+        Arc::new(Vertex::new(
             Round(round),
             ValidatorId(author),
             Block::empty(),
             vec![],
             &c.keypair(ValidatorId(author)),
-        )
+        ))
     }
 
     fn behavior(schedule: &ByzantineSchedule, node: u16) -> Box<ByzantineBehavior> {
@@ -685,7 +686,7 @@ mod tests {
         let c = committee4();
         let s = ByzantineSchedule::new().flip_flop(0, 2_000_000, 400_000, 1_000_000, u64::MAX);
         let mut b = behavior(&s, 0);
-        let outputs = |v: &Vertex| {
+        let outputs = |v: &Arc<Vertex>| {
             vec![Output::Broadcast(ValidatorMessage::Rbc(RbcMessage::Vertex(v.clone())))]
         };
         let v = own_vertex(&c, 2, 0);

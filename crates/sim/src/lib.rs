@@ -77,6 +77,7 @@ mod chaos_schedule;
 mod experiment;
 mod fault_schedule;
 mod metrics;
+pub mod prof;
 mod safety;
 mod sink;
 mod timeseries;

@@ -69,12 +69,16 @@ pub struct RecoveredState {
 #[derive(Debug)]
 pub struct ValidatorStore<B: LogBackend> {
     wal: Wal<B>,
+    /// Reused encode buffer: persisting a vertex is once-per-delivery on
+    /// the simulator's hot path, so the record is serialized in place
+    /// rather than through a fresh allocation per append.
+    scratch: Vec<u8>,
 }
 
 impl<B: LogBackend> ValidatorStore<B> {
     /// Opens the store over `backend`.
     pub fn new(backend: B) -> Self {
-        ValidatorStore { wal: Wal::new(backend) }
+        ValidatorStore { wal: Wal::new(backend), scratch: Vec::new() }
     }
 
     /// Persists a delivered vertex.
@@ -83,7 +87,14 @@ impl<B: LogBackend> ValidatorStore<B> {
     ///
     /// Returns [`WalError::Io`] if the medium rejects the append.
     pub fn persist_vertex(&mut self, vertex: &Vertex) -> Result<(), WalError> {
-        self.wal.append(&encode_to_vec(&StoreRecord::Vertex(vertex.clone())))
+        // Byte-for-byte the encoding of `StoreRecord::Vertex(..)`, written
+        // without cloning the vertex into a temporary record. The vertex's
+        // memoized canonical encoding makes every persist after the first
+        // holder's (across all validators sharing the `Arc`) a plain copy.
+        self.scratch.clear();
+        self.scratch.put_u8(1);
+        self.scratch.extend_from_slice(vertex.encoded_bytes());
+        self.wal.append(&self.scratch)
     }
 
     /// Persists a commit checkpoint.

@@ -49,13 +49,16 @@ impl From<std::io::Error> for WalError {
 pub struct Wal<B: LogBackend> {
     backend: B,
     records: u64,
+    /// Reused framing buffer; appends happen once per persisted vertex on
+    /// the simulator's hot path, so the frame is assembled in place.
+    frame: Vec<u8>,
 }
 
 impl<B: LogBackend> Wal<B> {
     /// Wraps a backend. Existing contents are preserved (call
     /// [`Wal::replay`] to read them).
     pub fn new(backend: B) -> Self {
-        Wal { backend, records: 0 }
+        Wal { backend, records: 0, frame: Vec::new() }
     }
 
     /// Appends one record.
@@ -64,11 +67,12 @@ impl<B: LogBackend> Wal<B> {
     ///
     /// Returns [`WalError::Io`] if the backend write fails.
     pub fn append(&mut self, record: &[u8]) -> Result<(), WalError> {
-        let mut frame = Vec::with_capacity(HEADER_LEN + record.len());
-        frame.extend_from_slice(&(record.len() as u32).to_be_bytes());
-        frame.extend_from_slice(&crc32(record).to_be_bytes());
-        frame.extend_from_slice(record);
-        self.backend.append(&frame)?;
+        self.frame.clear();
+        self.frame.reserve(HEADER_LEN + record.len());
+        self.frame.extend_from_slice(&(record.len() as u32).to_be_bytes());
+        self.frame.extend_from_slice(&crc32(record).to_be_bytes());
+        self.frame.extend_from_slice(record);
+        self.backend.append(&self.frame)?;
         self.records += 1;
         Ok(())
     }

@@ -69,11 +69,13 @@ pub fn decode_from_slice<T: Encode>(bytes: &[u8]) -> Result<T, TypeError> {
 /// touching the payload, so in-flight bit flips die here instead of
 /// surfacing as a different valid message.
 pub fn encode_framed<T: Encode>(value: &T) -> Vec<u8> {
-    let mut buf = Vec::new();
-    value.encode(&mut buf);
-    let crc = hh_crypto::crc32(&buf);
-    buf.extend_from_slice(&crc.to_be_bytes());
-    buf
+    hh_crypto::prof::time_codec(|| {
+        let mut buf = Vec::new();
+        value.encode(&mut buf);
+        let crc = hh_crypto::crc32(&buf);
+        buf.extend_from_slice(&crc.to_be_bytes());
+        buf
+    })
 }
 
 /// Decodes one checksummed wire frame produced by [`encode_framed`].
@@ -84,15 +86,17 @@ pub fn encode_framed<T: Encode>(value: &T) -> Vec<u8> {
 /// trailer, the CRC-32 does not match the payload, or the payload
 /// itself is truncated, malformed, or has leftover bytes.
 pub fn decode_framed<T: Encode>(frame: &[u8]) -> Result<T, TypeError> {
-    if frame.len() < 4 {
-        return Err(TypeError::Decode("frame shorter than its checksum"));
-    }
-    let (payload, trailer) = frame.split_at(frame.len() - 4);
-    let expected = u32::from_be_bytes(trailer.try_into().expect("4-byte trailer"));
-    if hh_crypto::crc32(payload) != expected {
-        return Err(TypeError::Decode("frame checksum mismatch"));
-    }
-    decode_from_slice(payload)
+    hh_crypto::prof::time_codec(|| {
+        if frame.len() < 4 {
+            return Err(TypeError::Decode("frame shorter than its checksum"));
+        }
+        let (payload, trailer) = frame.split_at(frame.len() - 4);
+        let expected = u32::from_be_bytes(trailer.try_into().expect("4-byte trailer"));
+        if hh_crypto::crc32(payload) != expected {
+            return Err(TypeError::Decode("frame checksum mismatch"));
+        }
+        decode_from_slice(payload)
+    })
 }
 
 /// A cursor over bytes being decoded.
@@ -263,6 +267,15 @@ impl<T: Encode> Encode for Vec<T> {
             out.push(T::decode(d)?);
         }
         Ok(out)
+    }
+}
+
+impl<T: Encode> Encode for std::sync::Arc<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (**self).encode(buf);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, TypeError> {
+        Ok(std::sync::Arc::new(T::decode(d)?))
     }
 }
 

@@ -6,7 +6,7 @@
 //! round. Vertices are content-addressed by a SHA-256 [`Digest`] over their
 //! canonical encoding and signed by their author.
 
-use crate::codec::{encode_to_vec, Decoder, Encode};
+use crate::codec::{Decoder, Encode};
 use crate::{Transaction, TypeError, ValidatorId};
 use hh_crypto::{Digest, Keypair, PublicKey, Sha256, Signature};
 use std::fmt;
@@ -151,7 +151,7 @@ impl Encode for VertexRef {
 /// assert!(genesis.verify(&kp.public()));
 /// assert_eq!(genesis.parents().len(), 0);
 /// ```
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Debug)]
 pub struct Vertex {
     round: Round,
     author: ValidatorId,
@@ -162,7 +162,50 @@ pub struct Vertex {
     parents: std::sync::Arc<Vec<Digest>>,
     digest: Digest,
     signature: Signature,
+    /// Memoized [`Vertex::verify`] outcome. The fields above are immutable
+    /// after construction, so a signature check against a given key can
+    /// never change — and because broadcast fan-out shares one `Arc`'d
+    /// allocation, the first recipient's check warms the cache for every
+    /// other recipient. Packing: bits 2.. hold the checked key's
+    /// fingerprint (`PublicKey::id() & !0b11`), bits 0..2 the state
+    /// (0 = unchecked, 1 = valid, 2 = invalid). A single atomic word keeps
+    /// the (fingerprint, state) pair tear-free across threads.
+    verify_cache: std::sync::atomic::AtomicU64,
+    /// Memoized canonical encoding ([`Vertex::encoded_bytes`]). Like the
+    /// verify memo, it is a pure function of the immutable content, and
+    /// the shared `Arc` means one recipient's encode (e.g. the first WAL
+    /// persist) serves every other holder of the same allocation.
+    encoded: std::sync::OnceLock<Vec<u8>>,
 }
+
+impl Clone for Vertex {
+    fn clone(&self) -> Self {
+        Vertex {
+            round: self.round,
+            author: self.author,
+            block: self.block.clone(),
+            parents: self.parents.clone(),
+            digest: self.digest,
+            signature: self.signature,
+            // The cache is a pure function of the (immutable) content and
+            // the key it was checked against, so the clone may keep it.
+            verify_cache: std::sync::atomic::AtomicU64::new(
+                self.verify_cache.load(std::sync::atomic::Ordering::Relaxed),
+            ),
+            // Not carried over: clones are off the hot path (chaos frame
+            // materialization, recovery replay) and re-encode lazily.
+            encoded: std::sync::OnceLock::new(),
+        }
+    }
+}
+
+/// Equality is content equality; the verify memo is ignored.
+impl PartialEq for Vertex {
+    fn eq(&self, other: &Self) -> bool {
+        self.digest == other.digest && self.signature == other.signature
+    }
+}
+impl Eq for Vertex {}
 
 impl Vertex {
     /// Builds and signs a vertex.
@@ -178,10 +221,32 @@ impl Vertex {
     ) -> Self {
         let digest = Self::compute_digest(round, author, &block, &parents);
         let signature = keypair.sign(VERTEX_CONTEXT, digest.as_bytes());
-        Vertex { round, author, block, parents: std::sync::Arc::new(parents), digest, signature }
+        // Deliberately NOT pre-marked valid: `new` signs with whatever
+        // keypair it is handed, which tests (and Byzantine actors) exploit
+        // to author vertices under the wrong key. `verify` must really
+        // check the first time.
+        Vertex {
+            round,
+            author,
+            block,
+            parents: std::sync::Arc::new(parents),
+            digest,
+            signature,
+            verify_cache: std::sync::atomic::AtomicU64::new(0),
+            encoded: std::sync::OnceLock::new(),
+        }
     }
 
     fn compute_digest(
+        round: Round,
+        author: ValidatorId,
+        block: &Block,
+        parents: &[Digest],
+    ) -> Digest {
+        hh_crypto::prof::time_digest(|| Self::compute_digest_inner(round, author, block, parents))
+    }
+
+    fn compute_digest_inner(
         round: Round,
         author: ValidatorId,
         block: &Block,
@@ -195,8 +260,19 @@ impl Vertex {
             h.update(p.as_bytes());
         }
         // The block is hashed via its canonical encoding, so block identity
-        // and wire encoding can never diverge.
-        h.update(&encode_to_vec(block));
+        // and wire encoding can never diverge. The encoding lands in a
+        // reused thread-local buffer: digesting is hot (every construction
+        // and every wire decode) and the bytes are identical either way.
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<Vec<u8>> =
+                const { std::cell::RefCell::new(Vec::new()) };
+        }
+        SCRATCH.with(|scratch| {
+            let mut buf = scratch.borrow_mut();
+            buf.clear();
+            block.encode(&mut buf);
+            h.update(&buf);
+        });
         h.finalize()
     }
 
@@ -235,6 +311,22 @@ impl Vertex {
         VertexRef { round: self.round, author: self.author, digest: self.digest }
     }
 
+    /// The vertex's canonical encoding (identical to what
+    /// [`Encode::encode`] writes), computed once and memoized.
+    ///
+    /// The content is immutable after construction, so the bytes can never
+    /// go stale — and since broadcast fan-out shares one `Arc`'d vertex
+    /// between all recipients, the first caller (typically the first
+    /// validator to WAL-persist the delivery) pays for the encode and
+    /// every later persist of the same allocation is a straight copy.
+    pub fn encoded_bytes(&self) -> &[u8] {
+        self.encoded.get_or_init(|| {
+            let mut buf = Vec::new();
+            self.encode_fields(&mut buf);
+            buf
+        })
+    }
+
     /// Whether this vertex links to `parent`.
     pub fn has_parent(&self, parent: &Digest) -> bool {
         self.parents.contains(parent)
@@ -254,7 +346,19 @@ impl Vertex {
             self.digest,
             "vertex digest/content invariant broken"
         );
-        author_key.verify(VERTEX_CONTEXT, self.digest.as_bytes(), &self.signature)
+        use std::sync::atomic::Ordering::Relaxed;
+        let fingerprint = author_key.id() & !0b11;
+        let cached = self.verify_cache.load(Relaxed);
+        if cached & !0b11 == fingerprint {
+            match cached & 0b11 {
+                1 => return true,
+                2 => return false,
+                _ => {}
+            }
+        }
+        let ok = author_key.verify(VERTEX_CONTEXT, self.digest.as_bytes(), &self.signature);
+        self.verify_cache.store(fingerprint | if ok { 1 } else { 2 }, Relaxed);
+        ok
     }
 }
 
@@ -271,13 +375,27 @@ impl fmt::Display for Vertex {
     }
 }
 
-impl Encode for Vertex {
-    fn encode(&self, buf: &mut Vec<u8>) {
+impl Vertex {
+    /// Field-by-field body of [`Encode::encode`], shared with the
+    /// [`Vertex::encoded_bytes`] memo so both produce the same bytes.
+    fn encode_fields(&self, buf: &mut Vec<u8>) {
         self.round.encode(buf);
         self.author.encode(buf);
         self.block.encode(buf);
         self.parents.encode(buf);
         self.signature.encode(buf);
+    }
+}
+
+impl Encode for Vertex {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        // A warm memo turns re-encoding into one memcpy; a cold one goes
+        // straight to the fields without paying to populate the cache
+        // (only `encoded_bytes` callers are on a path hot enough to care).
+        match self.encoded.get() {
+            Some(bytes) => buf.extend_from_slice(bytes),
+            None => self.encode_fields(buf),
+        }
     }
 
     fn decode(d: &mut Decoder<'_>) -> Result<Self, TypeError> {
@@ -296,6 +414,8 @@ impl Encode for Vertex {
             parents: std::sync::Arc::new(parents),
             digest,
             signature,
+            verify_cache: std::sync::atomic::AtomicU64::new(0),
+            encoded: std::sync::OnceLock::new(),
         })
     }
 }
@@ -303,7 +423,7 @@ impl Encode for Vertex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::codec::decode_from_slice;
+    use crate::codec::{decode_from_slice, encode_to_vec};
 
     fn keypair(id: u16) -> Keypair {
         Keypair::from_seed(id as u64)

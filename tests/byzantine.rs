@@ -9,6 +9,7 @@
 use hammerhead_repro::hh_dag::Dag;
 use hammerhead_repro::hh_rbc::{BroadcastMode, Rbc, RbcMessage};
 use hammerhead_repro::hh_types::{Block, Committee, Round, Transaction, ValidatorId, Vertex};
+use std::sync::Arc;
 
 /// A little message bus between hand-driven RBC instances.
 struct Party {
@@ -50,7 +51,7 @@ fn equivocation_cannot_gather_two_certificates() {
     let mut acks_b = Vec::new();
     for (i, header) in [(1usize, &header_a), (2, &header_a), (3, &header_b)] {
         let Party { rbc, dag } = &mut ps[i];
-        let fx = rbc.handle(ValidatorId(0), RbcMessage::Propose(header.clone()), dag);
+        let fx = rbc.handle(ValidatorId(0), &RbcMessage::Propose(Arc::new(header.clone())), dag);
         for (_, msg) in fx.send {
             match (&msg, header.digest() == header_a.digest()) {
                 (RbcMessage::Ack { .. }, true) => acks_a.push(msg),
@@ -113,9 +114,9 @@ fn best_effort_mode_detects_equivocation_and_keeps_first() {
     );
 
     let Party { rbc, dag } = &mut ps[1];
-    let fx1 = rbc.handle(ValidatorId(0), RbcMessage::Vertex(v1.clone()), dag);
+    let fx1 = rbc.handle(ValidatorId(0), &RbcMessage::Vertex(Arc::new(v1.clone())), dag);
     assert_eq!(fx1.delivered.len(), 1);
-    let fx2 = rbc.handle(ValidatorId(0), RbcMessage::Vertex(v2), dag);
+    let fx2 = rbc.handle(ValidatorId(0), &RbcMessage::Vertex(Arc::new(v2)), dag);
     assert!(fx2.delivered.is_empty(), "second vertex rejected");
     assert_eq!(rbc.equivocation_attempts(), 1);
     assert_eq!(dag.vertex_by_author(Round(0), ValidatorId(0)).unwrap().digest(), v1.digest());

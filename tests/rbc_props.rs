@@ -46,7 +46,7 @@ impl Net {
             };
             let (from, to, msg) = self.queue.remove(pos).expect("in range");
             let (rbc, dag) = &mut self.parties[to.index()];
-            let fx = rbc.handle(from, msg, dag);
+            let fx = rbc.handle(from, &msg, dag);
             self.absorb(to.index(), fx);
         }
     }
@@ -80,11 +80,11 @@ impl Net {
             if duplicate_every != 0 && processed.is_multiple_of(duplicate_every) {
                 // Duplicate delivery: Integrity must still hold.
                 let (rbc, dag) = &mut self.parties[to.index()];
-                let fx = rbc.handle(from, msg.clone(), dag);
+                let fx = rbc.handle(from, &msg, dag);
                 self.absorb(to.index(), fx);
             }
             let (rbc, dag) = &mut self.parties[to.index()];
-            let fx = rbc.handle(from, msg, dag);
+            let fx = rbc.handle(from, &msg, dag);
             self.absorb(to.index(), fx);
             if processed > 100_000 {
                 panic!("runaway message storm");

@@ -137,6 +137,37 @@ fn hammerhead_schedule_agreement_across_validators() {
 }
 
 #[test]
+fn chaos_free_runs_take_zero_delivery_path_rng_draws() {
+    use hammerhead_repro::hh_net::SimTime;
+    // The event-queue/fan-out hot path is draw-free by design: with a
+    // constant-latency link model, no chaos windows and no pre-GST
+    // adversary, routing a frame never touches the PRNG. Event order —
+    // and therefore every scenario JSON byte — can then never hinge on
+    // a silently added or re-ordered sample; if someone lands a draw on
+    // the delivery path, this fails loudly instead.
+    let config = ExperimentConfig::quick_test(SystemKind::Hammerhead);
+    let mut handle = build_sim(&config);
+    handle.sim.run_until(SimTime::from_secs(3));
+    let stats = handle.sim.stats();
+    assert!(stats.delivered > 0, "run must actually deliver traffic");
+    assert_eq!(
+        stats.delivery_rng_draws, 0,
+        "chaos-free constant-latency runs must take zero delivery-path RNG draws"
+    );
+
+    // Control: the geo model draws jitter once per routed frame, so the
+    // counter demonstrably counts — the zero above is not vacuous.
+    let mut geo = ExperimentConfig::quick_test(SystemKind::Hammerhead);
+    geo.geo = true;
+    let mut handle = build_sim(&geo);
+    handle.sim.run_until(SimTime::from_secs(3));
+    assert!(
+        handle.sim.stats().delivery_rng_draws > 0,
+        "geo-jitter runs must register delivery-path draws"
+    );
+}
+
+#[test]
 fn determinism_full_stack() {
     let mut config = ExperimentConfig::quick_test(SystemKind::Hammerhead);
     config.committee_size = 5;
