@@ -17,9 +17,12 @@
 # run, a saturation smoke gating the goodput knee
 # (monotone up to the knee, flat/declining past it, zero shed below
 # it), a bursty-workload smoke asserting the report's workload goodput
-# block, a docs gate failing on broken relative links in README.md and
-# docs/*.md, a hotpath bench smoke refreshing BENCH_hotpath.json, and a
-# gate checking that --profile leaves the JSON report byte-identical.
+# block, a testnet smoke running 4 real hh-node processes over loopback
+# TCP with a SIGKILL + WAL-restart in the middle (zero safety
+# violations, clean shutdown, no orphans), a docs gate failing on
+# broken relative links in README.md and docs/*.md, a hotpath bench
+# smoke refreshing BENCH_hotpath.json, and a gate checking that
+# --profile leaves the JSON report byte-identical.
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -154,6 +157,24 @@ grep -q '"shed_rate"' target/ci-bursty.json \
     || { echo "bursty report is missing the shed rate"; exit 1; }
 grep -q '"restarts": 1' target/ci-bursty.json \
     || { echo "bursty run did not restart the crashed validator"; exit 1; }
+
+step "testnet smoke: 4 real hh-node processes, kill + restart, safety clean"
+# Real OS processes over loopback TCP: node 2 is SIGKILLed a third of
+# the way in and restarted against its WAL. Gates: >= 10 commits per
+# node, committed round >= 20, zero safety violations, victim catch-up,
+# clean stdin-close shutdown — all enforced by the harness (exit code).
+timeout 120 ./target/release/hh-cli testnet --nodes 4 --duration-secs 14 \
+    --tps 200 --kill 2 --kill-after-secs 4 --restart-after-secs 2 \
+    --min-commits 10 --min-rounds 20 > target/ci-testnet.json
+grep -q '"safety_violations": 0' target/ci-testnet.json \
+    || { echo "testnet report missing the clean safety gate"; exit 1; }
+grep -q '"clean_shutdown": true' target/ci-testnet.json \
+    || { echo "testnet shutdown was not clean"; exit 1; }
+if pgrep -f 'hh-node --config' > /dev/null 2>&1; then
+    echo "testnet left orphan hh-node processes behind"
+    pgrep -af 'hh-node --config' || true
+    exit 1
+fi
 
 step "docs: every relative link in README.md and docs/*.md resolves"
 # No links in a page is fine (|| true guards grep's exit 1 under

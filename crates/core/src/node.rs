@@ -609,6 +609,28 @@ impl<B: LogBackend> Validator<B> {
         out
     }
 
+    /// Graceful shutdown: persist a final commit checkpoint and force the
+    /// store to durable media, so a subsequent [`Validator::on_restart`]
+    /// recovers to the exact shutdown state without replay divergence.
+    ///
+    /// Idempotent and safe on a halted node (a storage fault during the
+    /// flush is surfaced as [`Output::StorageError`], like any other write
+    /// failure). The real-node runtime (`hh-node`) calls this when its
+    /// control stdin closes, before exiting; the simulator never needs it
+    /// because `MemBackend` has nothing to flush.
+    pub fn on_shutdown(&mut self, _now: u64) -> Vec<Output> {
+        let mut out = Vec::new();
+        if let Some(store) = &mut self.store {
+            let result = store
+                .persist_checkpoint(self.engine.commit_count(), self.engine.chain_hash())
+                .and_then(|()| store.sync());
+            if let Err(e) = result {
+                self.halt_on_storage_error("shutdown flush", &e, &mut out);
+            }
+        }
+        out
+    }
+
     /// Routes broadcast-layer outputs and feeds delivered vertices to the
     /// consensus engine.
     fn absorb_rbc(&mut self, fx: hh_rbc::RbcEffects, now: u64, out: &mut Vec<Output>) {

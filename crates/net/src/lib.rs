@@ -16,6 +16,9 @@
 //! * [`threaded`] — a small crossbeam-based runtime that runs the same
 //!   [`Node`] implementations on real threads with wall-clock delays, used
 //!   by examples that want to see the system run "for real".
+//! * [`tcp`] — a framed TCP transport (length-prefixed frames,
+//!   thread-per-peer, reconnect with backoff): the wire layer of the real
+//!   `hh-node` runtime.
 //!
 //! The crate is intentionally generic: it knows nothing about consensus.
 //! Nodes exchange an arbitrary `Clone` message type.
@@ -55,6 +58,7 @@ mod fault;
 mod latency;
 pub mod prof;
 mod sim;
+pub mod tcp;
 pub mod threaded;
 mod time;
 pub mod wheel;

@@ -33,6 +33,68 @@ enum ToScheduler<M> {
     Shutdown,
 }
 
+/// Per-node driver state: runs one handler invocation and flushes the
+/// resulting actions into the scheduler (sends) and the local timer heap.
+///
+/// Taking the handler as a generic `FnOnce` lets a delivered message move
+/// into `on_message` by value — the inbox channel already owns the payload,
+/// so delivery is zero-copy (only broadcast fan-out clones, once per extra
+/// recipient).
+struct Pump<M> {
+    id: NodeId,
+    n: usize,
+    start: Instant,
+    rng: StdRng,
+    latency_rng: StdRng,
+    latency: LatencyModel,
+    timers: BinaryHeap<Reverse<(Instant, u64)>>,
+    sched_tx: Sender<ToScheduler<M>>,
+}
+
+impl<M: Clone> Pump<M> {
+    fn process<N>(&mut self, node: &mut N, f: impl FnOnce(&mut N, &mut Context<'_, M>))
+    where
+        N: Node<Message = M>,
+    {
+        let now = SimTime(self.start.elapsed().as_micros() as u64);
+        let mut ctx = Context::for_runtime(self.id, now, self.n, &mut self.rng);
+        f(node, &mut ctx);
+        for action in ctx.into_actions() {
+            match action {
+                Action::Send { to, msg } => {
+                    let delay = if to == self.id {
+                        SimDuration::from_micros(50)
+                    } else {
+                        self.latency.sample(self.id, to, &mut self.latency_rng)
+                    };
+                    let at = Instant::now() + Duration::from_micros(delay.as_micros());
+                    let _ = self.sched_tx.send(ToScheduler::Route { at, from: self.id, to, msg });
+                }
+                Action::Broadcast { msg, to_first } => {
+                    for i in 0..to_first.min(self.n) {
+                        let to = NodeId(i);
+                        if to == self.id {
+                            continue;
+                        }
+                        let delay = self.latency.sample(self.id, to, &mut self.latency_rng);
+                        let at = Instant::now() + Duration::from_micros(delay.as_micros());
+                        let _ = self.sched_tx.send(ToScheduler::Route {
+                            at,
+                            from: self.id,
+                            to,
+                            msg: msg.clone(),
+                        });
+                    }
+                }
+                Action::Timer { delay, token } => {
+                    let at = Instant::now() + Duration::from_micros(delay.as_micros());
+                    self.timers.push(Reverse((at, token)));
+                }
+            }
+        }
+    }
+}
+
 /// Runs `nodes` on one thread each for `wall_time`, injecting per-link
 /// latency from `latency`, then returns the final node states.
 ///
@@ -100,81 +162,36 @@ where
         let sched_tx = sched_tx.clone();
         let latency = latency.clone();
         let handle = thread::spawn(move || {
-            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
-            let mut latency_rng = StdRng::seed_from_u64(seed ^ 0x5eed ^ i as u64);
-            let mut timers: BinaryHeap<Reverse<(Instant, u64)>> = BinaryHeap::new();
+            let mut pump = Pump {
+                id,
+                n,
+                start,
+                rng: StdRng::seed_from_u64(seed.wrapping_add(i as u64)),
+                latency_rng: StdRng::seed_from_u64(seed ^ 0x5eed ^ i as u64),
+                latency,
+                timers: BinaryHeap::new(),
+                sched_tx,
+            };
 
-            let process =
-                |node: &mut N,
-                 rng: &mut StdRng,
-                 latency_rng: &mut StdRng,
-                 timers: &mut BinaryHeap<Reverse<(Instant, u64)>>,
-                 f: &mut dyn FnMut(&mut N, &mut Context<'_, N::Message>)| {
-                    let now = SimTime(start.elapsed().as_micros() as u64);
-                    let mut ctx = Context::for_runtime(id, now, n, rng);
-                    f(node, &mut ctx);
-                    for action in ctx.into_actions() {
-                        match action {
-                            Action::Send { to, msg } => {
-                                let delay = if to == id {
-                                    SimDuration::from_micros(50)
-                                } else {
-                                    latency.sample(id, to, latency_rng)
-                                };
-                                let at = Instant::now() + Duration::from_micros(delay.as_micros());
-                                let _ = sched_tx.send(ToScheduler::Route { at, from: id, to, msg });
-                            }
-                            Action::Broadcast { msg, to_first } => {
-                                for i in 0..to_first.min(n) {
-                                    let to = NodeId(i);
-                                    if to == id {
-                                        continue;
-                                    }
-                                    let delay = latency.sample(id, to, latency_rng);
-                                    let at =
-                                        Instant::now() + Duration::from_micros(delay.as_micros());
-                                    let _ = sched_tx.send(ToScheduler::Route {
-                                        at,
-                                        from: id,
-                                        to,
-                                        msg: msg.clone(),
-                                    });
-                                }
-                            }
-                            Action::Timer { delay, token } => {
-                                let at = Instant::now() + Duration::from_micros(delay.as_micros());
-                                timers.push(Reverse((at, token)));
-                            }
-                        }
-                    }
-                };
-
-            process(&mut node, &mut rng, &mut latency_rng, &mut timers, &mut |n, ctx| {
-                n.on_start(ctx)
-            });
+            pump.process(&mut node, |n, ctx| n.on_start(ctx));
 
             loop {
                 // Fire due timers.
                 let now = Instant::now();
-                while matches!(timers.peek(), Some(Reverse((at, _))) if *at <= now) {
-                    let Reverse((_, token)) = timers.pop().expect("peeked");
-                    process(&mut node, &mut rng, &mut latency_rng, &mut timers, &mut |n, ctx| {
-                        n.on_timer(token, ctx)
-                    });
+                while matches!(pump.timers.peek(), Some(Reverse((at, _))) if *at <= now) {
+                    let Reverse((_, token)) = pump.timers.pop().expect("peeked");
+                    pump.process(&mut node, |n, ctx| n.on_timer(token, ctx));
                 }
-                let timeout = timers
+                let timeout = pump
+                    .timers
                     .peek()
                     .map(|Reverse((at, _))| at.saturating_duration_since(Instant::now()))
                     .unwrap_or(Duration::from_millis(20));
                 match rx.recv_timeout(timeout) {
+                    // The channel owns the payload here; it moves straight
+                    // into the handler without a clone.
                     Ok(Wire::Deliver { from, msg }) => {
-                        process(
-                            &mut node,
-                            &mut rng,
-                            &mut latency_rng,
-                            &mut timers,
-                            &mut |n, ctx| n.on_message(from, msg.clone(), ctx),
-                        );
+                        pump.process(&mut node, |n, ctx| n.on_message(from, msg, ctx));
                     }
                     Ok(Wire::Shutdown) => return node,
                     Err(RecvTimeoutError::Timeout) => {}

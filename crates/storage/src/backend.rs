@@ -40,6 +40,17 @@ pub trait LogBackend {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Forces buffered writes to durable storage (fsync for file-backed
+    /// media). Volatile backends have nothing to do; the graceful-shutdown
+    /// path calls this so a node's final checkpoint survives power loss.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the medium cannot be synced.
+    fn sync(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
 }
 
 /// In-memory backend with shared handles.
@@ -144,6 +155,10 @@ impl LogBackend for FileBackend {
 
     fn len(&self) -> usize {
         std::fs::metadata(&self.path).map(|m| m.len() as usize).unwrap_or(0)
+    }
+
+    fn sync(&mut self) -> std::io::Result<()> {
+        self.file.sync_all()
     }
 }
 

@@ -110,6 +110,16 @@ impl<B: LogBackend> ValidatorStore<B> {
         self.wal.append(&encode_to_vec(&StoreRecord::CommitCheckpoint { commit_index, chain_hash }))
     }
 
+    /// Forces everything appended so far to durable storage — the
+    /// graceful-shutdown flush.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::Io`] if the medium cannot sync.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.wal.sync()
+    }
+
     /// Replays the log into a [`RecoveredState`].
     ///
     /// Duplicate vertices (possible if a crash interrupted between delivery

@@ -108,6 +108,15 @@ impl<B: LogBackend> Wal<B> {
         Ok(out)
     }
 
+    /// Forces the log to durable storage (see [`LogBackend::sync`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WalError::Io`] if the backend cannot sync.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.backend.sync().map_err(WalError::Io)
+    }
+
     /// Rewrites the log to contain exactly `records` (compaction).
     ///
     /// # Errors

@@ -11,6 +11,8 @@
 //!   simulator with the paper's measurement methodology.
 //! * [`hh_consensus`] — the Bullshark engine and the baseline round-robin
 //!   schedule.
+//! * [`hh_node`] — the same validator as a real OS process over TCP, and
+//!   the local-testnet harness that crash-tests a whole committee.
 //!
 //! ```
 //! use hammerhead_repro::hh_sim::{run_experiment, ExperimentConfig, SystemKind};
@@ -27,6 +29,7 @@ pub use hh_consensus;
 pub use hh_crypto;
 pub use hh_dag;
 pub use hh_net;
+pub use hh_node;
 pub use hh_rbc;
 pub use hh_sim;
 pub use hh_storage;

@@ -10,12 +10,22 @@
 
 /// Multi-producer channels (mirrors `crossbeam::channel`).
 pub mod channel {
-    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, SendError, Sender};
+    pub use std::sync::mpsc::{
+        Receiver, RecvTimeoutError, SendError, Sender, SyncSender, TrySendError,
+    };
 
     /// Creates an unbounded channel (crossbeam's `unbounded()`, backed by
     /// [`std::sync::mpsc::channel`]).
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         std::sync::mpsc::channel()
+    }
+
+    /// Creates a bounded channel (crossbeam's `bounded()`, backed by
+    /// [`std::sync::mpsc::sync_channel`]). Unlike crossbeam, the sender is
+    /// the distinct [`SyncSender`] type — callers that mix bounded and
+    /// unbounded endpoints must name the sender type explicitly.
+    pub fn bounded<T>(cap: usize) -> (SyncSender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
     }
 }
 
